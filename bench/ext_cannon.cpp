@@ -1,0 +1,68 @@
+// Extension experiment E1: Cannon's algorithm on the simulated Balance.
+//
+// Not a paper figure — the paper stops at two applications — but the
+// natural next data point for its thesis: a classic mesh algorithm,
+// prototyped on MPF, measured on the same simulated 1987 machine as
+// Figures 7-8.  Same speedup methodology as Figure 7.
+#include <iostream>
+
+#include "mpf/apps/cannon.hpp"
+#include "mpf/benchlib/figure.hpp"
+#include "mpf/benchlib/simrun.hpp"
+#include "mpf/shm/region.hpp"
+#include "mpf/sim/sim_platform.hpp"
+
+namespace {
+
+using namespace mpf;
+using namespace mpf::benchlib;
+namespace cn = mpf::apps::cannon;
+
+Config mesh_config(int mesh) {
+  Config c;
+  c.max_lnvcs = static_cast<std::uint32_t>(mesh * mesh * mesh * mesh + 64);
+  c.max_processes = static_cast<std::uint32_t>(mesh * mesh + 2);
+  c.connections =
+      static_cast<std::size_t>(mesh) * mesh * mesh * mesh * 4 + 128;
+  c.message_blocks = 1 << 16;
+  c.block_payload = 10;
+  return c;
+}
+
+double sequential_seconds(const cn::Problem& p) {
+  sim::Simulator simulator;
+  sim::SimPlatform platform(simulator);
+  simulator.spawn([&] { (void)cn::multiply_sequential(p, &platform); });
+  simulator.run();
+  return static_cast<double>(simulator.elapsed()) * 1e-9;
+}
+
+double mesh_seconds(const cn::Problem& p, int mesh) {
+  return run_sim(mesh_config(mesh), mesh * mesh,
+                 [&](Facility f, int rank) {
+                   (void)cn::worker(f, rank, mesh, p);
+                 })
+      .seconds;
+}
+
+}  // namespace
+
+int main() {
+  Figure fig;
+  fig.id = "Extension E1";
+  fig.title = "Cannon's algorithm";
+  fig.subtitle = "Speedup vs mesh processes (simulated Balance 21000)";
+  fig.xlabel = "processes";
+  fig.ylabel = "speedup";
+  for (const int n : {12, 24, 48}) {
+    const cn::Problem p = cn::random_problem(n, 1987 + n);
+    const double t_seq = sequential_seconds(p);
+    const std::string label = std::to_string(n) + "x" + std::to_string(n);
+    for (const int mesh : {1, 2, 3, 4}) {
+      if (n % mesh != 0) continue;
+      fig.add(label, mesh * mesh, t_seq / mesh_seconds(p, mesh));
+    }
+  }
+  print_figure(std::cout, fig);
+  return 0;
+}

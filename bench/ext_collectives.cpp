@@ -1,0 +1,73 @@
+// Extension experiment E2: collective-operation cost vs group size on the
+// simulated Balance 21000.
+//
+// The collectives are linear-time (token collection at a root) — faithful
+// to what a 1987 library over LNVCs would do — so the expectation to
+// verify is linear growth with group size, with alltoall the steepest.
+#include <iostream>
+
+#include "mpf/benchlib/figure.hpp"
+#include "mpf/benchlib/simrun.hpp"
+#include "mpf/coll/collectives.hpp"
+
+namespace {
+
+using namespace mpf;
+using namespace mpf::benchlib;
+using coll::Communicator;
+using coll::Op;
+
+Config coll_config(int size) {
+  Config c;
+  c.max_lnvcs = static_cast<std::uint32_t>(size * size + 4 * size + 8);
+  c.max_processes = static_cast<std::uint32_t>(size + 2);
+  c.connections = static_cast<std::size_t>(size) * size * 4 + 64;
+  c.message_blocks = 1 << 15;
+  c.block_payload = 10;
+  return c;
+}
+
+/// Virtual seconds per operation, startup cancelled by a differential of
+/// two repetition counts.
+double per_op_seconds(int size, const char* which) {
+  auto run = [&](int reps) {
+    return run_sim(coll_config(size), size, [&](Facility f, int rank) {
+      Communicator comm(f, rank, size, "e2");
+      std::vector<double> v(8, rank);
+      std::vector<std::byte> a2a(static_cast<std::size_t>(size) * 64);
+      std::vector<std::byte> a2a_out(a2a.size());
+      std::vector<std::byte> bc(256, std::byte{1});
+      for (int i = 0; i < reps; ++i) {
+        if (std::string_view(which) == "barrier") {
+          comm.barrier();
+        } else if (std::string_view(which) == "broadcast256B") {
+          comm.broadcast(bc.data(), bc.size(), 0);
+        } else if (std::string_view(which) == "allreduce8d") {
+          comm.allreduce(v.data(), v.data(), v.size(), Op::sum);
+        } else {
+          comm.alltoall(a2a.data(), 64, a2a_out.data());
+        }
+      }
+    }).seconds;
+  };
+  return (run(9) - run(3)) / 6.0;
+}
+
+}  // namespace
+
+int main() {
+  Figure fig;
+  fig.id = "Extension E2";
+  fig.title = "Collectives over LNVCs";
+  fig.subtitle = "Virtual time per operation vs group size";
+  fig.xlabel = "group_size";
+  fig.ylabel = "seconds_per_op";
+  for (const char* which :
+       {"barrier", "broadcast256B", "allreduce8d", "alltoall64B"}) {
+    for (const int size : {2, 4, 8, 12, 16}) {
+      fig.add(which, size, per_op_seconds(size, which));
+    }
+  }
+  print_figure(std::cout, fig);
+  return 0;
+}

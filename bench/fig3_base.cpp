@@ -1,0 +1,62 @@
+// Figure 3: Base Benchmark — Throughput vs. Message Length.
+//
+// One process establishes a loop-back connection through an LNVC and
+// alternates between sending and receiving fixed-length messages (paper
+// §4).  The paper's curve rises with message length toward a ~25 KB/s
+// asymptote where message copying dominates.
+//
+// Method: two simulated runs per point (R and 3R round trips); the
+// reported throughput is the differential rate, which cancels open/close
+// and startup costs.
+#include <iostream>
+
+#include "mpf/benchlib/figure.hpp"
+#include "mpf/benchlib/simrun.hpp"
+#include "mpf/benchlib/workloads.hpp"
+
+namespace {
+
+using namespace mpf;
+using namespace mpf::benchlib;
+
+Config bench_config() {
+  Config c;
+  c.max_lnvcs = 8;
+  c.max_processes = 4;
+  c.block_payload = 10;  // the paper's experiments used 10-byte blocks
+  c.message_blocks = 4096;
+  return c;
+}
+
+double loopback_throughput(std::size_t len) {
+  constexpr int kRounds = 20;
+  auto run = [&](int rounds) {
+    return run_sim(bench_config(), 1, [&](Facility f, int) {
+      base_loopback(f, len, rounds);
+    });
+  };
+  const SimMetrics lo = run(kRounds);
+  const SimMetrics hi = run(3 * kRounds);
+  const double dt = hi.seconds - lo.seconds;
+  const double dbytes =
+      static_cast<double>(hi.bytes_delivered - lo.bytes_delivered);
+  return dbytes / dt;
+}
+
+}  // namespace
+
+int main() {
+  Figure fig;
+  fig.id = "Figure 3";
+  fig.title = "Base Benchmark";
+  fig.subtitle = "Throughput vs. Message Length (simulated Balance 21000)";
+  fig.xlabel = "message_bytes";
+  fig.ylabel = "throughput_bytes_per_sec";
+  for (const std::size_t len :
+       {16u, 64u, 128u, 256u, 384u, 512u, 768u, 1024u, 1280u, 1536u, 1792u,
+        2048u}) {
+    fig.add("throughput", static_cast<double>(len), loopback_throughput(len));
+  }
+  print_figure(std::cout, fig);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 4: Fcfs Benchmark — Throughput vs. Receiving Processes.
+//
+// One process sends K-byte messages to an LNVC with N FCFS receiving
+// processes (paper §4).  The paper's result: total throughput is limited
+// by the (single) sender's transmission rate; the 16- and 128-byte curves
+// *decline* as receivers are added because of LNVC contention, while the
+// 1024-byte curve is flat — copying masks the contention.
+#include <iostream>
+
+#include "mpf/benchlib/figure.hpp"
+#include "mpf/benchlib/simrun.hpp"
+#include "mpf/benchlib/workloads.hpp"
+
+namespace {
+
+using namespace mpf;
+using namespace mpf::benchlib;
+
+Config bench_config() {
+  Config c;
+  c.max_lnvcs = 16;
+  c.max_processes = 24;
+  c.block_payload = 10;
+  c.message_blocks = 32768;
+  return c;
+}
+
+double fcfs_throughput(std::size_t len, int nrecv) {
+  auto run = [&](int msgs) {
+    return run_sim(bench_config(), nrecv + 1, [&](Facility f, int rank) {
+      if (rank == 0) {
+        fcfs_sender(f, len, msgs, nrecv);
+      } else {
+        fcfs_receiver(f, rank, nrecv);
+      }
+    });
+  };
+  const SimMetrics lo = run(24);
+  const SimMetrics hi = run(72);
+  return static_cast<double>(hi.bytes_delivered - lo.bytes_delivered) /
+         (hi.seconds - lo.seconds);
+}
+
+}  // namespace
+
+int main() {
+  Figure fig;
+  fig.id = "Figure 4";
+  fig.title = "Fcfs Benchmark";
+  fig.subtitle = "Throughput vs Receiving Processes (simulated Balance 21000)";
+  fig.xlabel = "receivers";
+  fig.ylabel = "throughput_bytes_per_sec";
+  for (const std::size_t len : {16u, 128u, 1024u}) {
+    const std::string label = std::to_string(len) + "B";
+    for (const int nrecv : {1, 2, 4, 8, 12, 16}) {
+      fig.add(label, nrecv, fcfs_throughput(len, nrecv));
+    }
+  }
+  print_figure(std::cout, fig);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 8: Poisson Elliptic PDE Solver with SOR Iterations —
+// Per-Iteration Speedup vs. Dimension (N).
+//
+// The grid is partitioned into N x N subgrids; each iteration exchanges
+// subgrid boundaries with the four neighbours and reports convergence to
+// a monitor (paper §4).  Per-iteration time comes from a differential of
+// two fixed-iteration runs (cancels startup and gather costs); as in the
+// paper, speedups are relative to the smallest parallel solver (N = 2,
+// i.e. 4 processes), because no equivalent sequential solver was measured
+// there.  The paper's shape: the 65x65 problem keeps speeding up through
+// N = 4, the 9x9 problem stays flat — communication dominates its tiny
+// subgrids.
+#include <iostream>
+#include <map>
+
+#include "mpf/apps/poisson_sor.hpp"
+#include "mpf/benchlib/figure.hpp"
+#include "mpf/benchlib/simrun.hpp"
+
+namespace {
+
+using namespace mpf;
+using namespace mpf::benchlib;
+namespace sor = mpf::apps::sor;
+
+Config bench_config() {
+  Config c;
+  c.max_lnvcs = 160;
+  c.max_processes = 24;
+  c.block_payload = 10;
+  c.message_blocks = 65536;
+  return c;
+}
+
+double per_iteration_seconds(int lattice, int nside) {
+  auto run = [&](int iters) {
+    sor::Params params;
+    params.grid = lattice - 2;  // paper counts boundary points in PxP
+    params.procs_side = nside;
+    params.fixed_iters = iters;
+    const SimMetrics m = run_sim(bench_config(),
+                                 sor::required_processes(params),
+                                 [&](Facility f, int rank) {
+                                   (void)sor::worker(f, rank, params);
+                                 });
+    return m.seconds;
+  };
+  const double lo = run(2);
+  const double hi = run(6);
+  return (hi - lo) / 4.0;
+}
+
+}  // namespace
+
+int main() {
+  Figure times;
+  times.id = "Figure 8 (raw)";
+  times.title = "Poisson Elliptic PDE Solver with SOR Iterations";
+  times.subtitle = "Per-iteration virtual time (simulated Balance 21000)";
+  times.xlabel = "dimension_N";
+  times.ylabel = "seconds_per_iteration";
+
+  Figure fig;
+  fig.id = "Figure 8";
+  fig.title = "Poisson Elliptic PDE Solver with SOR Iterations";
+  fig.subtitle = "Per Iteration Speedup vs. Dimension (relative to N=2)";
+  fig.xlabel = "dimension_N";
+  fig.ylabel = "per_iteration_speedup";
+
+  for (const int lattice : {9, 17, 33, 65}) {
+    const std::string label =
+        std::to_string(lattice) + "x" + std::to_string(lattice);
+    std::map<int, double> t;
+    for (const int nside : {2, 3, 4}) {
+      t[nside] = per_iteration_seconds(lattice, nside);
+      times.add(label, nside, t[nside]);
+    }
+    for (const int nside : {2, 3, 4}) {
+      fig.add(label, nside, t[2] / t[nside]);
+    }
+  }
+  print_figure(std::cout, times);
+  print_figure(std::cout, fig);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Conversation: the LNVC model's defining feature — participants enter
+// and leave at any time (paper §1's conversation analogy).
+//
+// A "newsroom" LNVC carries a stream of headlines:
+//   * two BROADCAST subscribers each see every headline published while
+//     they are joined — the late subscriber misses the early news;
+//   * a pool of FCFS archivers splits the same stream: each headline is
+//     archived by exactly one of them;
+//   * the editor (sender) leaves and rejoins mid-stream without
+//     disturbing anyone.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mpf/core/ports.hpp"
+#include "mpf/runtime/group.hpp"
+#include "mpf/shm/region.hpp"
+#include "mpf/sync/barrier.hpp"
+
+int main() {
+  using namespace mpf;
+
+  Config config;
+  config.max_lnvcs = 8;
+  config.max_processes = 8;
+  shm::HeapRegion region(config.derived_arena_bytes());
+  Facility facility = Facility::create(config, region);
+  sync::SenseBarrier phase(4);  // editor + early subscriber + 2 archivers
+
+  auto headline = [](int i) { return "headline #" + std::to_string(i); };
+
+  rt::run_group(rt::Backend::thread, 5, [&](int rank) {
+    switch (rank) {
+      case 0: {  // the editor
+        Participant self(facility, 0);
+        ReceivePort log =
+            self.open_receive("archive", Protocol::fcfs);  // keeps it alive
+        {
+          SendPort tx = self.open_send("newsroom");
+          phase.arrive_and_wait();  // early subscriber + archivers joined
+          for (int i = 1; i <= 3; ++i) tx.send(headline(i));
+        }  // the editor leaves the conversation...
+        {
+          SendPort cue = self.open_send("latecomer.cue");
+          ReceivePort ack =
+              self.open_receive("latecomer.ack", Protocol::fcfs);
+          SendPort tx = self.open_send("newsroom");  // ...and rejoins
+          cue.send("join now");  // invite the late subscriber mid-stream
+          (void)ack.receive_bytes();  // ...and wait until it has joined
+          for (int i = 4; i <= 6; ++i) tx.send(headline(i));
+          tx.send("FIN");
+          tx.send("FIN");  // one per FCFS archiver
+        }
+        // Collect what the archivers filed (6 headlines + 2 FIN notices).
+        for (int i = 0; i < 8; ++i) {
+          const auto bytes = log.receive_bytes();
+          std::printf("editor: archived    '%.*s'\n",
+                      static_cast<int>(bytes.size()),
+                      reinterpret_cast<const char*>(bytes.data()));
+        }
+        break;
+      }
+      case 1: {  // early BROADCAST subscriber: sees everything
+        Participant self(facility, 1);
+        ReceivePort rx = self.open_receive("newsroom", Protocol::broadcast);
+        phase.arrive_and_wait();
+        for (;;) {
+          const auto bytes = rx.receive_bytes();
+          const std::string s(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size());
+          std::printf("subscriber-early:   '%s'\n", s.c_str());
+          if (s == "FIN") break;
+        }
+        break;
+      }
+      case 2:
+      case 3: {  // FCFS archivers: split the stream between them
+        Participant self(facility, static_cast<ProcessId>(rank));
+        ReceivePort rx = self.open_receive("newsroom", Protocol::fcfs);
+        SendPort file = self.open_send("archive");
+        phase.arrive_and_wait();
+        for (;;) {
+          const auto bytes = rx.receive_bytes();
+          const std::string s(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size());
+          file.send("by archiver " + std::to_string(rank) + ": " + s);
+          if (s == "FIN") break;  // each archiver consumes one FIN
+        }
+        break;
+      }
+      case 4: {  // latecomer BROADCAST subscriber: joins mid-stream
+        Participant self(facility, 4);
+        // Wait for the editor's cue (FCFS backlog keeps it safe even if
+        // we open the cue circuit after the editor sent it).
+        {
+          ReceivePort cue = self.open_receive("latecomer.cue",
+                                              Protocol::fcfs);
+          (void)cue.receive_bytes();
+        }
+        // Joining now means missing headlines 1-3: a BROADCAST receiver
+        // only sees messages sent after it joined.
+        ReceivePort rx = self.open_receive("newsroom", Protocol::broadcast);
+        SendPort ack = self.open_send("latecomer.ack");
+        ack.send("joined");
+        for (;;) {
+          const auto bytes = rx.receive_bytes();
+          const std::string s(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size());
+          std::printf("subscriber-late:    '%s'\n", s.c_str());
+          if (s == "FIN") break;
+        }
+        break;
+      }
+    }
+  });
+  std::printf("conversation over; live LNVCs: %zu\n", facility.lnvc_count());
+  return 0;
+}

@@ -1,0 +1,107 @@
+// The paper's programming model, verbatim: a group of Unix processes
+// created with fork() that interact through the eight C primitives of §2.
+// The facility's shared memory is an anonymous shared mapping set up by
+// mpf_init() before the fork, exactly like the paper's mapped region.
+//
+//   ./build/examples/paper_c_api
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "mpf/compat/mpf.h"
+
+namespace {
+
+int worker(int pid) {
+  // Each worker takes jobs from the FCFS conversation "jobs" and reports
+  // on "results"; the BROADCAST conversation "shutdown" ends everyone.
+  const int jobs = mpf_open_receive(pid, "jobs", MPF_FCFS);
+  const int results = mpf_open_send(pid, "results");
+  const int shutdown = mpf_open_receive(pid, "shutdown", MPF_BROADCAST);
+  if (jobs < 0 || results < 0 || shutdown < 0) return 1;
+
+  for (;;) {
+    char task[64];
+    int len = sizeof(task);
+    if (mpf_message_receive(pid, jobs, task, &len) != 0) return 2;
+    if (len == 4 && std::memcmp(task, "QUIT", 4) == 0) break;
+    char reply[96];
+    const int rlen = std::snprintf(reply, sizeof(reply),
+                                   "worker %d did '%.*s'", pid, len, task);
+    mpf_message_send(pid, results, reply, rlen);
+  }
+  // The shutdown notice was broadcast before the QUIT pills, and this
+  // worker joined the conversation before forking off work — so unlike
+  // the FCFS case, check_receive is reliable here (paper §2): only we
+  // advance our private head pointer.
+  if (mpf_check_receive(pid, shutdown) != 1) return 3;
+  char notice[16];
+  int nlen = sizeof(notice);
+  if (mpf_message_receive(pid, shutdown, notice, &nlen) != 0) return 4;
+  mpf_close_receive(pid, jobs);
+  mpf_close_send(pid, results);
+  mpf_close_receive(pid, shutdown);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  if (mpf_init(/*max_lnvcs=*/16, /*max_processes=*/8) != 0) {
+    std::fprintf(stderr, "mpf_init failed\n");
+    return 1;
+  }
+
+  constexpr int kWorkers = 3;
+  constexpr int kJobs = 9;
+
+  // The coordinator joins everything *before* forking so no message can
+  // be lost to the LNVC-lifetime race of paper §3.2.
+  const int jobs = mpf_open_send(0, "jobs");
+  const int results = mpf_open_receive(0, "results", MPF_FCFS);
+  const int shutdown = mpf_open_send(0, "shutdown");
+
+  pid_t children[kWorkers];
+  for (int w = 0; w < kWorkers; ++w) {
+    const pid_t child = fork();
+    if (child == 0) _exit(worker(w + 1));
+    children[w] = child;
+  }
+
+  for (int j = 0; j < kJobs; ++j) {
+    char task[32];
+    const int len = std::snprintf(task, sizeof(task), "job-%d", j);
+    mpf_message_send(0, jobs, task, len);
+  }
+  for (int j = 0; j < kJobs; ++j) {
+    char reply[96];
+    int len = sizeof(reply);
+    if (mpf_message_receive(0, results, reply, &len) == 0) {
+      std::printf("coordinator got: %.*s\n", len, reply);
+    }
+  }
+  // Broadcast the shutdown notice first, then one QUIT pill per worker so
+  // every blocking receive terminates.
+  mpf_message_send(0, shutdown, "bye", 3);
+  for (int w = 0; w < kWorkers; ++w) mpf_message_send(0, jobs, "QUIT", 4);
+
+  int failures = 0;
+  for (const pid_t child : children) {
+    int status = 0;
+    waitpid(child, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      ++failures;
+      std::fprintf(stderr, "worker pid %d exited %d (signalled=%d)\n",
+                   (int)child, WIFEXITED(status) ? WEXITSTATUS(status) : -1,
+                   WIFSIGNALED(status) ? WTERMSIG(status) : 0);
+    }
+  }
+  mpf_close_send(0, jobs);
+  mpf_close_receive(0, results);
+  mpf_close_send(0, shutdown);
+  mpf_shutdown();
+  std::printf("done; %d worker failures\n", failures);
+  return failures;
+}

@@ -1,0 +1,94 @@
+// Task farm: a coordinator multiplexes several result circuits with
+// receive_any() while workers pull jobs from a shared FCFS circuit; a
+// distributed Accumulator tracks global progress on every replica.
+//
+//   ./build/examples/task_farm [workers] [jobs]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mpf/apps/coordination.hpp"
+#include "mpf/core/ports.hpp"
+#include "mpf/dvar/dvar.hpp"
+#include "mpf/runtime/group.hpp"
+#include "mpf/shm/region.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpf;
+
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 3;
+  const int jobs = argc > 2 ? std::atoi(argv[2]) : 24;
+  if (workers <= 0 || workers > 8 || jobs <= 0) {
+    std::fprintf(stderr, "usage: %s [1..8 workers] [jobs>0]\n", argv[0]);
+    return 2;
+  }
+
+  Config config;
+  config.max_lnvcs = 32;
+  config.max_processes = 16;
+  shm::HeapRegion region(config.derived_arena_bytes());
+  Facility facility = Facility::create(config, region);
+
+  struct Job {
+    int id;
+    int x;
+  };
+  struct Result {
+    int id;
+    long y;
+  };
+
+  rt::run_group(rt::Backend::thread, workers + 1, [&](int rank) {
+    if (rank == 0) {
+      // Coordinator: one result circuit per worker, multiplexed.
+      Participant self(facility, 0);
+      SendPort job_tx = self.open_send("jobs");
+      std::vector<ReceivePort> results;
+      std::vector<ReceivePort*> ports;
+      for (int w = 1; w <= workers; ++w) {
+        results.push_back(self.open_receive("results." + std::to_string(w),
+                                            Protocol::fcfs));
+      }
+      for (auto& r : results) ports.push_back(&r);
+      dvar::Accumulator<int> progress(facility, 0, "progress");
+      apps::startup_barrier(facility, 0, workers + 1, "farm");
+
+      for (int j = 0; j < jobs; ++j) job_tx.send_value(Job{j, j * 7});
+      for (int w = 0; w < workers; ++w) job_tx.send_value(Job{-1, 0});
+
+      std::vector<long> answers(jobs, -1);
+      std::vector<std::byte> buf(sizeof(Result));
+      for (int got = 0; got < jobs; ++got) {
+        const ReceivedAny r = receive_any(facility, 0, ports, buf);
+        Result res{};
+        std::memcpy(&res, buf.data(), sizeof(res));
+        answers[res.id] = res.y;
+        std::printf("coordinator: job %-3d = %-6ld (worker circuit %zu, "
+                    "global progress %d/%d)\n",
+                    res.id, res.y, r.index + 1, progress.value(), jobs);
+      }
+      long bad = 0;
+      for (int j = 0; j < jobs; ++j) bad += answers[j] != 49l * j * j;
+      std::printf("all %d jobs done, %ld wrong\n", jobs, bad);
+    } else {
+      // Worker `rank`: pull, square, report; bump the shared progress.
+      Participant self(facility, static_cast<ProcessId>(rank));
+      ReceivePort job_rx = self.open_receive("jobs", Protocol::fcfs);
+      SendPort result_tx =
+          self.open_send("results." + std::to_string(rank));
+      dvar::Accumulator<int> progress(facility,
+                                      static_cast<ProcessId>(rank),
+                                      "progress");
+      apps::startup_barrier(facility, static_cast<ProcessId>(rank),
+                            workers + 1, "farm");
+      for (;;) {
+        const Job job = job_rx.receive_value<Job>();
+        if (job.id < 0) break;
+        result_tx.send_value(Result{job.id, 1l * job.x * job.x});
+        progress.add(1);
+      }
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Cannon's algorithm: dense matrix multiply on an N x N process mesh.
+//
+// The paper's closing argument is that MPF lets "programs destined for
+// message passing systems be easily prototyped" on a shared-memory
+// machine.  Cannon's algorithm is the canonical mesh algorithm of that
+// era (systolic block shifts with wrap-around), so it serves here as the
+// third application — and as the consumer of the collectives layer's
+// ordered point-to-point circuits.
+//
+// Each worker owns an s x s block (s = n/N).  After the initial skew
+// (A-blocks rotated left by their row index, B-blocks rotated up by their
+// column index — loaded directly as part of the data distribution), the
+// mesh performs N rounds of
+//     C_local += A_local * B_local;
+//     shift A one step left, B one step up (wrap-around)
+// with every transfer an ordinary MPF message.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpf/core/facility.hpp"
+#include "mpf/core/platform.hpp"
+
+namespace mpf::apps::cannon {
+
+/// C = A * B, all n x n row-major.
+struct Problem {
+  int n = 0;
+  std::vector<double> a;
+  std::vector<double> b;
+};
+
+[[nodiscard]] Problem random_problem(int n, std::uint64_t seed);
+
+/// Sequential triple loop; charges 2*n^3 flops to `platform` if given.
+[[nodiscard]] std::vector<double> multiply_sequential(const Problem& problem,
+                                                      Platform* platform =
+                                                          nullptr);
+
+/// Body of one mesh worker; run mesh_side^2 of these with ranks
+/// 0..mesh_side^2-1.  n must be divisible by mesh_side.  Rank 0 returns
+/// the assembled product; other ranks return an empty vector.
+[[nodiscard]] std::vector<double> worker(Facility facility, int rank,
+                                         int mesh_side,
+                                         const Problem& problem,
+                                         const char* tag = "cannon");
+
+/// Max |x - y| over two equally sized matrices (test helper).
+[[nodiscard]] double max_abs_diff(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+}  // namespace mpf::apps::cannon

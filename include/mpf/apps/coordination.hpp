@@ -1,0 +1,35 @@
+// Startup coordination built from MPF primitives.
+//
+// The paper warns (§3.2) that because an LNVC dies with its last
+// connection, "if none of the processes intending to receive these
+// messages have established a receiver connection before the closing of
+// the sender connection, the messages could be lost".  Any program whose
+// processes can race past each other therefore needs a join rendezvous
+// before the conversation proper — and MPF is expressive enough to build
+// one from its own primitives:
+//
+//   * every participant first joins a BROADCAST circuit "<tag>.go",
+//   * non-coordinators send a ready token on an FCFS circuit
+//     "<tag>.ready" (safe: FCFS backlog is retained even if the
+//     coordinator has not joined yet, because the senders keep the LNVC
+//     alive until they have seen the go message),
+//   * the coordinator collects count-1 tokens, then broadcasts go.
+//
+// After startup_barrier() returns, every participant knows that every
+// other participant has opened all connections it created before calling
+// the barrier.
+#pragma once
+
+#include <string_view>
+
+#include "mpf/core/facility.hpp"
+
+namespace mpf::apps {
+
+/// Rendezvous of `count` processes with pids base_pid..base_pid+count-1;
+/// the process with pid == base_pid coordinates.  Every participant must
+/// call this exactly once per `tag`.
+void startup_barrier(Facility facility, ProcessId pid, int count,
+                     std::string_view tag, ProcessId base_pid = 0);
+
+}  // namespace mpf::apps

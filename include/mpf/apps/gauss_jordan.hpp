@@ -1,0 +1,59 @@
+// Message-based Gauss-Jordan elimination with partial pivoting (paper §4).
+//
+// The parallel implementation follows the paper exactly:
+//   * the augmented matrix is partitioned into equal-sized groups of
+//     contiguous rows, one group per process;
+//   * at each step every process finds the maximum element of the pivot
+//     column among its unused rows and sends it to an arbiter process over
+//     an FCFS LNVC;
+//   * the arbiter identifies the maximum of the maxima and advises the
+//     holder over a BROADCAST LNVC;
+//   * the holder normalizes and broadcasts the pivot row; every process
+//     sweeps its rows with it and begins a new iteration.
+//
+// All inter-process data flow goes through MPF; the shared Problem object
+// is only read once at start-up to distribute rows (standing in for the
+// initial data distribution a real message-passing program would do).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpf/core/facility.hpp"
+#include "mpf/core/platform.hpp"
+
+namespace mpf::apps::gj {
+
+/// Dense linear system A x = rhs, row-major.
+struct Problem {
+  int n = 0;
+  std::vector<double> a;    ///< n*n
+  std::vector<double> rhs;  ///< n
+
+  [[nodiscard]] double at(int i, int j) const { return a[i * n + j]; }
+};
+
+/// Well-conditioned random system (entries U[-1,1], diagonal boosted).
+[[nodiscard]] Problem random_problem(int n, std::uint64_t seed);
+
+/// Sequential Gauss-Jordan with partial pivoting.  When `platform` is
+/// non-null the arithmetic is charged to it (used as the T(1) baseline in
+/// the simulated speedup experiments).
+[[nodiscard]] std::vector<double> solve_sequential(const Problem& problem,
+                                                   Platform* platform =
+                                                       nullptr);
+
+/// Body of one parallel worker; call from `nprocs` concurrently running
+/// processes (threads or simulated processes) with ranks 0..nprocs-1.
+/// Rank 0 acts as the pivot arbiter and returns the assembled solution;
+/// other ranks return an empty vector.  `tag` isolates concurrent solves
+/// sharing one facility (it prefixes every LNVC name).
+[[nodiscard]] std::vector<double> worker(Facility facility, int rank,
+                                         int nprocs, const Problem& problem,
+                                         const char* tag = "gj");
+
+/// Infinity-norm residual ||A x - rhs||_inf (accuracy checks in tests).
+[[nodiscard]] double max_residual(const Problem& problem,
+                                  const std::vector<double>& x);
+
+}  // namespace mpf::apps::gj

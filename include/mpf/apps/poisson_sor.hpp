@@ -1,0 +1,82 @@
+// Parallel elliptic PDE solver: successive over-relaxation for Poisson's
+// equation (paper §4, ported from a hypercube program).
+//
+// The unit square carries a (grid+2)x(grid+2) lattice; the outer layer is a
+// Dirichlet boundary (u = 0) and the inner grid x grid points are solved.
+// The interior is partitioned into an N x N mesh of subgrids, one per
+// process.  Every iteration each worker
+//   * exchanges its subgrid boundary with the four neighbours over
+//     one-to-one FCFS LNVCs,
+//   * performs one SOR sweep over the subgrid,
+//   * sends its local convergence delta to a *separate monitoring process*
+//     (asynchronously — the sweep never blocks on the monitor), and
+//   * polls the control circuit with check_receive() for the monitor's
+//     BROADCAST stop verdict.
+// The monitor aggregates deltas concurrently with the computation; when
+// every worker's latest delta is below tol it broadcasts a uniform stop
+// iteration S (current progress plus a slack larger than the maximum
+// iteration drift across the mesh), so all workers cease at the same
+// iteration and no boundary exchange is left unpaired.
+//
+// The test problem is -laplace(u) = f with f = 2*pi^2*sin(pi x)*sin(pi y),
+// whose exact solution u = sin(pi x)*sin(pi y) gives tests an analytic
+// target.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpf/core/facility.hpp"
+#include "mpf/core/platform.hpp"
+
+namespace mpf::apps::sor {
+
+struct Params {
+  int grid = 31;        ///< interior points per side
+  int procs_side = 2;   ///< N: workers form an N x N mesh
+  /// Over-relaxation factor.  With very small subgrids the parallel
+  /// sweep couples blocks through one-iteration-stale ghosts
+  /// (block-Jacobi-like), which is unstable for deep over-relaxation;
+  /// keep omega <= ~1.2 when subgrids are only a few points wide.
+  double omega = 1.5;
+  double tol = 1e-5;    ///< stop when every worker's |delta u| < tol
+  int max_iters = 2000;
+  /// When > 0, ignore tol and run exactly this many iterations (the
+  /// per-iteration speedup benchmark of Figure 8 uses this).
+  int fixed_iters = 0;
+  /// Workers block for the monitor's stop/continue verdict every
+  /// check_interval-th iteration; between verdicts they free-run in edge
+  /// lockstep.  A uniform verdict boundary is what makes termination
+  /// deadlock-free: every worker stops at the same iteration.
+  int check_interval = 4;
+};
+
+struct Result {
+  int iterations = 0;
+  double final_delta = 0.0;
+  /// Rank 0 only: the assembled interior grid (row-major, grid*grid).
+  std::vector<double> u;
+};
+
+/// Processes to spawn: N*N workers plus the monitor.
+[[nodiscard]] constexpr int required_processes(const Params& p) noexcept {
+  return p.procs_side * p.procs_side + 1;
+}
+
+/// Sequential baseline (same sweep, no messages); `platform` gets the
+/// arithmetic charged for simulated T(1)/reference measurements.
+[[nodiscard]] Result solve_sequential(const Params& params,
+                                      Platform* platform = nullptr);
+
+/// Body of one parallel process; run required_processes(params) of these
+/// concurrently with ranks 0..N*N.  Ranks < N*N are grid workers (rank 0
+/// assembles the solution); rank N*N is the convergence monitor.  `tag`
+/// prefixes LNVC names.
+[[nodiscard]] Result worker(Facility facility, int rank,
+                            const Params& params, const char* tag = "sor");
+
+/// Max |u - exact| over the interior (accuracy checks in tests).
+[[nodiscard]] double max_error_vs_analytic(const std::vector<double>& u,
+                                           int grid);
+
+}  // namespace mpf::apps::sor

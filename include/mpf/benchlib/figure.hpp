@@ -1,0 +1,36 @@
+// Paper-style figure tables.
+//
+// Every bench binary regenerates one figure of the paper as a table: the x
+// column and one y column per series, exactly the rows the paper plots.
+// Output goes to stdout in an aligned human-readable layout that is also
+// trivially machine-parseable (a `#` header line, whitespace-separated).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mpf::benchlib {
+
+struct Series {
+  std::string label;
+  std::vector<std::pair<double, double>> points;  ///< (x, y)
+};
+
+struct Figure {
+  std::string id;       ///< e.g. "Figure 3"
+  std::string title;    ///< e.g. "Base Benchmark"
+  std::string subtitle; ///< e.g. "Throughput vs. Message Length"
+  std::string xlabel;
+  std::string ylabel;
+  std::vector<Series> series;
+
+  void add(const std::string& label, double x, double y);
+};
+
+/// Render the figure as an aligned table (series as columns, union of x
+/// values as rows; missing points print as "-").
+void print_figure(std::ostream& os, const Figure& figure);
+
+}  // namespace mpf::benchlib

@@ -1,0 +1,41 @@
+// One-shot simulated runs for the figure benches.
+//
+// Each data point of a paper figure is one fresh Balance-21000 simulation:
+// build a facility over a SimPlatform, spawn the workload's processes, run
+// to completion, and report virtual-time metrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "mpf/core/facility.hpp"
+#include "mpf/sim/machine.hpp"
+
+namespace mpf::benchlib {
+
+struct SimMetrics {
+  double seconds = 0;  ///< virtual makespan
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t receives = 0;
+  std::uint64_t page_faults = 0;
+  std::uint64_t peak_footprint = 0;
+  std::uint64_t context_switches = 0;
+
+  [[nodiscard]] double sent_throughput() const {
+    return seconds > 0 ? static_cast<double>(bytes_sent) / seconds : 0;
+  }
+  [[nodiscard]] double delivered_throughput() const {
+    return seconds > 0 ? static_cast<double>(bytes_delivered) / seconds : 0;
+  }
+};
+
+/// Run `nprocs` copies of body(facility, rank) to completion on a fresh
+/// simulated Balance 21000 and collect the metrics.
+SimMetrics run_sim(const Config& config, int nprocs,
+                   const std::function<void(Facility, int)>& body,
+                   const sim::MachineModel& model =
+                       sim::MachineModel::balance21000());
+
+}  // namespace mpf::benchlib

@@ -1,0 +1,37 @@
+// The paper's synthetic benchmark programs (§4): base, fcfs, broadcast,
+// random.  The bodies are platform-agnostic — the figure benches run them
+// on the simulated Balance 21000, native tests run them on threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mpf/core/facility.hpp"
+
+namespace mpf::benchlib {
+
+/// Figure 3 `base`: one process establishes a loop-back connection through
+/// an LNVC and alternates between sending and receiving fixed-length
+/// messages.  Runs `rounds` round trips of `len` bytes.
+void base_loopback(Facility facility, std::size_t len, int rounds,
+                   ProcessId pid = 0);
+
+/// Figures 4/5 sender: process 0 sends `msgs` messages of `len` bytes to
+/// the LNVC, then (FCFS only) one zero-length poison per receiver.
+/// Figures 4/5 receivers: rank 1..nrecv.
+/// All participants must call with nprocs = nrecv + 1; a startup barrier
+/// inside keeps joins ahead of the first send.
+void fcfs_sender(Facility facility, std::size_t len, int msgs, int nrecv);
+void fcfs_receiver(Facility facility, int rank, int nrecv);
+void broadcast_sender(Facility facility, std::size_t len, int msgs,
+                      int nrecv);
+void broadcast_receiver(Facility facility, int rank, int msgs, int nrecv);
+
+/// Figure 6 `random`: fully connected pattern, one FCFS LNVC per
+/// destination process.  Each process sends `msgs` messages of `len` bytes
+/// to uniformly random other processes; after every send it drains all
+/// messages queued in its own LNVC.
+void random_worker(Facility facility, int rank, int nprocs, std::size_t len,
+                   int msgs, std::uint64_t seed);
+
+}  // namespace mpf::benchlib

@@ -1,0 +1,96 @@
+// Group communication (collectives) over MPF circuits.
+//
+// MPF predates MPI by seven years, but the paper's claim that LNVCs are
+// "a fully general communication paradigm" invites exactly this test: can
+// the standard collective operations be built from named circuits alone?
+// This layer does it — barrier, broadcast, gather, scatter, reduce,
+// allreduce, alltoall and ordered point-to-point — using
+//   * one BROADCAST circuit per member ("<tag>.bc.<rank>") for one-to-all
+//     fan-out, joined by everyone at construction (join-before-send is
+//     what makes root broadcasts reliable), and
+//   * lazily opened FCFS circuits per ordered pair ("<tag>.<src>.<dst>")
+//     for point-to-point, whose FIFO order keeps successive collective
+//     rounds from interleaving.
+//
+// Every member constructs the Communicator with the same (tag, size);
+// construction is collective (it contains a startup barrier).  All
+// operations are collective calls in the MPI sense: every member must
+// reach them in the same order.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mpf/core/ports.hpp"
+
+namespace mpf::coll {
+
+enum class Op {
+  sum,
+  min,
+  max,
+};
+
+class Communicator {
+ public:
+  /// Collective constructor: all `size` members (pids base_pid+0 ..
+  /// base_pid+size-1) must construct with the same tag and size.
+  Communicator(Facility facility, int rank, int size, std::string_view tag,
+               ProcessId base_pid = 0);
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  /// Reusable barrier (unlike apps::startup_barrier, which is one-shot).
+  void barrier();
+
+  /// Root's buffer reaches every member (including root's own `data`,
+  /// which is left untouched at root).
+  void broadcast(void* data, std::size_t bytes, int root);
+
+  /// Every member contributes `bytes`; root receives size*bytes laid out
+  /// by rank.  `recv` may be null on non-roots.
+  void gather(const void* send, std::size_t bytes, void* recv, int root);
+
+  /// Root's size*bytes buffer is split by rank; every member gets its
+  /// chunk in `recv`.  `send` may be null on non-roots.
+  void scatter(const void* send, std::size_t bytes, void* recv, int root);
+
+  /// Element-wise reduction of `count` doubles; the result lands in
+  /// root's `out` (may be null elsewhere).  `in` and `out` may alias.
+  void reduce(const double* in, double* out, std::size_t count, Op op,
+              int root);
+  /// reduce to rank 0 followed by a broadcast: everyone gets the result.
+  void allreduce(const double* in, double* out, std::size_t count, Op op);
+
+  /// Member i's chunk j lands in member j's slot i (chunks of
+  /// `bytes_per_rank`; both buffers hold size*bytes_per_rank).
+  void alltoall(const void* send, std::size_t bytes_per_rank, void* recv);
+
+  /// Ordered point-to-point within the group.
+  void send(int dst, const void* data, std::size_t bytes);
+  /// Blocking receive of the next message from `src`; returns its length
+  /// (truncated to cap).
+  std::size_t recv(int src, void* data, std::size_t cap);
+
+ private:
+  SendPort& tx_to(int dst);
+  ReceivePort& rx_from(int src);
+  static void fold(double* acc, const double* in, std::size_t count, Op op);
+
+  Facility facility_;
+  ProcessId pid_ = 0;
+  int rank_ = 0;
+  int size_ = 0;
+  ProcessId base_pid_ = 0;
+  std::string tag_;
+  SendPort bc_tx_;                   ///< my one-to-all circuit
+  std::vector<ReceivePort> bc_rx_;   ///< everyone's one-to-all circuits
+  std::map<int, SendPort> p2p_tx_;   ///< lazy per-destination
+  std::map<int, ReceivePort> p2p_rx_;  ///< lazy per-source
+};
+
+}  // namespace mpf::coll

@@ -1,0 +1,80 @@
+/*
+ * MPF compatibility interface — the eight primitives of the paper, as C
+ * function calls (paper §2):
+ *
+ *   init (maxLNVC's, max_processes)
+ *   open_send (process_id, lnvc_name)
+ *   open_receive (process_id, lnvc_name, protocol)
+ *   close_send (process_id, lnvc_id)
+ *   close_receive (process_id, lnvc_id)
+ *   message_send (process_id, lnvc_id, send_buffer, buffer_length)
+ *   message_receive (process_id, lnvc_id, receive_buffer, buffer_length)
+ *   check_receive (process_id, lnvc_id)
+ *
+ * The functions operate on one process-wide facility backed by an
+ * anonymous shared mapping, so a program may mpf_init() and then fork()
+ * workers — exactly the paper's "group of Unix processes" model — or use
+ * threads.  Define MPF_PAPER_NAMES before including this header to get the
+ * paper's unprefixed spellings as macros.
+ *
+ * Conventions: open calls return the LNVC id (>= 0) or a negative error
+ * code; other calls return 0 on success or a negative error code;
+ * mpf_check_receive returns 1 when a message appears available, 0 when
+ * not, negative on error.  Negative codes are -(int)mpf::Status values.
+ */
+#ifndef MPF_COMPAT_MPF_H_
+#define MPF_COMPAT_MPF_H_
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#define MPF_FCFS 1
+#define MPF_BROADCAST 2
+
+/* Error returns (negatives of mpf::Status). */
+#define MPF_EINVAL -1
+#define MPF_ETABLEFULL -2
+#define MPF_ENOLNVC -3
+#define MPF_ENOTCONN -4
+#define MPF_EALREADY -5
+#define MPF_EPROTOCOL -6
+#define MPF_ENOBLOCKS -7
+#define MPF_ETRUNC -8
+#define MPF_ECLOSED -9
+#define MPF_ENOTINIT -100
+
+/* Initialize the facility; sizes the shared region from the two maxima
+ * (paper: "used to estimate the amount of shared memory necessary"). */
+int mpf_init(int max_lnvcs, int max_processes);
+/* Tear the facility down (frees the shared region).  Not in the paper;
+ * provided so tests can cycle facilities. */
+int mpf_shutdown(void);
+
+int mpf_open_send(int process_id, const char* lnvc_name);
+int mpf_open_receive(int process_id, const char* lnvc_name, int protocol);
+int mpf_close_send(int process_id, int lnvc_id);
+int mpf_close_receive(int process_id, int lnvc_id);
+int mpf_message_send(int process_id, int lnvc_id, const char* send_buffer,
+                     int buffer_length);
+/* buffer_length: in = capacity of receive_buffer, out = bytes transferred. */
+int mpf_message_receive(int process_id, int lnvc_id, char* receive_buffer,
+                        int* buffer_length);
+int mpf_check_receive(int process_id, int lnvc_id);
+
+#ifdef __cplusplus
+}
+#endif
+
+#ifdef MPF_PAPER_NAMES
+#define init mpf_init
+#define open_send mpf_open_send
+#define open_receive mpf_open_receive
+#define close_send mpf_close_send
+#define close_receive mpf_close_receive
+#define message_send mpf_message_send
+#define message_receive mpf_message_receive
+#define check_receive mpf_check_receive
+#endif
+
+#endif /* MPF_COMPAT_MPF_H_ */

@@ -1,0 +1,57 @@
+// Facility configuration.
+//
+// Mirrors the paper's init(maxLNVC's, max_processes): those two values size
+// the shared-memory arena.  The remaining knobs expose implementation
+// parameters the paper fixes (10-byte message blocks) or leaves open.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mpf {
+
+/// What message_send() does when the block free list runs dry.
+enum class BlockPolicy : std::uint32_t {
+  wait,  ///< block until receivers/closes recycle blocks (default)
+  fail,  ///< return Status::out_of_blocks immediately
+};
+
+struct Config {
+  /// Maximum number of simultaneously existing LNVCs (paper: init arg 1).
+  std::uint32_t max_lnvcs = 64;
+  /// Maximum process id + 1 (paper: init arg 2).
+  std::uint32_t max_processes = 32;
+  /// Payload bytes per message block.  The paper's experiments all used
+  /// 10-byte blocks (footnote 4); the block-size ablation sweeps this.
+  std::uint32_t block_payload = 10;
+  /// Number of message blocks carved at init; 0 derives a default from
+  /// max_processes (enough for ~64 KB of in-flight payload per process).
+  std::size_t message_blocks = 0;
+  /// Message-header nodes carved at init; 0 derives from message_blocks.
+  std::size_t message_headers = 0;
+  /// Connection descriptors carved at init; 0 derives from the maxima.
+  std::size_t connections = 0;
+  /// Total arena size; 0 derives from everything above.
+  std::size_t arena_bytes = 0;
+
+  BlockPolicy block_policy = BlockPolicy::wait;
+
+  /// true (default, the paper's behaviour per its close_receive()
+  /// discussion in §3.2): a message enqueued while BROADCAST receivers but
+  /// no FCFS receivers are connected is reclaimed as soon as every
+  /// broadcast receiver has read it.  Messages enqueued with *no*
+  /// receivers connected are retained either way (the FCFS backlog whose
+  /// loss-on-close the paper §3.2 warns about).  false: every message
+  /// additionally waits for an eventual FCFS consumption, so an
+  /// all-BROADCAST LNVC retains its history for late FCFS joiners at the
+  /// cost of unbounded buffer growth (measured by the reclaim ablation).
+  bool reclaim_broadcast_only = true;
+
+  /// Arena bytes needed for this configuration (fills in the derived
+  /// defaults; does not modify *this).
+  [[nodiscard]] std::size_t derived_arena_bytes() const noexcept;
+  /// Copy with every derived field made explicit.
+  [[nodiscard]] Config resolved() const noexcept;
+};
+
+}  // namespace mpf

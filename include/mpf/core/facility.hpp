@@ -1,0 +1,158 @@
+// The MPF facility: the paper's eight primitives over a shared arena.
+//
+//   init            -> Facility::create / Facility::attach
+//   open_send       -> Facility::open_send
+//   open_receive    -> Facility::open_receive
+//   close_send      -> Facility::close_send
+//   close_receive   -> Facility::close_receive
+//   message_send    -> Facility::send
+//   message_receive -> Facility::receive
+//   check_receive   -> Facility::check
+//
+// All operations are status-returning and safe to call concurrently from
+// any number of threads or fork()ed processes mapping the same region.
+// The RAII layer in ports.hpp and the literal C API in mpf/compat/mpf.h
+// are thin wrappers over this class.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mpf/core/config.hpp"
+#include "mpf/core/errors.hpp"
+#include "mpf/core/layout.hpp"
+#include "mpf/core/platform.hpp"
+#include "mpf/core/types.hpp"
+#include "mpf/shm/arena.hpp"
+#include "mpf/shm/region.hpp"
+
+namespace mpf {
+
+/// Snapshot of one live LNVC (introspection; see Facility::lnvc_info).
+struct LnvcInfo {
+  LnvcId id = kInvalidLnvc;
+  std::string name;
+  std::uint32_t senders = 0;
+  std::uint32_t fcfs_receivers = 0;
+  std::uint32_t broadcast_receivers = 0;
+  std::uint32_t queued = 0;  ///< messages not yet FCFS-consumed
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+/// Aggregate runtime statistics (lifetime of the facility).
+struct FacilityStats {
+  std::uint64_t sends = 0;
+  std::uint64_t receives = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::size_t blocks_free = 0;
+  std::size_t blocks_total = 0;
+  std::size_t arena_used = 0;
+};
+
+/// Cheap per-process handle to a facility living in a shared region.  Copy
+/// freely; all state is in the region.
+class Facility {
+ public:
+  /// Format `region` as a fresh facility (the paper's init()).  The region
+  /// must hold at least config.derived_arena_bytes().
+  static Facility create(const Config& config, shm::Region& region,
+                         Platform& platform = native_platform());
+  /// Attach to a facility another process created in `region`.
+  static Facility attach(shm::Region& region,
+                         Platform& platform = native_platform());
+
+  Facility() = default;
+
+  // --- connection management -------------------------------------------
+  /// Establish a send connection for `pid` on the LNVC named `name`,
+  /// creating the LNVC if needed; returns its internal id through `out`.
+  Status open_send(ProcessId pid, std::string_view name, LnvcId* out);
+  /// Establish a receive connection with the given protocol.
+  Status open_receive(ProcessId pid, std::string_view name, Protocol protocol,
+                      LnvcId* out);
+  /// Remove a send connection; deletes the LNVC (discarding unread
+  /// messages) if this was the last connection of any kind.
+  Status close_send(ProcessId pid, LnvcId id);
+  /// Remove a receive connection; same last-connection semantics.
+  Status close_receive(ProcessId pid, LnvcId id);
+
+  // --- message transfer ---------------------------------------------------
+  /// Asynchronous send of `len` bytes from `data` (paper: message_send).
+  Status send(ProcessId pid, LnvcId id, const void* data, std::size_t len);
+  /// Blocking receive into `buf` (capacity `cap`); the delivered length is
+  /// written to `*out_len`.  Returns Status::truncated (after copying the
+  /// prefix) when the message exceeds `cap`.
+  Status receive(ProcessId pid, LnvcId id, void* buf, std::size_t cap,
+                 std::size_t* out_len);
+  /// Non-blocking variant: Status::ok with *out_len, or no message =>
+  /// *out_ready=false.  Used by the fully-connected random benchmark.
+  Status try_receive(ProcessId pid, LnvcId id, void* buf, std::size_t cap,
+                     std::size_t* out_len, bool* out_ready);
+  /// Blocking receive with a deadline: Status::timed_out if no message
+  /// arrives within `timeout_ns` (virtual time under the simulator).
+  Status receive_for(ProcessId pid, LnvcId id, void* buf, std::size_t cap,
+                     std::size_t* out_len, std::uint64_t timeout_ns);
+  /// Paper's check_receive: *out=true if a message appears available.
+  /// Advisory only for FCFS receivers (another receiver may win it).
+  Status check(ProcessId pid, LnvcId id, bool* out);
+  /// Blocking receive from whichever of `ids` delivers first; the index
+  /// of the winning LNVC within `ids` is written to *out_index.  `pid`
+  /// must hold a receive connection on every listed LNVC.  Scanning is
+  /// round-robin from a rotating start, so no circuit starves.
+  Status receive_any(ProcessId pid, std::span<const LnvcId> ids, void* buf,
+                     std::size_t cap, std::size_t* out_len,
+                     std::size_t* out_index);
+
+  // --- introspection ------------------------------------------------------
+  /// Messages queued (not yet FCFS-consumed) on the LNVC; 0 if dead.
+  [[nodiscard]] std::size_t queued(LnvcId id) const;
+  /// True if `name` currently names a live LNVC.
+  [[nodiscard]] bool lnvc_exists(std::string_view name) const;
+  /// Count of live LNVCs.
+  [[nodiscard]] std::size_t lnvc_count() const;
+  [[nodiscard]] FacilityStats stats() const;
+  /// Snapshots of every live LNVC (for tools/monitoring).
+  [[nodiscard]] std::vector<LnvcInfo> lnvc_infos() const;
+  /// Snapshot of one LNVC; Status::no_such_lnvc if the slot is dead.
+  Status lnvc_info(LnvcId id, LnvcInfo* out) const;
+  [[nodiscard]] std::uint32_t block_payload() const noexcept;
+  [[nodiscard]] std::uint32_t max_processes() const noexcept;
+  [[nodiscard]] std::uint32_t max_lnvcs() const noexcept;
+  [[nodiscard]] Platform& platform() const noexcept { return *platform_; }
+  [[nodiscard]] bool valid() const noexcept { return header_ != nullptr; }
+
+  /// Switch the platform used by this handle (e.g. after attach).
+  void set_platform(Platform& p) noexcept { platform_ = &p; }
+
+ private:
+  Facility(shm::Arena arena, detail::FacilityHeader* header,
+           Platform& platform)
+      : arena_(arena), header_(header), platform_(&platform) {}
+
+  // Implementation helpers (facility.cpp / lnvc.cpp).
+  detail::LnvcDesc* table() const noexcept;
+  detail::LnvcDesc* slot(LnvcId id) const noexcept;
+  detail::LnvcDesc* find_locked(std::string_view name) const noexcept;
+  Status open_common(ProcessId pid, std::string_view name, std::uint32_t kind,
+                     LnvcId* out);
+  Status close_common(ProcessId pid, LnvcId id, bool sender);
+  void destroy_lnvc(detail::LnvcDesc& d);
+  void free_message(detail::MsgHeader* m);
+  void reclaim(detail::LnvcDesc& d);
+  Status receive_impl(ProcessId pid, LnvcId id, void* buf, std::size_t cap,
+                      std::size_t* out_len, bool blocking, bool* out_ready,
+                      std::uint64_t timeout_ns = 0);
+  detail::Connection* find_conn(detail::LnvcDesc& d, ProcessId pid,
+                                bool sender) const noexcept;
+
+  mutable shm::Arena arena_{};
+  detail::FacilityHeader* header_ = nullptr;
+  Platform* platform_ = nullptr;
+};
+
+}  // namespace mpf

@@ -1,0 +1,133 @@
+// Shared-memory layout of the MPF runtime state.
+//
+// Everything here lives inside the arena and is therefore link-free: all
+// references are arena offsets (shm::Ref).  The structures are the ones
+// Figure 2 of the paper draws:
+//
+//   LnvcDesc: name, internal id, queued-message count, a FIFO of messages,
+//   a tail pointer for senders, a shared FCFS head pointer, the list of
+//   connections, and a lock for mutually exclusive access.  BROADCAST
+//   receive descriptors carry an individual FIFO head pointer.
+//
+// This header is internal to the implementation but kept in include/ so
+// white-box tests can assert invariants directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "mpf/core/config.hpp"
+#include "mpf/core/types.hpp"
+#include "mpf/shm/free_list.hpp"
+#include "mpf/shm/ref.hpp"
+#include "mpf/sync/event_count.hpp"
+#include "mpf/sync/spinlock.hpp"
+
+namespace mpf::detail {
+
+inline constexpr std::uint32_t kNameMax = 31;
+inline constexpr std::uint32_t kFacilityMagic = 0x4d504601;  // "MPF\x01"
+
+/// One message-payload block: a link word followed by `block_payload`
+/// bytes of data.  Node size in the free list is sizeof(Block) + payload.
+struct Block {
+  shm::Offset next;  ///< next block of this message (also free-list link)
+  // payload bytes follow
+  [[nodiscard]] std::byte* data() noexcept {
+    return reinterpret_cast<std::byte*>(this + 1);
+  }
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return reinterpret_cast<const std::byte*>(this + 1);
+  }
+};
+
+/// Message header (paper §3.1: length, tail pointer, next-message link),
+/// extended with the reference counts that implement reclamation.
+struct MsgHeader {
+  shm::Offset next_msg;     ///< FIFO link (doubles as free-list link)
+  shm::Offset first_block;  ///< head of the block chain
+  shm::Offset last_block;   ///< tail of the block chain
+  std::uint32_t length;     ///< payload bytes
+  std::uint32_t nblocks;
+  std::uint64_t seq;  ///< LNVC-local enqueue sequence (order tests)
+  /// BROADCAST receivers that still must read this message.
+  std::atomic<std::uint32_t> bcast_remaining;
+  /// 1 once an FCFS receiver consumed it (or it needs no FCFS consumption).
+  std::uint32_t fcfs_consumed;
+  /// Receivers currently copying out of this message (pins reclamation).
+  std::uint32_t pins;
+};
+
+/// A send or receive connection of one process to one LNVC.
+struct Connection {
+  shm::Offset next;  ///< connection-list link (also free-list link)
+  std::uint32_t process_id;
+  std::uint32_t kind;  ///< 0 = sender, else static_cast<u32>(Protocol)
+  /// BROADCAST only: next message this receiver will read; null = at tail.
+  shm::Offset bcast_head;
+
+  static constexpr std::uint32_t kSender = 0;
+  [[nodiscard]] bool is_sender() const noexcept { return kind == kSender; }
+  [[nodiscard]] bool is_fcfs() const noexcept {
+    return kind == static_cast<std::uint32_t>(Protocol::fcfs);
+  }
+  [[nodiscard]] bool is_bcast() const noexcept {
+    return kind == static_cast<std::uint32_t>(Protocol::broadcast);
+  }
+};
+
+/// LNVC descriptor (one fixed slot per possible LNVC).
+struct LnvcDesc {
+  sync::SpinLock lock;       ///< guards everything below
+  sync::EventCount cond;     ///< receivers sleep here; senders notify
+  std::uint32_t in_use;      ///< slot occupied
+  std::uint32_t generation;  ///< bumped on every reuse of the slot
+  char name[kNameMax + 1];
+
+  std::uint32_t n_senders;
+  std::uint32_t n_fcfs;
+  std::uint32_t n_bcast;
+  std::uint32_t n_queued;  ///< messages not yet FCFS-consumed
+
+  shm::Ref<MsgHeader> msg_head;   ///< oldest retained message
+  shm::Ref<MsgHeader> msg_tail;   ///< newest message (senders append here)
+  shm::Ref<MsgHeader> fcfs_head;  ///< next message for FCFS receivers
+  shm::Ref<Connection> connections;
+
+  std::uint64_t seq_counter;
+  std::uint64_t total_msgs;   ///< lifetime stats
+  std::uint64_t total_bytes;  ///< lifetime stats
+};
+
+/// Root object of an MPF facility, at a fixed offset in the arena.
+struct FacilityHeader {
+  std::uint32_t magic;
+  std::uint32_t max_lnvcs;
+  std::uint32_t max_processes;
+  std::uint32_t block_payload;
+  std::uint32_t block_policy;
+  std::uint32_t reclaim_broadcast_only;
+
+  sync::SpinLock registry_lock;  ///< guards name lookup + slot (de)alloc
+  sync::SpinLock blocks_lock;    ///< senders waiting for free blocks
+  sync::EventCount blocks_cond;
+  /// Facility-wide activity signal for receive_any(): senders ripple it
+  /// only while someone is multi-waiting (activity_waiters > 0), so the
+  /// common single-LNVC paths pay nothing for the feature.
+  sync::SpinLock activity_lock;
+  sync::EventCount activity_cond;
+  std::atomic<std::uint32_t> activity_waiters;
+
+  shm::FreeList block_list;  ///< Block nodes (sizeof(Block)+payload each)
+  shm::FreeList msg_list;    ///< MsgHeader nodes
+  shm::FreeList conn_list;   ///< Connection nodes
+
+  shm::Offset lnvc_table;  ///< LnvcDesc[max_lnvcs]
+
+  std::atomic<std::uint64_t> sends;
+  std::atomic<std::uint64_t> receives;
+  std::atomic<std::uint64_t> bytes_sent;
+  std::atomic<std::uint64_t> bytes_delivered;
+};
+
+}  // namespace mpf::detail

@@ -1,0 +1,131 @@
+// The portability seam between the LNVC machinery and its execution
+// environment.
+//
+// The paper stresses that MPF's only system-dependent code is shared-memory
+// allocation and synchronization (§3).  In this reproduction the same seam
+// carries one more job: cost modeling.  The identical LNVC code runs either
+//   * natively (NativePlatform): spinlocks and eventcount polling on the
+//     shm cells, no cost accounting — used by tests, examples and native
+//     benchmark timings; works across fork()ed processes; or
+//   * simulated (sim::SimPlatform): lock/wait become discrete-event
+//     resources and every copy/primitive charges virtual Balance-21000
+//     time — used to regenerate the paper's figures.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "mpf/sync/event_count.hpp"
+#include "mpf/sync/spinlock.hpp"
+
+namespace mpf {
+
+class Platform {
+ public:
+  virtual ~Platform() = default;
+
+  // --- mutual exclusion on shm cells ----------------------------------
+  virtual void lock(sync::SpinLock& cell) = 0;
+  virtual void unlock(sync::SpinLock& cell) = 0;
+
+  // --- condition waiting ------------------------------------------------
+  /// Called with `mutex_cell` held; atomically releases it, sleeps until a
+  /// notify (spurious wakeups allowed), re-acquires, returns.
+  virtual void wait(sync::SpinLock& mutex_cell,
+                    sync::EventCount& cond_cell) = 0;
+  /// Timed variant: give up after `timeout_ns` (virtual or wall time per
+  /// platform); returns false on timeout.  Same locking contract as
+  /// wait().  Spurious true returns are allowed; callers re-check their
+  /// predicate and their own deadline.
+  virtual bool wait_for(sync::SpinLock& mutex_cell,
+                        sync::EventCount& cond_cell,
+                        std::uint64_t timeout_ns) = 0;
+  virtual void notify_all(sync::EventCount& cond_cell) = 0;
+
+  // --- cost-model hooks (no-ops natively) -------------------------------
+  virtual void charge_send_fixed() {}
+  virtual void charge_recv_fixed() {}
+  virtual void charge_check() {}
+  virtual void charge_open_close() {}
+  /// One direction of a message copy through `nblocks` chained blocks
+  /// (nblocks == 0 for a direct buffer-to-buffer transfer).
+  virtual void charge_copy(std::size_t bytes, std::size_t nblocks) {
+    (void)bytes;
+    (void)nblocks;
+  }
+  /// Generic bookkeeping operations (application-level unit work).
+  virtual void charge_ops(double ops) { (void)ops; }
+  /// Floating-point work (applications call this per sweep).
+  virtual void charge_flops(double flops) { (void)flops; }
+  /// Message-buffer footprint tracking (drives the paging model).
+  virtual void on_buffer_alloc(std::size_t bytes) { (void)bytes; }
+  virtual void on_buffer_free(std::size_t bytes) { (void)bytes; }
+  /// A touch of `bytes` of buffer memory (page-fault charging point).
+  virtual void touch(std::size_t bytes) { (void)bytes; }
+
+  // --- time --------------------------------------------------------------
+  /// Monotonic nanoseconds: wall time natively, virtual time simulated.
+  [[nodiscard]] virtual std::uint64_t now_ns() const = 0;
+  /// Cooperative yield inside polling loops.
+  virtual void yield() {}
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// Real-hardware platform: spinlocks + eventcount backoff polling.
+/// Stateless; one shared instance suffices for any number of facilities.
+class NativePlatform final : public Platform {
+ public:
+  void lock(sync::SpinLock& cell) override { cell.lock(); }
+  void unlock(sync::SpinLock& cell) override { cell.unlock(); }
+
+  void wait(sync::SpinLock& mutex_cell,
+            sync::EventCount& cond_cell) override {
+    const auto ticket = cond_cell.prepare_wait();
+    mutex_cell.unlock();
+    // Bounded wait between predicate re-checks: even a missed notify (a
+    // state change published between our snapshot and unlock) costs at
+    // most one bounded poll round, after which the caller re-checks.
+    cond_cell.wait_rounds(ticket, 512);
+    cell_relock(mutex_cell);
+  }
+
+  bool wait_for(sync::SpinLock& mutex_cell, sync::EventCount& cond_cell,
+                std::uint64_t timeout_ns) override {
+    const auto ticket = cond_cell.prepare_wait();
+    const std::uint64_t deadline = now_ns() + timeout_ns;
+    mutex_cell.unlock();
+    bool notified = false;
+    while (!(notified = cond_cell.wait_rounds(ticket, 64))) {
+      if (now_ns() >= deadline) break;
+    }
+    mutex_cell.lock();
+    return notified;
+  }
+
+  void notify_all(sync::EventCount& cond_cell) override {
+    cond_cell.notify_all();
+  }
+
+  [[nodiscard]] std::uint64_t now_ns() const override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void yield() override { sync::cpu_relax(); }
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "native";
+  }
+
+ private:
+  static void cell_relock(sync::SpinLock& cell) { cell.lock(); }
+};
+
+/// Shared stateless NativePlatform instance.
+[[nodiscard]] NativePlatform& native_platform() noexcept;
+
+}  // namespace mpf

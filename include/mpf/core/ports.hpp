@@ -1,0 +1,253 @@
+// RAII convenience layer over Facility.
+//
+// The paper's API is C with explicit process ids and integer LNVC handles;
+// this layer gives C++ users scoped connections that close themselves, and
+// exceptions instead of status codes.  Everything here is a thin veneer —
+// no additional synchronization or semantics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mpf/core/facility.hpp"
+
+namespace mpf {
+
+/// Result of a receive: the full message length and whether the caller's
+/// buffer captured all of it.
+struct Received {
+  std::size_t length = 0;
+  bool truncated = false;
+};
+
+/// A process's identity within a facility.  Cheap to copy.
+class Participant {
+ public:
+  Participant() = default;
+  Participant(Facility facility, ProcessId pid)
+      : facility_(std::move(facility)), pid_(pid) {}
+
+  [[nodiscard]] ProcessId pid() const noexcept { return pid_; }
+  [[nodiscard]] Facility& facility() noexcept { return facility_; }
+
+  /// open_send / open_receive with exceptions; see port classes below.
+  [[nodiscard]] class SendPort open_send(std::string_view name);
+  [[nodiscard]] class ReceivePort open_receive(std::string_view name,
+                                               Protocol protocol);
+
+ private:
+  Facility facility_;
+  ProcessId pid_ = 0;
+};
+
+/// Scoped send connection; closes on destruction.
+class SendPort {
+ public:
+  SendPort() = default;
+  SendPort(Facility facility, ProcessId pid, LnvcId id)
+      : facility_(std::move(facility)), pid_(pid), id_(id) {}
+  SendPort(SendPort&& other) noexcept { swap(other); }
+  SendPort& operator=(SendPort&& other) noexcept {
+    if (this != &other) {
+      close();
+      swap(other);
+    }
+    return *this;
+  }
+  SendPort(const SendPort&) = delete;
+  SendPort& operator=(const SendPort&) = delete;
+  ~SendPort() { close(); }
+
+  /// Asynchronous message send (paper: message_send).
+  void send(std::span<const std::byte> payload) {
+    throw_if_error(
+        facility_.send(pid_, id_, payload.data(), payload.size()),
+        "SendPort::send");
+  }
+  void send(std::string_view text) {
+    throw_if_error(facility_.send(pid_, id_, text.data(), text.size()),
+                   "SendPort::send");
+  }
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send_value(const T& value) {
+    throw_if_error(facility_.send(pid_, id_, &value, sizeof(T)),
+                   "SendPort::send_value");
+  }
+
+  void close() {
+    if (id_ != kInvalidLnvc) {
+      facility_.close_send(pid_, id_);
+      id_ = kInvalidLnvc;
+    }
+  }
+  [[nodiscard]] LnvcId id() const noexcept { return id_; }
+  [[nodiscard]] bool open() const noexcept { return id_ != kInvalidLnvc; }
+
+ private:
+  void swap(SendPort& o) noexcept {
+    std::swap(facility_, o.facility_);
+    std::swap(pid_, o.pid_);
+    std::swap(id_, o.id_);
+  }
+  Facility facility_;
+  ProcessId pid_ = 0;
+  LnvcId id_ = kInvalidLnvc;
+};
+
+/// Scoped receive connection; closes on destruction.
+class ReceivePort {
+ public:
+  ReceivePort() = default;
+  ReceivePort(Facility facility, ProcessId pid, LnvcId id, Protocol protocol)
+      : facility_(std::move(facility)),
+        pid_(pid),
+        id_(id),
+        protocol_(protocol) {}
+  ReceivePort(ReceivePort&& other) noexcept { swap(other); }
+  ReceivePort& operator=(ReceivePort&& other) noexcept {
+    if (this != &other) {
+      close();
+      swap(other);
+    }
+    return *this;
+  }
+  ReceivePort(const ReceivePort&) = delete;
+  ReceivePort& operator=(const ReceivePort&) = delete;
+  ~ReceivePort() { close(); }
+
+  /// Blocking receive into `buffer`; returns length and truncation flag.
+  Received receive(std::span<std::byte> buffer) {
+    std::size_t len = 0;
+    const Status s =
+        facility_.receive(pid_, id_, buffer.data(), buffer.size(), &len);
+    if (s == Status::truncated) return {len, true};
+    throw_if_error(s, "ReceivePort::receive");
+    return {len, false};
+  }
+  /// Blocking receive of the whole message as a byte vector.
+  std::vector<std::byte> receive_bytes(std::size_t max_bytes = 1 << 20) {
+    std::vector<std::byte> buf(max_bytes);
+    const Received r = receive(buf);
+    buf.resize(r.length);
+    return buf;
+  }
+  /// Blocking receive of a trivially copyable value.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T receive_value() {
+    T value{};
+    std::size_t len = 0;
+    throw_if_error(facility_.receive(pid_, id_, &value, sizeof(T), &len),
+                   "ReceivePort::receive_value");
+    if (len != sizeof(T)) {
+      throw MpfError(Status::invalid_argument,
+                     "ReceivePort::receive_value: size mismatch");
+    }
+    return value;
+  }
+  /// Blocking receive with a deadline; false if it expired with no
+  /// message (virtual time under the simulator, wall time natively).
+  bool receive_for(std::span<std::byte> buffer, std::uint64_t timeout_ns,
+                   Received* out) {
+    std::size_t len = 0;
+    const Status s = facility_.receive_for(pid_, id_, buffer.data(),
+                                           buffer.size(), &len, timeout_ns);
+    if (s == Status::timed_out) return false;
+    if (s == Status::truncated) {
+      if (out != nullptr) *out = {len, true};
+      return true;
+    }
+    throw_if_error(s, "ReceivePort::receive_for");
+    if (out != nullptr) *out = {len, false};
+    return true;
+  }
+  /// Non-blocking receive; false if no message was available.
+  bool try_receive(std::span<std::byte> buffer, Received* out) {
+    std::size_t len = 0;
+    bool ready = false;
+    const Status s = facility_.try_receive(pid_, id_, buffer.data(),
+                                           buffer.size(), &len, &ready);
+    if (s == Status::truncated) {
+      if (out != nullptr) *out = {len, true};
+      return true;
+    }
+    throw_if_error(s, "ReceivePort::try_receive");
+    if (ready && out != nullptr) *out = {len, false};
+    return ready;
+  }
+  /// Paper's check_receive (advisory for FCFS).
+  [[nodiscard]] bool check() {
+    bool has = false;
+    throw_if_error(facility_.check(pid_, id_, &has), "ReceivePort::check");
+    return has;
+  }
+
+  void close() {
+    if (id_ != kInvalidLnvc) {
+      facility_.close_receive(pid_, id_);
+      id_ = kInvalidLnvc;
+    }
+  }
+  [[nodiscard]] LnvcId id() const noexcept { return id_; }
+  [[nodiscard]] bool open() const noexcept { return id_ != kInvalidLnvc; }
+  [[nodiscard]] Protocol protocol() const noexcept { return protocol_; }
+
+ private:
+  void swap(ReceivePort& o) noexcept {
+    std::swap(facility_, o.facility_);
+    std::swap(pid_, o.pid_);
+    std::swap(id_, o.id_);
+    std::swap(protocol_, o.protocol_);
+  }
+  Facility facility_;
+  ProcessId pid_ = 0;
+  LnvcId id_ = kInvalidLnvc;
+  Protocol protocol_ = Protocol::fcfs;
+};
+
+/// Result of a multi-circuit receive: which port won, plus the usual
+/// length/truncation information.
+struct ReceivedAny {
+  std::size_t index = 0;
+  std::size_t length = 0;
+  bool truncated = false;
+};
+
+/// Blocking receive from whichever of `ports` delivers first.  All ports
+/// must belong to the same participant (same facility and pid).
+inline ReceivedAny receive_any(Facility& facility, ProcessId pid,
+                               std::span<ReceivePort* const> ports,
+                               std::span<std::byte> buffer) {
+  std::vector<LnvcId> ids;
+  ids.reserve(ports.size());
+  for (const ReceivePort* p : ports) ids.push_back(p->id());
+  std::size_t len = 0;
+  std::size_t index = 0;
+  const Status s = facility.receive_any(pid, ids, buffer.data(),
+                                        buffer.size(), &len, &index);
+  if (s == Status::truncated) return {index, len, true};
+  throw_if_error(s, "receive_any");
+  return {index, len, false};
+}
+
+inline SendPort Participant::open_send(std::string_view name) {
+  LnvcId id = kInvalidLnvc;
+  throw_if_error(facility_.open_send(pid_, name, &id),
+                 "Participant::open_send");
+  return SendPort(facility_, pid_, id);
+}
+
+inline ReceivePort Participant::open_receive(std::string_view name,
+                                             Protocol protocol) {
+  LnvcId id = kInvalidLnvc;
+  throw_if_error(facility_.open_receive(pid_, name, protocol, &id),
+                 "Participant::open_receive");
+  return ReceivePort(facility_, pid_, id, protocol);
+}
+
+}  // namespace mpf

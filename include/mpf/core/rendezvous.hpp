@@ -1,0 +1,57 @@
+// Synchronous (rendezvous) message transfer — the paper's §5 future work.
+//
+// "To support synchronous message passing, copying of data from a sending
+// buffer to a linked message buffer and then to the receiving buffer is
+// unnecessary; direct data transfer is possible."  A Rendezvous point
+// pairs one sender with one receiver and moves the payload with a single
+// copy, straight from the sender's buffer into the receiver's.
+//
+// Limitation (documented): because the transfer dereferences the sender's
+// buffer address from the receiver's context, both parties must share an
+// address space — threads or simulated processes, not fork()ed processes
+// with private buffers.  The general LNVC path has no such restriction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "mpf/core/platform.hpp"
+#include "mpf/sync/event_count.hpp"
+#include "mpf/sync/spinlock.hpp"
+
+namespace mpf {
+
+/// Shared state of one rendezvous point; place in memory visible to both
+/// parties (zero-init ready).
+struct RendezvousCell {
+  sync::SpinLock lock;
+  sync::EventCount cond;
+  std::uint32_t state = 0;  ///< 0 idle, 1 offered, 2 taken
+  std::uint32_t length = 0;
+  const void* sender_buf = nullptr;
+  std::size_t copied = 0;
+};
+
+/// Synchronous transfer endpoint over a shared cell.  Any number of
+/// senders/receivers may use one cell; each transfer pairs exactly one of
+/// each and both block until the hand-off completes.
+class Rendezvous {
+ public:
+  Rendezvous() = default;
+  Rendezvous(RendezvousCell& cell, Platform& platform = native_platform())
+      : cell_(&cell), platform_(&platform) {}
+
+  /// Block until a receiver has taken the payload (one direct copy).
+  void send(std::span<const std::byte> payload);
+  /// Block until a sender offers; copy directly from its buffer.
+  /// Returns bytes copied (truncates to the buffer size).
+  std::size_t receive(std::span<std::byte> buffer);
+
+ private:
+  RendezvousCell* cell_ = nullptr;
+  Platform* platform_ = nullptr;
+};
+
+}  // namespace mpf

@@ -1,0 +1,29 @@
+// Small public vocabulary types for the MPF API.
+#pragma once
+
+#include <cstdint>
+
+namespace mpf {
+
+/// Receive protocols (paper §1): an FCFS receiver competes for each
+/// message — exactly one FCFS receiver gets it; a BROADCAST receiver gets
+/// its own copy of every message sent after it joined.
+enum class Protocol : std::uint32_t {
+  fcfs = 1,
+  broadcast = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(Protocol p) noexcept {
+  return p == Protocol::fcfs ? "FCFS" : "BROADCAST";
+}
+
+/// Internal LNVC identifier returned by open_send()/open_receive(), used in
+/// every subsequent operation (paper §2).
+using LnvcId = std::int32_t;
+inline constexpr LnvcId kInvalidLnvc = -1;
+
+/// Caller-chosen process identifier, < Config::max_processes (paper passes
+/// process_id to every primitive).
+using ProcessId = std::uint32_t;
+
+}  // namespace mpf

@@ -1,0 +1,31 @@
+// Parallel process groups.
+//
+// The paper's parallel programs are "a group of Unix processes that
+// interact using LNVC's" (§4).  run_group() reproduces that launch model
+// with two native backends:
+//   * Backend::thread — std::thread workers sharing the address space;
+//   * Backend::fork   — real fork()ed child processes, which is the
+//     faithful 1987 model; requires the facility to live in a
+//     process-shared region (AnonSharedRegion / PosixShmRegion).
+// Simulated groups are launched through sim::Simulator::spawn_group.
+#pragma once
+
+#include <functional>
+
+namespace mpf::rt {
+
+enum class Backend {
+  thread,
+  fork,
+};
+
+/// Run fn(rank) for rank in [0, n) in parallel and wait for all of them.
+/// thread backend: exceptions from workers are rethrown (first one).
+/// fork backend: a child failing (non-zero exit / signal / exception)
+/// makes run_group throw std::runtime_error.
+void run_group(Backend backend, int n, const std::function<void(int)>& fn);
+
+/// Number of online CPUs (for informational output in benches).
+[[nodiscard]] int online_cpus() noexcept;
+
+}  // namespace mpf::rt

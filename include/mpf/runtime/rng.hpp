@@ -1,0 +1,38 @@
+// Deterministic pseudo-random numbers for workloads.
+//
+// Benchmarks must be reproducible run to run (the random benchmark of
+// Figure 6 selects destinations randomly), so workloads seed SplitMix64
+// explicitly instead of using std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace mpf::rt {
+
+/// SplitMix64: tiny, fast, passes BigCrush; perfect for workload shaping.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace mpf::rt

@@ -1,0 +1,74 @@
+// Arena-relative typed references.
+//
+// Objects inside the MPF shared region never hold raw pointers: the region
+// may be mapped at a different base address in every process (POSIX
+// shm_open attach), so all linkage is expressed as byte offsets from the
+// arena base.  `Ref<T>` is a strongly typed offset; `AtomicRef<T>` is its
+// lock-free atomic counterpart for list heads that are mutated concurrently.
+//
+// Offset 0 always addresses the arena header, which is never a user object,
+// so 0 doubles as the null sentinel.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mpf::shm {
+
+class Arena;  // fwd
+
+/// Raw byte offset into an arena.
+using Offset = std::uint64_t;
+inline constexpr Offset kNullOffset = 0;
+
+/// Strongly typed arena offset.  Trivially copyable; valid in any process
+/// that maps the same arena.
+template <typename T>
+struct Ref {
+  Offset off = kNullOffset;
+
+  constexpr Ref() noexcept = default;
+  constexpr explicit Ref(Offset o) noexcept : off(o) {}
+
+  [[nodiscard]] constexpr bool null() const noexcept {
+    return off == kNullOffset;
+  }
+  constexpr explicit operator bool() const noexcept { return !null(); }
+
+  friend constexpr bool operator==(Ref a, Ref b) noexcept {
+    return a.off == b.off;
+  }
+  friend constexpr bool operator!=(Ref a, Ref b) noexcept {
+    return a.off != b.off;
+  }
+
+  // Resolution against an arena lives in arena.hpp (Arena::get).
+};
+
+/// Atomic typed arena offset, for shared list heads.
+template <typename T>
+class AtomicRef {
+ public:
+  AtomicRef() noexcept = default;
+  AtomicRef(const AtomicRef&) = delete;
+  AtomicRef& operator=(const AtomicRef&) = delete;
+
+  [[nodiscard]] Ref<T> load(
+      std::memory_order mo = std::memory_order_acquire) const noexcept {
+    return Ref<T>{off_.load(mo)};
+  }
+  void store(Ref<T> r,
+             std::memory_order mo = std::memory_order_release) noexcept {
+    off_.store(r.off, mo);
+  }
+  bool compare_exchange(Ref<T>& expected, Ref<T> desired) noexcept {
+    return off_.compare_exchange_weak(expected.off, desired.off,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<Offset> off_{kNullOffset};
+};
+
+}  // namespace mpf::shm

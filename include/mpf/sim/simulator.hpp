@@ -1,0 +1,209 @@
+// Deterministic discrete-event simulation of a shared-memory multiprocessor.
+//
+// Why this exists: the paper's evaluation ran on a 20-CPU Sequent Balance
+// 21000; this reproduction's host has one core, so wall-clock runs cannot
+// show 16-way speedups or bus/lock contention.  The simulator executes the
+// *real* MPF code (the same LNVC data structures, the same applications) on
+// simulated processes with virtual clocks; only time is modeled.
+//
+// Execution model: every simulated process is an OS thread, but the
+// conductor admits exactly one at a time — always the runnable process with
+// the smallest (virtual clock, id) pair.  A process runs until it reaches a
+// "sim point" (advance of its clock, lock, unlock, wait, notify), where the
+// conductor may hand execution to a now-earlier process.  Because state
+// mutations only happen while a process is the unique minimum-clock
+// runnable one, the interleaving is a valid serialization in virtual time
+// and the whole simulation is deterministic.
+//
+// Resources:
+//   * virtual mutexes keyed by the address of a shared SpinLock cell,
+//   * virtual condition queues keyed by the address of an EventCount cell,
+//   * one shared bus with reservation semantics (80 MB/s on the Balance),
+//   * a paging model driven by the live message-buffer footprint.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "mpf/sim/machine.hpp"
+#include "mpf/sim/trace.hpp"
+
+namespace mpf::sim {
+
+/// Virtual nanoseconds.
+using Time = std::uint64_t;
+
+class Simulator;
+
+/// Raised (from run()) when every live process is blocked.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// A simulated process.  Instances are owned by the Simulator; user code
+/// touches them only via Simulator::current().
+class Process {
+ public:
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] Time clock() const noexcept { return clock_; }
+
+ private:
+  friend class Simulator;
+  enum class State { Fresh, Runnable, Running, Blocked, Done };
+
+  int id_ = -1;
+  Time clock_ = 0;
+  State state_ = State::Fresh;
+  /// Timed condition sleep: when Blocked with timed_, the conductor
+  /// promotes the process at wake_at_ if nothing notifies it earlier.
+  bool timed_ = false;
+  bool timed_out_ = false;
+  Time wake_at_ = 0;
+  const void* waiting_cond_ = nullptr;
+  std::function<void()> body_;
+  std::thread thread_;
+  std::condition_variable cv_;
+  bool abort_requested_ = false;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(MachineModel model = MachineModel::balance21000());
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Register a simulated process.  Must be called before run().
+  /// Returns the process id (0-based, in spawn order).
+  int spawn(std::function<void()> body);
+
+  /// Convenience: spawn `n` processes running fn(rank) with rank 0..n-1.
+  void spawn_group(int n, const std::function<void(int)>& fn);
+
+  /// Execute until every process finishes.  Rethrows the first exception a
+  /// process body raised; throws DeadlockError if all live processes block.
+  void run();
+
+  /// The simulated process executing on this thread, or nullptr when the
+  /// caller is not a simulated process (e.g. main-thread setup code).
+  [[nodiscard]] static Process* current() noexcept;
+
+  /// True when called from inside a simulated process of *this* simulator.
+  [[nodiscard]] bool in_simulation() const noexcept;
+
+  // ---- time -----------------------------------------------------------
+  /// Advance the current process's clock and yield to any earlier process.
+  void advance(double ns);
+  /// Virtual time of the current process (0 outside the simulation).
+  [[nodiscard]] Time now() const noexcept;
+  /// Maximum clock over all finished processes (the makespan); valid
+  /// after run().
+  [[nodiscard]] Time elapsed() const noexcept { return makespan_; }
+
+  // ---- virtual mutexes (keyed by shared lock-cell address) ------------
+  void mutex_lock(const void* cell);
+  void mutex_unlock(const void* cell);
+
+  // ---- virtual condition queues (keyed by cond-cell address) ----------
+  /// Atomically release `mutex_cell`, sleep until notified, re-acquire.
+  void cond_wait(const void* mutex_cell, const void* cond_cell);
+  /// Like cond_wait but wakes after `timeout_ns` of virtual time if no
+  /// notify arrives first; returns false on timeout.
+  bool cond_wait_for(const void* mutex_cell, const void* cond_cell,
+                     std::uint64_t timeout_ns);
+  void cond_notify_all(const void* cond_cell);
+
+  // ---- modeled hardware ------------------------------------------------
+  /// Charge a memory copy of `bytes` chained through `nblocks` message
+  /// blocks (0 for a direct buffer-to-buffer transfer): CPU time on the
+  /// current processor plus shared-bus occupancy.
+  void charge_copy(std::uint64_t bytes, std::uint64_t nblocks);
+  /// Charge a touch of `bytes` of message-buffer memory, applying the
+  /// paging model against the current live footprint.
+  void charge_touch(std::uint64_t bytes);
+  void footprint_alloc(std::uint64_t bytes) noexcept;
+  void footprint_free(std::uint64_t bytes) noexcept;
+  [[nodiscard]] std::uint64_t footprint() const noexcept {
+    return live_msg_bytes_;
+  }
+  [[nodiscard]] std::uint64_t peak_footprint() const noexcept {
+    return peak_msg_bytes_;
+  }
+
+  [[nodiscard]] const MachineModel& model() const noexcept { return model_; }
+  [[nodiscard]] MachineModel& model() noexcept { return model_; }
+
+  // ---- statistics -------------------------------------------------------
+  [[nodiscard]] std::uint64_t context_switches() const noexcept {
+    return switches_;
+  }
+  [[nodiscard]] std::uint64_t bus_busy_ns() const noexcept {
+    return static_cast<std::uint64_t>(bus_busy_ns_);
+  }
+  [[nodiscard]] std::uint64_t page_faults() const noexcept { return faults_; }
+
+  /// Attach an event trace (or nullptr to detach).  The simulator appends
+  /// from the single running process, so the Trace needs no locking.
+  void set_trace(Trace* trace) noexcept { trace_ = trace; }
+
+ private:
+  struct MutexState {
+    Process* owner = nullptr;
+    std::deque<Process*> waiters;
+  };
+  struct CondState {
+    std::deque<Process*> waiters;
+  };
+
+  /// Thrown into process bodies during teardown after a failure.
+  struct AbortProcess {};
+
+  void thread_main(Process* self);
+  /// With mu_ held: pick the minimum-clock runnable process and transfer
+  /// control to it; if `self` is that process, simply continue.  `self` may
+  /// be Runnable (yield), Blocked (wait) or Done (exit).
+  void reschedule(std::unique_lock<std::mutex>& lk, Process* self);
+  [[nodiscard]] Process* pick_next() const noexcept;
+  /// Promote timed-blocked processes whose deadline precedes every
+  /// runnable process (they time out and become runnable).
+  void promote_timeouts() noexcept;
+  void wake(Process* p, Time at_least) noexcept;
+  void trigger_abort(std::unique_lock<std::mutex>& lk);
+  [[nodiscard]] Process* current_checked() const;
+
+  MachineModel model_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  int live_ = 0;  ///< processes not yet Done
+  bool started_ = false;
+  bool aborting_ = false;
+  std::exception_ptr first_error_;
+  Time makespan_ = 0;
+
+  std::unordered_map<const void*, MutexState> mutexes_;
+  std::unordered_map<const void*, CondState> conds_;
+
+  // Hardware model state: only ever touched by the single running process.
+  double bus_free_at_ = 0;
+  double bus_busy_ns_ = 0;
+  std::uint64_t live_msg_bytes_ = 0;
+  std::uint64_t peak_msg_bytes_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t switches_ = 0;
+  Trace* trace_ = nullptr;
+};
+
+}  // namespace mpf::sim

@@ -1,0 +1,63 @@
+// Event tracing for the discrete-event simulator.
+//
+// A Trace records (virtual time, process, kind, detail) tuples as the
+// conductor hands control around.  Uses: debugging simulated deadlocks,
+// validating schedules in tests, and exporting timelines (write_csv) for
+// offline plotting.  Tracing is opt-in per Simulator and adds no cost
+// when disabled.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mpf::sim {
+
+enum class TraceKind : std::uint8_t {
+  advance,      ///< a process advanced its clock
+  lock_acquire, ///< virtual mutex acquired
+  lock_wait,    ///< blocked on a held virtual mutex
+  lock_release,
+  cond_sleep,   ///< slept on a condition queue
+  cond_wake,    ///< woken from a condition queue
+  copy,         ///< charged a modeled copy (detail = bytes)
+  fault,        ///< paging charge applied (detail = pages)
+  done,         ///< process finished
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind) noexcept;
+
+struct TraceEvent {
+  std::uint64_t time_ns;
+  int process;
+  TraceKind kind;
+  std::uint64_t detail;
+};
+
+/// Append-only in-memory event log.  Not thread-safe by itself; the
+/// simulator only appends from the single running process.
+class Trace {
+ public:
+  void record(std::uint64_t time_ns, int process, TraceKind kind,
+              std::uint64_t detail) {
+    events_.push_back(TraceEvent{time_ns, process, kind, detail});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  void clear() noexcept { events_.clear(); }
+
+  /// Events of one kind (for assertions in tests).
+  [[nodiscard]] std::size_t count(TraceKind kind) const noexcept;
+
+  /// time_ns,process,kind,detail per line with a header row.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mpf::sim

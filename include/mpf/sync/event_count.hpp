@@ -1,0 +1,65 @@
+// Eventcount-style wait/notify cell for process-shared memory.
+//
+// MPF's blocking message_receive() needs "sleep until the LNVC changes".
+// In a portable cross-process setting there is no std::condition_variable,
+// so the native platform uses this: a generation counter that waiters
+// snapshot before releasing the LNVC lock and poll (with backoff) until a
+// notifier bumps it.  Spurious wakeups are allowed and expected; callers
+// always re-check their predicate under the lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "mpf/sync/backoff.hpp"
+
+namespace mpf::sync {
+
+/// Generation-counter wait cell.  Zero-init ready, POD, process-shared.
+class EventCount {
+ public:
+  EventCount() noexcept = default;
+  EventCount(const EventCount&) = delete;
+  EventCount& operator=(const EventCount&) = delete;
+
+  using Ticket = std::uint32_t;
+
+  /// Snapshot the generation.  Must be taken while holding the lock that
+  /// protects the predicate, before releasing it.
+  [[nodiscard]] Ticket prepare_wait() const noexcept {
+    return gen_.load(std::memory_order_acquire);
+  }
+
+  /// Block (by backoff polling) until the generation moves past `ticket`.
+  /// Returns immediately if a notify already happened after the snapshot.
+  void wait(Ticket ticket) const noexcept {
+    Backoff backoff;
+    while (gen_.load(std::memory_order_acquire) == ticket) backoff.pause();
+  }
+
+  /// Like wait() but gives up after `max_rounds` backoff pauses; returns
+  /// true if the generation moved.  Lets callers interleave predicate
+  /// re-checks with waiting (defends against a notify racing the snapshot).
+  bool wait_rounds(Ticket ticket, std::uint32_t max_rounds) const noexcept {
+    Backoff backoff;
+    while (gen_.load(std::memory_order_acquire) == ticket) {
+      if (backoff.rounds() >= max_rounds) return false;
+      backoff.pause();
+    }
+    return true;
+  }
+
+  /// Wake all current and future waiters of the snapshot generation.
+  void notify_all() noexcept { gen_.fetch_add(1, std::memory_order_release); }
+
+  [[nodiscard]] std::uint32_t generation() const noexcept {
+    return gen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint32_t> gen_{0};
+};
+
+static_assert(sizeof(EventCount) == 4, "EventCount must stay one shm word");
+
+}  // namespace mpf::sync

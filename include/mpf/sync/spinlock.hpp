@@ -1,0 +1,69 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// This is the moral equivalent of the Balance 21000's atomic-lock cells: a
+// single word in shared memory that any process mapping the region can
+// acquire.  The type is a trivially-copyable POD so it can be placed inside
+// the MPF shared arena and used across fork()ed processes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "mpf/sync/backoff.hpp"
+
+namespace mpf::sync {
+
+/// Process-shared spinlock.  Zero-initialised state is "unlocked", so it can
+/// be carved out of freshly mapped (zeroed) shared memory without running a
+/// constructor in every process.
+class SpinLock {
+ public:
+  SpinLock() noexcept = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    Backoff backoff;
+    for (;;) {
+      // Test-and-test-and-set: spin on a plain load first so contending
+      // waiters do not bounce the cache line with RMW traffic.
+      if (!word_.load(std::memory_order_relaxed) &&
+          !word_.exchange(1, std::memory_order_acquire)) {
+        return;
+      }
+      backoff.pause();
+    }
+  }
+
+  /// Like lock(), but reports how many backoff rounds were needed.  The MPF
+  /// core uses this to surface contention statistics.
+  std::uint32_t lock_counting() noexcept {
+    Backoff backoff;
+    for (;;) {
+      if (!word_.load(std::memory_order_relaxed) &&
+          !word_.exchange(1, std::memory_order_acquire)) {
+        return backoff.rounds();
+      }
+      backoff.pause();
+    }
+  }
+
+  [[nodiscard]] bool try_lock() noexcept {
+    return !word_.load(std::memory_order_relaxed) &&
+           !word_.exchange(1, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { word_.store(0, std::memory_order_release); }
+
+  /// True if some thread currently holds the lock (advisory; for tests).
+  [[nodiscard]] bool is_locked() const noexcept {
+    return word_.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  std::atomic<std::uint32_t> word_{0};
+};
+
+static_assert(sizeof(SpinLock) == 4, "SpinLock must stay a single shm word");
+
+}  // namespace mpf::sync

@@ -1,0 +1,124 @@
+#include "mpf/apps/cannon.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "mpf/coll/collectives.hpp"
+#include "mpf/runtime/rng.hpp"
+
+namespace mpf::apps::cannon {
+
+Problem random_problem(int n, std::uint64_t seed) {
+  Problem p;
+  p.n = n;
+  p.a.resize(static_cast<std::size_t>(n) * n);
+  p.b.resize(static_cast<std::size_t>(n) * n);
+  rt::SplitMix64 rng(seed);
+  for (auto& v : p.a) v = 2.0 * rng.uniform() - 1.0;
+  for (auto& v : p.b) v = 2.0 * rng.uniform() - 1.0;
+  return p;
+}
+
+std::vector<double> multiply_sequential(const Problem& problem,
+                                        Platform* platform) {
+  const int n = problem.n;
+  std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < n; ++k) {
+      const double aik = problem.a[i * n + k];
+      for (int j = 0; j < n; ++j) {
+        c[i * n + j] += aik * problem.b[k * n + j];
+      }
+    }
+    if (platform != nullptr) {
+      platform->charge_flops(2.0 * n * n);  // one row of C per i
+    }
+  }
+  return c;
+}
+
+std::vector<double> worker(Facility facility, int rank, int mesh_side,
+                           const Problem& problem, const char* tag) {
+  const int n = problem.n;
+  const int mesh = mesh_side;
+  if (mesh <= 0 || n % mesh != 0) {
+    throw std::invalid_argument("cannon: n must be divisible by mesh_side");
+  }
+  const int s = n / mesh;  // block edge
+  const std::size_t block = static_cast<std::size_t>(s) * s;
+  Platform& platform = facility.platform();
+  coll::Communicator comm(facility, rank, mesh * mesh, tag);
+
+  const int row = rank / mesh;
+  const int col = rank % mesh;
+  const int left = row * mesh + (col + mesh - 1) % mesh;
+  const int right = row * mesh + (col + 1) % mesh;
+  const int up = ((row + mesh - 1) % mesh) * mesh + col;
+  const int down = ((row + 1) % mesh) * mesh + col;
+
+  // Initial skew as part of the data distribution: this worker starts
+  // with A(row, col+row) and B(row+col, col).
+  auto load_block = [&](const std::vector<double>& m, int bi, int bj,
+                        std::vector<double>& out) {
+    for (int i = 0; i < s; ++i) {
+      std::memcpy(&out[i * s], &m[(bi * s + i) * n + bj * s],
+                  s * sizeof(double));
+    }
+  };
+  std::vector<double> a(block), b(block), c(block, 0.0), incoming(block);
+  load_block(problem.a, row, (col + row) % mesh, a);
+  load_block(problem.b, (row + col) % mesh, col, b);
+
+  for (int round = 0; round < mesh; ++round) {
+    // C += A * B on the local blocks.
+    for (int i = 0; i < s; ++i) {
+      for (int k = 0; k < s; ++k) {
+        const double aik = a[i * s + k];
+        for (int j = 0; j < s; ++j) c[i * s + j] += aik * b[k * s + j];
+      }
+    }
+    platform.charge_flops(2.0 * block * s);
+    if (round + 1 == mesh) break;
+    if (mesh == 1) continue;
+    // Systolic shifts: A one step left, B one step up.  Asynchronous
+    // sends first; the pairwise FIFO circuits keep rounds ordered.
+    comm.send(left, a.data(), block * sizeof(double));
+    (void)comm.recv(right, incoming.data(), block * sizeof(double));
+    a.swap(incoming);
+    comm.send(up, b.data(), block * sizeof(double));
+    (void)comm.recv(down, incoming.data(), block * sizeof(double));
+    b.swap(incoming);
+  }
+
+  // Assemble at rank 0 through a gather of whole blocks.
+  std::vector<double> gathered;
+  if (rank == 0) gathered.resize(block * mesh * mesh);
+  comm.gather(c.data(), block * sizeof(double),
+              rank == 0 ? gathered.data() : nullptr, 0);
+  std::vector<double> result;
+  if (rank == 0) {
+    result.assign(static_cast<std::size_t>(n) * n, 0.0);
+    for (int r = 0; r < mesh * mesh; ++r) {
+      const int br = r / mesh;
+      const int bc = r % mesh;
+      const double* src = &gathered[r * block];
+      for (int i = 0; i < s; ++i) {
+        std::memcpy(&result[(br * s + i) * n + bc * s], &src[i * s],
+                    s * sizeof(double));
+      }
+    }
+  }
+  return result;
+}
+
+double max_abs_diff(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size() && i < y.size(); ++i) {
+    worst = std::max(worst, std::fabs(x[i] - y[i]));
+  }
+  return worst;
+}
+
+}  // namespace mpf::apps::cannon

@@ -1,0 +1,36 @@
+#include "mpf/apps/coordination.hpp"
+
+#include <string>
+
+#include "mpf/core/ports.hpp"
+
+namespace mpf::apps {
+
+void startup_barrier(Facility facility, ProcessId pid, int count,
+                     std::string_view tag, ProcessId base_pid) {
+  if (count <= 1) return;
+  Participant self(facility, pid);
+  const std::string t(tag);
+  // Join the go circuit before signalling readiness: a BROADCAST receiver
+  // only sees messages sent after it joined, so this order guarantees the
+  // go message reaches everyone.
+  ReceivePort go_rx = self.open_receive(t + ".go", Protocol::broadcast);
+  // The ready send connection must survive until the go message proves the
+  // coordinator has drained the tokens — closing earlier could destroy the
+  // ready LNVC (and its backlog) before the coordinator joins it.
+  SendPort ready_tx;
+  if (pid == base_pid) {
+    ReceivePort ready_rx = self.open_receive(t + ".ready", Protocol::fcfs);
+    for (int i = 0; i < count - 1; ++i) {
+      (void)ready_rx.receive_value<std::uint32_t>();
+    }
+    SendPort go_tx = self.open_send(t + ".go");
+    go_tx.send_value(std::uint32_t{1});
+  } else {
+    ready_tx = self.open_send(t + ".ready");
+    ready_tx.send_value(static_cast<std::uint32_t>(pid));
+  }
+  (void)go_rx.receive_value<std::uint32_t>();
+}
+
+}  // namespace mpf::apps

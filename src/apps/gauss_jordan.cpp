@@ -1,0 +1,239 @@
+#include "mpf/apps/gauss_jordan.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "mpf/core/ports.hpp"
+#include "mpf/runtime/rng.hpp"
+
+namespace mpf::apps::gj {
+namespace {
+
+/// Pivot-candidate report: one per process per elimination step.
+struct MaxReport {
+  double value;  ///< |a[row][k]| of the best unused row, -1 if none
+  int rank;
+  int local_row;
+};
+
+/// Arbiter's verdict, broadcast to everyone.
+struct Advise {
+  int step;
+  int holder_rank;
+  int holder_local_row;
+};
+
+/// Modeled cost of scanning one candidate element (compare + abs).
+constexpr double kScanOpsPerRow = 3;
+
+}  // namespace
+
+Problem random_problem(int n, std::uint64_t seed) {
+  Problem p;
+  p.n = n;
+  p.a.resize(static_cast<std::size_t>(n) * n);
+  p.rhs.resize(n);
+  rt::SplitMix64 rng(seed);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      p.a[i * n + j] = 2.0 * rng.uniform() - 1.0;
+    }
+    // Keep the system comfortably non-singular; partial pivoting handles
+    // the rest.
+    p.a[i * n + i] += (rng.uniform() < 0.5 ? -1.0 : 1.0) * (2.0 + n * 0.05);
+    p.rhs[i] = 2.0 * rng.uniform() - 1.0;
+  }
+  return p;
+}
+
+std::vector<double> solve_sequential(const Problem& problem,
+                                     Platform* platform) {
+  const int n = problem.n;
+  const int width = n + 1;  // augmented rows
+  std::vector<double> rows(static_cast<std::size_t>(n) * width);
+  for (int i = 0; i < n; ++i) {
+    std::memcpy(&rows[i * width], &problem.a[i * n], n * sizeof(double));
+    rows[i * width + n] = problem.rhs[i];
+  }
+  std::vector<int> pivot_of_step(n, -1);
+  std::vector<char> used(n, 0);
+
+  for (int k = 0; k < n; ++k) {
+    // Partial pivoting: best |a[i][k]| over unused rows.
+    int best = -1;
+    double best_val = -1.0;
+    for (int i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const double v = std::fabs(rows[i * width + k]);
+      if (v > best_val) {
+        best_val = v;
+        best = i;
+      }
+    }
+    if (platform != nullptr) platform->charge_ops(kScanOpsPerRow * n);
+    if (best < 0 || best_val == 0.0) {
+      throw std::runtime_error("gauss_jordan: singular system");
+    }
+    used[best] = 1;
+    pivot_of_step[k] = best;
+    double* pivot = &rows[best * width];
+    const double inv = 1.0 / pivot[k];
+    for (int j = k; j < width; ++j) pivot[j] *= inv;
+    if (platform != nullptr) platform->charge_flops(width - k + 1);
+    // Jordan sweep: eliminate column k from every other row.
+    for (int i = 0; i < n; ++i) {
+      if (i == best) continue;
+      double* row = &rows[i * width];
+      const double factor = row[k];
+      if (factor == 0.0) continue;
+      for (int j = k; j < width; ++j) row[j] -= factor * pivot[j];
+      if (platform != nullptr) platform->charge_flops(2.0 * (width - k));
+    }
+  }
+  std::vector<double> x(n);
+  for (int k = 0; k < n; ++k) x[k] = rows[pivot_of_step[k] * width + n];
+  return x;
+}
+
+std::vector<double> worker(Facility facility, int rank, int nprocs,
+                           const Problem& problem, const char* tag) {
+  const int n = problem.n;
+  const int width = n + 1;
+  Platform& platform = facility.platform();
+  Participant self(facility, static_cast<ProcessId>(rank));
+  const std::string t(tag);
+
+  // Conversation set (paper §4): FCFS maxima stream into the arbiter,
+  // BROADCAST advise + pivot-row fan-out, FCFS solution gather.
+  SendPort max_tx = self.open_send(t + ".max");
+  ReceivePort max_rx;  // arbiter only
+  if (rank == 0) max_rx = self.open_receive(t + ".max", Protocol::fcfs);
+  SendPort advise_tx;  // arbiter only
+  if (rank == 0) advise_tx = self.open_send(t + ".advise");
+  ReceivePort advise_rx = self.open_receive(t + ".advise", Protocol::broadcast);
+  SendPort pivot_tx = self.open_send(t + ".pivot");
+  ReceivePort pivot_rx = self.open_receive(t + ".pivot", Protocol::broadcast);
+  SendPort sol_tx = self.open_send(t + ".sol");
+  ReceivePort sol_rx;  // rank 0 gathers
+  if (rank == 0) sol_rx = self.open_receive(t + ".sol", Protocol::fcfs);
+
+  // Contiguous row partition (paper: "equal sized groups of contiguous
+  // rows; each partition is assigned to a process").
+  const int base = n / nprocs;
+  const int extra = n % nprocs;
+  const int first = rank * base + std::min(rank, extra);
+  const int count = base + (rank < extra ? 1 : 0);
+  std::vector<double> rows(static_cast<std::size_t>(count) * width);
+  for (int i = 0; i < count; ++i) {
+    std::memcpy(&rows[i * width], &problem.a[(first + i) * n],
+                n * sizeof(double));
+    rows[i * width + n] = problem.rhs[first + i];
+  }
+  std::vector<char> used(count, 0);
+  std::vector<int> my_step_of_row(count, -1);
+
+  // Reusable buffer for one broadcast pivot row: step index + row.
+  std::vector<double> pivot_msg(1 + width);
+
+  for (int k = 0; k < n; ++k) {
+    // Local pivot search over unused rows.
+    MaxReport report{-1.0, rank, -1};
+    for (int i = 0; i < count; ++i) {
+      if (used[i]) continue;
+      const double v = std::fabs(rows[i * width + k]);
+      if (v > report.value) {
+        report.value = v;
+        report.local_row = i;
+      }
+    }
+    platform.charge_ops(kScanOpsPerRow * count);
+    max_tx.send_value(report);
+
+    // Arbiter: maximum of the maxima, ties to the lowest rank so the
+    // result is deterministic.
+    if (rank == 0) {
+      MaxReport best{-1.0, -1, -1};
+      for (int p = 0; p < nprocs; ++p) {
+        const auto r = max_rx.receive_value<MaxReport>();
+        platform.charge_ops(4);
+        if (r.value > best.value ||
+            (r.value == best.value && r.rank < best.rank)) {
+          best = r;
+        }
+      }
+      if (best.local_row < 0 || best.value == 0.0) {
+        throw std::runtime_error("gauss_jordan: singular system");
+      }
+      advise_tx.send_value(Advise{k, best.rank, best.local_row});
+    }
+    const auto advise = advise_rx.receive_value<Advise>();
+
+    // The identified process normalizes and broadcasts the pivot row.
+    if (advise.holder_rank == rank) {
+      double* pivot = &rows[advise.holder_local_row * width];
+      const double inv = 1.0 / pivot[k];
+      for (int j = k; j < width; ++j) pivot[j] *= inv;
+      platform.charge_flops(width - k + 1);
+      used[advise.holder_local_row] = 1;
+      my_step_of_row[advise.holder_local_row] = k;
+      pivot_msg[0] = static_cast<double>(k);
+      std::memcpy(&pivot_msg[1], pivot, width * sizeof(double));
+      pivot_tx.send(std::as_bytes(std::span<const double>(pivot_msg)));
+    }
+    std::vector<std::byte> raw((1 + width) * sizeof(double));
+    const Received got = pivot_rx.receive(raw);
+    if (got.length != raw.size()) {
+      throw std::runtime_error("gauss_jordan: malformed pivot row");
+    }
+    const auto* pivot_row =
+        reinterpret_cast<const double*>(raw.data()) + 1;
+
+    // Sweep every local row except the pivot row itself.
+    for (int i = 0; i < count; ++i) {
+      if (advise.holder_rank == rank && i == advise.holder_local_row) {
+        continue;
+      }
+      double* row = &rows[i * width];
+      const double factor = row[k];
+      if (factor == 0.0) continue;
+      for (int j = k; j < width; ++j) row[j] -= factor * pivot_row[j];
+      platform.charge_flops(2.0 * (width - k));
+    }
+  }
+
+  // Solution gather: each used local row carries x[step] in its rhs slot.
+  struct SolutionEntry {
+    int step;
+    double value;
+  };
+  for (int i = 0; i < count; ++i) {
+    if (my_step_of_row[i] >= 0) {
+      sol_tx.send_value(
+          SolutionEntry{my_step_of_row[i], rows[i * width + n]});
+    }
+  }
+  std::vector<double> x;
+  if (rank == 0) {
+    x.resize(n);
+    for (int received = 0; received < n; ++received) {
+      const auto e = sol_rx.receive_value<SolutionEntry>();
+      x[e.step] = e.value;
+    }
+  }
+  return x;
+}
+
+double max_residual(const Problem& problem, const std::vector<double>& x) {
+  const int n = problem.n;
+  double worst = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double acc = -problem.rhs[i];
+    for (int j = 0; j < n; ++j) acc += problem.at(i, j) * x[j];
+    worst = std::max(worst, std::fabs(acc));
+  }
+  return worst;
+}
+
+}  // namespace mpf::apps::gj

@@ -1,0 +1,360 @@
+#include "mpf/apps/poisson_sor.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+#include "mpf/apps/coordination.hpp"
+#include "mpf/core/ports.hpp"
+
+namespace mpf::apps::sor {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+/// Modeled arithmetic of one SOR point update (4 adds, relaxation muls).
+constexpr double kFlopsPerPoint = 8;
+constexpr double kOpsPerPoint = 2;
+
+double rhs_f(double x, double y) {
+  return 2.0 * kPi * kPi * std::sin(kPi * x) * std::sin(kPi * y);
+}
+
+double exact(double x, double y) {
+  return std::sin(kPi * x) * std::sin(kPi * y);
+}
+
+/// Split `total` into `parts` contiguous blocks; block `idx` gets
+/// [start, start+len).
+void block_range(int total, int parts, int idx, int* start, int* len) {
+  const int base = total / parts;
+  const int extra = total % parts;
+  *start = idx * base + std::min(idx, extra);
+  *len = base + (idx < extra ? 1 : 0);
+}
+
+struct ConvReport {
+  int rank;
+  int iter;
+  double delta;
+};
+
+/// Monitor verdict, one per synchronization point.  All workers block for
+/// it at the same iteration, so a stop is uniform across the mesh.
+struct Verdict {
+  int sync_iter;
+  int stop;
+};
+
+/// Iterations 0-based; verdict exchanges happen after completing iteration
+/// s for s = K-1, 2K-1, ... and always after the final budgeted iteration.
+bool is_sync_iter(int iter, const Params& p) {
+  return (iter + 1) % p.check_interval == 0 || iter + 1 >= p.max_iters;
+}
+
+struct RowMsg {
+  int placement;  ///< (col0 << 16) | global_row
+};
+
+Result run_monitor(Facility facility, const Params& params,
+                   const std::string& t) {
+  const int nworkers = params.procs_side * params.procs_side;
+  Platform& platform = facility.platform();
+  Participant self(facility,
+                   static_cast<ProcessId>(nworkers));
+  ReceivePort conv_rx = self.open_receive(t + ".conv", Protocol::fcfs);
+  SendPort ctl_tx = self.open_send(t + ".ctl");
+  startup_barrier(facility, static_cast<ProcessId>(nworkers), nworkers + 1,
+                  t + ".join");
+
+  Result result;
+  if (params.fixed_iters > 0) {
+    // Benchmark mode: workers run a fixed budget; just consume the stream.
+    double last = 0.0;
+    for (long i = 0; i < static_cast<long>(nworkers) * params.fixed_iters;
+         ++i) {
+      last = std::max(last, conv_rx.receive_value<ConvReport>().delta);
+      platform.charge_ops(2);
+    }
+    result.iterations = params.fixed_iters;
+    result.final_delta = last;
+    return result;
+  }
+
+  std::vector<double> last_delta(nworkers, -1.0);
+  std::vector<int> last_iter(nworkers, -1);
+  int sync_iter = std::min(params.check_interval, params.max_iters) - 1;
+  for (;;) {
+    const auto report = conv_rx.receive_value<ConvReport>();
+    platform.charge_ops(4);
+    last_delta[report.rank] = report.delta;
+    last_iter[report.rank] = report.iter;
+    int min_iter = last_iter[0];
+    double worst = 0.0;
+    for (int w = 0; w < nworkers; ++w) {
+      min_iter = std::min(min_iter, last_iter[w]);
+      worst = std::max(worst, last_delta[w]);
+    }
+    if (min_iter < sync_iter) continue;
+    // Every worker finished the sync round: issue the verdict.
+    const bool stop = worst < params.tol || sync_iter + 1 >= params.max_iters;
+    ctl_tx.send_value(Verdict{sync_iter, stop ? 1 : 0});
+    if (stop) {
+      result.iterations = sync_iter + 1;
+      result.final_delta = worst;
+      return result;
+    }
+    sync_iter = std::min(sync_iter + params.check_interval,
+                         params.max_iters - 1);
+  }
+}
+
+}  // namespace
+
+Result solve_sequential(const Params& params, Platform* platform) {
+  const int g = params.grid;
+  const double h = 1.0 / (g + 1);
+  const double h2 = h * h;
+  // (g+2)^2 lattice with a zero boundary ring.
+  std::vector<double> u(static_cast<std::size_t>(g + 2) * (g + 2), 0.0);
+  std::vector<double> f(static_cast<std::size_t>(g) * g);
+  for (int i = 0; i < g; ++i) {
+    for (int j = 0; j < g; ++j) {
+      f[i * g + j] = rhs_f((j + 1) * h, (i + 1) * h);
+    }
+  }
+  auto at = [&](int i, int j) -> double& { return u[i * (g + 2) + j]; };
+
+  Result result;
+  for (int iter = 0; iter < params.max_iters; ++iter) {
+    double delta = 0.0;
+    for (int i = 1; i <= g; ++i) {
+      for (int j = 1; j <= g; ++j) {
+        const double gs = 0.25 * (at(i - 1, j) + at(i + 1, j) + at(i, j - 1) +
+                                  at(i, j + 1) + h2 * f[(i - 1) * g + j - 1]);
+        const double next = at(i, j) + params.omega * (gs - at(i, j));
+        delta = std::max(delta, std::fabs(next - at(i, j)));
+        at(i, j) = next;
+      }
+    }
+    if (platform != nullptr) {
+      platform->charge_flops(kFlopsPerPoint * g * g);
+      platform->charge_ops(kOpsPerPoint * g * g);
+    }
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    const bool stop = params.fixed_iters > 0
+                          ? result.iterations >= params.fixed_iters
+                          : delta < params.tol;
+    if (stop) break;
+  }
+  result.u.resize(static_cast<std::size_t>(g) * g);
+  for (int i = 0; i < g; ++i) {
+    for (int j = 0; j < g; ++j) result.u[i * g + j] = at(i + 1, j + 1);
+  }
+  return result;
+}
+
+Result worker(Facility facility, int rank, const Params& params,
+              const char* tag) {
+  const int g = params.grid;
+  const int nside = params.procs_side;
+  const int nworkers = nside * nside;
+  const std::string t(tag);
+  if (rank == nworkers) return run_monitor(facility, params, t);
+
+  const double h = 1.0 / (g + 1);
+  const double h2 = h * h;
+  Platform& platform = facility.platform();
+  Participant self(facility, static_cast<ProcessId>(rank));
+
+  const int ry = rank / nside;
+  const int rx = rank % nside;
+  int row0 = 0, rows = 0, col0 = 0, cols = 0;
+  block_range(g, nside, ry, &row0, &rows);
+  block_range(g, nside, rx, &col0, &cols);
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("poisson_sor: more processes than rows/cols");
+  }
+
+  // Neighbour ranks (-1 = domain boundary on that side).
+  const int north = ry > 0 ? rank - nside : -1;
+  const int south = ry < nside - 1 ? rank + nside : -1;
+  const int west = rx > 0 ? rank - 1 : -1;
+  const int east = rx < nside - 1 ? rank + 1 : -1;
+
+  // One-to-one FCFS circuits per ghost edge, named after the *receiver*
+  // (paper: "interprocess communication among neighbors corresponds
+  // naturally to FCFS LNVC's").
+  auto edge_name = [&](int dst, char side) {
+    return t + ".b." + std::to_string(dst) + "." + side;
+  };
+  SendPort to_north, to_south, to_west, to_east;
+  ReceivePort from_north, from_south, from_west, from_east;
+  if (north >= 0) {
+    to_north = self.open_send(edge_name(north, 's'));
+    from_north = self.open_receive(edge_name(rank, 'n'), Protocol::fcfs);
+  }
+  if (south >= 0) {
+    to_south = self.open_send(edge_name(south, 'n'));
+    from_south = self.open_receive(edge_name(rank, 's'), Protocol::fcfs);
+  }
+  if (west >= 0) {
+    to_west = self.open_send(edge_name(west, 'e'));
+    from_west = self.open_receive(edge_name(rank, 'w'), Protocol::fcfs);
+  }
+  if (east >= 0) {
+    to_east = self.open_send(edge_name(east, 'w'));
+    from_east = self.open_receive(edge_name(rank, 'e'), Protocol::fcfs);
+  }
+  // Convergence traffic: asynchronous FCFS reports into the monitor,
+  // BROADCAST verdict polled with check_receive (paper: "the processors
+  // determine if the local sub-grid has converged and send this status
+  // information to a monitoring process").
+  SendPort conv_tx = self.open_send(t + ".conv");
+  ReceivePort ctl_rx = self.open_receive(t + ".ctl", Protocol::broadcast);
+  SendPort res_tx = self.open_send(t + ".res");
+  ReceivePort res_rx;
+  if (rank == 0) res_rx = self.open_receive(t + ".res", Protocol::fcfs);
+
+  // Local subgrid with a one-point ghost ring.
+  const int lw = cols + 2;
+  std::vector<double> u(static_cast<std::size_t>(rows + 2) * lw, 0.0);
+  auto at = [&](int i, int j) -> double& { return u[i * lw + j]; };
+  std::vector<double> f(static_cast<std::size_t>(rows) * cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      f[i * cols + j] = rhs_f((col0 + j + 1) * h, (row0 + i + 1) * h);
+    }
+  }
+
+  // Everyone (workers + monitor) must have joined their circuits before
+  // the first message flies — see coordination.hpp for why.
+  startup_barrier(facility, static_cast<ProcessId>(rank), nworkers + 1,
+                  t + ".join");
+
+  std::vector<double> edge_buf(std::max(rows, cols));
+  std::vector<std::byte> ghost_raw(std::max(rows, cols) * sizeof(double));
+
+  auto send_row = [&](SendPort& port, int i) {
+    std::memcpy(edge_buf.data(), &at(i, 1), cols * sizeof(double));
+    port.send(std::as_bytes(std::span<const double>(edge_buf.data(), cols)));
+    platform.charge_ops(cols);
+  };
+  auto send_col = [&](SendPort& port, int j) {
+    for (int i = 0; i < rows; ++i) edge_buf[i] = at(i + 1, j);
+    port.send(std::as_bytes(std::span<const double>(edge_buf.data(), rows)));
+    platform.charge_ops(rows);
+  };
+  auto recv_row = [&](ReceivePort& port, int i) {
+    const Received r =
+        port.receive(std::span(ghost_raw.data(), cols * sizeof(double)));
+    if (r.length != cols * sizeof(double)) {
+      throw std::runtime_error("poisson_sor: bad ghost row");
+    }
+    std::memcpy(&at(i, 1), ghost_raw.data(), cols * sizeof(double));
+  };
+  auto recv_col = [&](ReceivePort& port, int j) {
+    const Received r =
+        port.receive(std::span(ghost_raw.data(), rows * sizeof(double)));
+    if (r.length != rows * sizeof(double)) {
+      throw std::runtime_error("poisson_sor: bad ghost column");
+    }
+    const auto* vals = reinterpret_cast<const double*>(ghost_raw.data());
+    for (int i = 0; i < rows; ++i) at(i + 1, j) = vals[i];
+  };
+
+  Result result;
+  const int stop_at = params.fixed_iters > 0
+                          ? std::min(params.fixed_iters, params.max_iters)
+                          : params.max_iters;
+  for (int iter = 0; iter < stop_at; ++iter) {
+    // 1. Boundary exchange with the four neighbours (asynchronous sends
+    //    first, then the blocking receives — no deadlock by construction).
+    if (north >= 0) send_row(to_north, 1);
+    if (south >= 0) send_row(to_south, rows);
+    if (west >= 0) send_col(to_west, 1);
+    if (east >= 0) send_col(to_east, cols);
+    if (north >= 0) recv_row(from_north, 0);
+    if (south >= 0) recv_row(from_south, rows + 1);
+    if (west >= 0) recv_col(from_west, 0);
+    if (east >= 0) recv_col(from_east, cols + 1);
+
+    // 2. One SOR sweep over the subgrid.
+    double delta = 0.0;
+    for (int i = 1; i <= rows; ++i) {
+      for (int j = 1; j <= cols; ++j) {
+        const double gs =
+            0.25 * (at(i - 1, j) + at(i + 1, j) + at(i, j - 1) +
+                    at(i, j + 1) + h2 * f[(i - 1) * cols + j - 1]);
+        const double next = at(i, j) + params.omega * (gs - at(i, j));
+        delta = std::max(delta, std::fabs(next - at(i, j)));
+        at(i, j) = next;
+      }
+    }
+    platform.charge_flops(kFlopsPerPoint * rows * cols);
+    platform.charge_ops(kOpsPerPoint * rows * cols);
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+
+    // 3. Convergence protocol: the status report is asynchronous every
+    //    iteration (paper: "send this status information to a monitoring
+    //    process"); the stop/continue verdict is collected only at the
+    //    periodic synchronization iterations, so the monitor's serial
+    //    work overlaps the sweeps in between.
+    conv_tx.send_value(ConvReport{rank, iter, delta});
+    if (params.fixed_iters == 0 && is_sync_iter(iter, params)) {
+      const auto verdict = ctl_rx.receive_value<Verdict>();
+      if (verdict.sync_iter != iter) {
+        throw std::logic_error("poisson_sor: verdict out of phase");
+      }
+      if (verdict.stop != 0) break;
+    }
+  }
+
+  // 4. Gather: every subgrid row travels to rank 0 as one FCFS message
+  //    tagged with its placement (FCFS hides the sender, so the tag must
+  //    carry both the global row and the column origin).
+  std::vector<std::byte> row_msg(sizeof(RowMsg) + cols * sizeof(double));
+  for (int i = 0; i < rows; ++i) {
+    auto* hdr = reinterpret_cast<RowMsg*>(row_msg.data());
+    hdr->placement = (col0 << 16) | (row0 + i);
+    std::memcpy(row_msg.data() + sizeof(RowMsg), &at(i + 1, 1),
+                cols * sizeof(double));
+    res_tx.send(std::span<const std::byte>(row_msg));
+    platform.charge_ops(cols);
+  }
+  if (rank == 0) {
+    result.u.assign(static_cast<std::size_t>(g) * g, 0.0);
+    std::vector<std::byte> in(sizeof(RowMsg) + g * sizeof(double));
+    std::size_t cells = 0;
+    const std::size_t want_cells = static_cast<std::size_t>(g) * g;
+    while (cells < want_cells) {
+      const Received r = res_rx.receive(in);
+      const auto* hdr = reinterpret_cast<const RowMsg*>(in.data());
+      const std::size_t nvals = (r.length - sizeof(RowMsg)) / sizeof(double);
+      const auto* vals =
+          reinterpret_cast<const double*>(in.data() + sizeof(RowMsg));
+      const int grow = hdr->placement & 0xffff;
+      const int gcol = hdr->placement >> 16;
+      std::memcpy(&result.u[grow * g + gcol], vals, nvals * sizeof(double));
+      cells += nvals;
+    }
+  }
+  return result;
+}
+
+double max_error_vs_analytic(const std::vector<double>& u, int grid) {
+  const double h = 1.0 / (grid + 1);
+  double worst = 0.0;
+  for (int i = 0; i < grid; ++i) {
+    for (int j = 0; j < grid; ++j) {
+      worst = std::max(worst, std::fabs(u[i * grid + j] -
+                                        exact((j + 1) * h, (i + 1) * h)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace mpf::apps::sor

@@ -1,0 +1,80 @@
+#include "mpf/benchlib/figure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <map>
+
+namespace mpf::benchlib {
+
+void Figure::add(const std::string& label, double x, double y) {
+  for (auto& s : series) {
+    if (s.label == label) {
+      s.points.emplace_back(x, y);
+      return;
+    }
+  }
+  series.push_back(Series{label, {{x, y}}});
+}
+
+void print_figure(std::ostream& os, const Figure& figure) {
+  os << "\n=== " << figure.id << ": " << figure.title;
+  if (!figure.subtitle.empty()) os << " — " << figure.subtitle;
+  os << " ===\n";
+  os << "# x = " << figure.xlabel << ", y = " << figure.ylabel << "\n";
+
+  // Union of x values across series, in ascending order.
+  std::map<double, std::vector<double>> rows;  // x -> y per series (NaN gap)
+  const std::size_t ns = figure.series.size();
+  for (std::size_t si = 0; si < ns; ++si) {
+    for (const auto& [x, y] : figure.series[si].points) {
+      auto it = rows.find(x);
+      if (it == rows.end()) {
+        it = rows.emplace(x, std::vector<double>(ns, std::nan(""))).first;
+      }
+      it->second[si] = y;
+    }
+  }
+
+  auto fmt = [](double v) {
+    char buf[32];
+    if (std::isnan(v)) {
+      std::snprintf(buf, sizeof(buf), "-");
+    } else if (v == 0 || (std::fabs(v) >= 0.01 && std::fabs(v) < 1e7)) {
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.3e", v);
+    }
+    return std::string(buf);
+  };
+
+  // Column widths.
+  std::vector<std::size_t> width(ns + 1);
+  width[0] = figure.xlabel.size();
+  for (const auto& [x, ys] : rows) width[0] = std::max(width[0], fmt(x).size());
+  for (std::size_t si = 0; si < ns; ++si) {
+    width[si + 1] = figure.series[si].label.size();
+    for (const auto& [x, ys] : rows) {
+      width[si + 1] = std::max(width[si + 1], fmt(ys[si]).size());
+    }
+  }
+
+  os << std::right << std::setw(static_cast<int>(width[0]) + 2)
+     << figure.xlabel;
+  for (std::size_t si = 0; si < ns; ++si) {
+    os << std::setw(static_cast<int>(width[si + 1]) + 2)
+       << figure.series[si].label;
+  }
+  os << "\n";
+  for (const auto& [x, ys] : rows) {
+    os << std::setw(static_cast<int>(width[0]) + 2) << fmt(x);
+    for (std::size_t si = 0; si < ns; ++si) {
+      os << std::setw(static_cast<int>(width[si + 1]) + 2) << fmt(ys[si]);
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+}  // namespace mpf::benchlib

@@ -1,0 +1,32 @@
+#include "mpf/benchlib/simrun.hpp"
+
+#include "mpf/shm/region.hpp"
+#include "mpf/sim/sim_platform.hpp"
+
+namespace mpf::benchlib {
+
+SimMetrics run_sim(const Config& config, int nprocs,
+                   const std::function<void(Facility, int)>& body,
+                   const sim::MachineModel& model) {
+  sim::Simulator simulator(model);
+  sim::SimPlatform platform(simulator);
+  shm::HeapRegion region(config.derived_arena_bytes());
+  Facility facility = Facility::create(config, region, platform);
+  simulator.spawn_group(nprocs,
+                        [&](int rank) { body(facility, rank); });
+  simulator.run();
+
+  const FacilityStats stats = facility.stats();
+  SimMetrics metrics;
+  metrics.seconds = static_cast<double>(simulator.elapsed()) * 1e-9;
+  metrics.bytes_sent = stats.bytes_sent;
+  metrics.bytes_delivered = stats.bytes_delivered;
+  metrics.sends = stats.sends;
+  metrics.receives = stats.receives;
+  metrics.page_faults = simulator.page_faults();
+  metrics.peak_footprint = simulator.peak_footprint();
+  metrics.context_switches = simulator.context_switches();
+  return metrics;
+}
+
+}  // namespace mpf::benchlib

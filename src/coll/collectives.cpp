@@ -1,0 +1,221 @@
+#include "mpf/coll/collectives.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "mpf/apps/coordination.hpp"
+
+namespace mpf::coll {
+
+Communicator::Communicator(Facility facility, int rank, int size,
+                           std::string_view tag, ProcessId base_pid)
+    : facility_(std::move(facility)),
+      pid_(base_pid + static_cast<ProcessId>(rank)),
+      rank_(rank),
+      size_(size),
+      base_pid_(base_pid),
+      tag_(tag) {
+  if (size <= 0 || rank < 0 || rank >= size) {
+    throw std::invalid_argument("Communicator: bad rank/size");
+  }
+  Participant self(facility_, pid_);
+  // Join every member's one-to-all circuit before anyone can send on it.
+  bc_tx_ = self.open_send(tag_ + ".bc." + std::to_string(rank_));
+  bc_rx_.reserve(size_);
+  for (int r = 0; r < size_; ++r) {
+    bc_rx_.push_back(self.open_receive(tag_ + ".bc." + std::to_string(r),
+                                       Protocol::broadcast));
+  }
+  // Join all inbound point-to-point circuits eagerly: our receive
+  // connection must outlive any peer's send, or a fast peer could close
+  // its side (destroying the circuit and its backlog) before we look —
+  // the paper's §3.2 lifetime hazard.  Send sides stay lazy.
+  for (int r = 0; r < size_; ++r) {
+    if (r == rank_) continue;
+    p2p_rx_.emplace(r, self.open_receive(tag_ + "." + std::to_string(r) +
+                                             "." + std::to_string(rank_),
+                                         Protocol::fcfs));
+  }
+  apps::startup_barrier(facility_, pid_, size_, tag_ + ".join", base_pid_);
+}
+
+SendPort& Communicator::tx_to(int dst) {
+  auto it = p2p_tx_.find(dst);
+  if (it == p2p_tx_.end()) {
+    Participant self(facility_, pid_);
+    it = p2p_tx_
+             .emplace(dst, self.open_send(tag_ + "." + std::to_string(rank_) +
+                                          "." + std::to_string(dst)))
+             .first;
+  }
+  return it->second;
+}
+
+ReceivePort& Communicator::rx_from(int src) {
+  auto it = p2p_rx_.find(src);
+  if (it == p2p_rx_.end()) {
+    Participant self(facility_, pid_);
+    it = p2p_rx_
+             .emplace(src, self.open_receive(
+                               tag_ + "." + std::to_string(src) + "." +
+                                   std::to_string(rank_),
+                               Protocol::fcfs))
+             .first;
+  }
+  return it->second;
+}
+
+void Communicator::send(int dst, const void* data, std::size_t bytes) {
+  if (dst == rank_) {
+    throw std::invalid_argument("Communicator::send to self");
+  }
+  throw_if_error(facility_.send(pid_, tx_to(dst).id(), data, bytes),
+                 "Communicator::send");
+}
+
+std::size_t Communicator::recv(int src, void* data, std::size_t cap) {
+  std::size_t len = 0;
+  const Status s =
+      facility_.receive(pid_, rx_from(src).id(), data, cap, &len);
+  if (s != Status::ok && s != Status::truncated) {
+    throw_if_error(s, "Communicator::recv");
+  }
+  return len;
+}
+
+void Communicator::barrier() {
+  // Tokens into rank 0, then a release on rank 0's one-to-all circuit.
+  // FIFO on both legs keeps repeated barriers from mixing rounds.
+  const std::uint32_t token = 1;
+  if (rank_ == 0) {
+    std::uint32_t sink = 0;
+    for (int r = 1; r < size_; ++r) (void)recv(r, &sink, sizeof(sink));
+    bc_tx_.send_value(token);
+  } else {
+    send(0, &token, sizeof(token));
+  }
+  std::uint32_t release = 0;
+  std::size_t len = 0;
+  throw_if_error(
+      facility_.receive(pid_, bc_rx_[0].id(), &release, sizeof(release), &len),
+      "Communicator::barrier");
+}
+
+void Communicator::broadcast(void* data, std::size_t bytes, int root) {
+  if (root == rank_) {
+    throw_if_error(facility_.send(pid_, bc_tx_.id(), data, bytes),
+                   "Communicator::broadcast");
+  }
+  // Everyone (root included) consumes the message to keep the circuit's
+  // per-receiver cursors aligned across successive broadcasts.
+  std::vector<std::byte> buf(bytes);
+  std::size_t len = 0;
+  throw_if_error(facility_.receive(pid_, bc_rx_[root].id(), buf.data(),
+                                   bytes, &len),
+                 "Communicator::broadcast");
+  if (len != bytes) {
+    throw MpfError(Status::invalid_argument,
+                   "Communicator::broadcast size mismatch");
+  }
+  if (root != rank_) std::memcpy(data, buf.data(), bytes);
+}
+
+void Communicator::gather(const void* send_buf, std::size_t bytes,
+                          void* recv_buf, int root) {
+  if (rank_ == root) {
+    auto* out = static_cast<std::byte*>(recv_buf);
+    std::memcpy(out + rank_ * bytes, send_buf, bytes);
+    for (int r = 0; r < size_; ++r) {
+      if (r == root) continue;
+      const std::size_t len = recv(r, out + r * bytes, bytes);
+      if (len != bytes) {
+        throw MpfError(Status::invalid_argument,
+                       "Communicator::gather size mismatch");
+      }
+    }
+  } else {
+    send(root, send_buf, bytes);
+  }
+}
+
+void Communicator::scatter(const void* send_buf, std::size_t bytes,
+                           void* recv_buf, int root) {
+  if (rank_ == root) {
+    const auto* in = static_cast<const std::byte*>(send_buf);
+    for (int r = 0; r < size_; ++r) {
+      if (r == root) continue;
+      send(r, in + r * bytes, bytes);
+    }
+    std::memcpy(recv_buf, in + root * bytes, bytes);
+  } else {
+    const std::size_t len = recv(root, recv_buf, bytes);
+    if (len != bytes) {
+      throw MpfError(Status::invalid_argument,
+                     "Communicator::scatter size mismatch");
+    }
+  }
+}
+
+void Communicator::fold(double* acc, const double* in, std::size_t count,
+                        Op op) {
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (op) {
+      case Op::sum: acc[i] += in[i]; break;
+      case Op::min: acc[i] = std::min(acc[i], in[i]); break;
+      case Op::max: acc[i] = std::max(acc[i], in[i]); break;
+    }
+  }
+}
+
+void Communicator::reduce(const double* in, double* out, std::size_t count,
+                          Op op, int root) {
+  const std::size_t bytes = count * sizeof(double);
+  if (rank_ == root) {
+    std::vector<double> acc(in, in + count);
+    std::vector<double> incoming(count);
+    for (int r = 0; r < size_; ++r) {
+      if (r == root) continue;
+      const std::size_t len = recv(r, incoming.data(), bytes);
+      if (len != bytes) {
+        throw MpfError(Status::invalid_argument,
+                       "Communicator::reduce size mismatch");
+      }
+      fold(acc.data(), incoming.data(), count, op);
+    }
+    std::memcpy(out, acc.data(), bytes);
+  } else {
+    send(root, in, bytes);
+  }
+}
+
+void Communicator::allreduce(const double* in, double* out,
+                             std::size_t count, Op op) {
+  reduce(in, out, count, op, 0);
+  broadcast(out, count * sizeof(double), 0);
+}
+
+void Communicator::alltoall(const void* send_buf,
+                            std::size_t bytes_per_rank, void* recv_buf) {
+  const auto* in = static_cast<const std::byte*>(send_buf);
+  auto* out = static_cast<std::byte*>(recv_buf);
+  // All sends are asynchronous, so posting everything before receiving
+  // anything cannot deadlock.
+  for (int r = 0; r < size_; ++r) {
+    if (r == rank_) continue;
+    send(r, in + r * bytes_per_rank, bytes_per_rank);
+  }
+  std::memcpy(out + rank_ * bytes_per_rank, in + rank_ * bytes_per_rank,
+              bytes_per_rank);
+  for (int r = 0; r < size_; ++r) {
+    if (r == rank_) continue;
+    const std::size_t len = recv(r, out + r * bytes_per_rank,
+                                 bytes_per_rank);
+    if (len != bytes_per_rank) {
+      throw MpfError(Status::invalid_argument,
+                     "Communicator::alltoall size mismatch");
+    }
+  }
+}
+
+}  // namespace mpf::coll

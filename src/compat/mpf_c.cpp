@@ -1,0 +1,136 @@
+// C ABI over a single process-wide facility.
+#include "mpf/compat/mpf.h"
+
+#include <memory>
+#include <mutex>
+
+#include "mpf/core/facility.hpp"
+#include "mpf/shm/region.hpp"
+
+namespace {
+
+struct GlobalFacility {
+  std::unique_ptr<mpf::shm::AnonSharedRegion> region;
+  mpf::Facility facility;
+};
+
+std::mutex g_mu;
+std::unique_ptr<GlobalFacility> g_state;
+
+int status_code(mpf::Status s) {
+  return s == mpf::Status::ok ? 0 : -static_cast<int>(s);
+}
+
+mpf::Facility* facility() {
+  return g_state ? &g_state->facility : nullptr;
+}
+
+}  // namespace
+
+extern "C" {
+
+int mpf_init(int max_lnvcs, int max_processes) {
+  if (max_lnvcs <= 0 || max_processes <= 0) return MPF_EINVAL;
+  std::lock_guard<std::mutex> lk(g_mu);
+  if (g_state) return MPF_EALREADY;
+  try {
+    mpf::Config config;
+    config.max_lnvcs = static_cast<std::uint32_t>(max_lnvcs);
+    config.max_processes = static_cast<std::uint32_t>(max_processes);
+    auto state = std::make_unique<GlobalFacility>();
+    state->region = std::make_unique<mpf::shm::AnonSharedRegion>(
+        config.derived_arena_bytes());
+    state->facility = mpf::Facility::create(config, *state->region);
+    g_state = std::move(state);
+    return 0;
+  } catch (...) {
+    return MPF_EINVAL;
+  }
+}
+
+int mpf_shutdown(void) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  if (!g_state) return MPF_ENOTINIT;
+  g_state.reset();
+  return 0;
+}
+
+int mpf_open_send(int process_id, const char* lnvc_name) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0 || lnvc_name == nullptr) return MPF_EINVAL;
+  mpf::LnvcId id = mpf::kInvalidLnvc;
+  const mpf::Status s =
+      f->open_send(static_cast<mpf::ProcessId>(process_id), lnvc_name, &id);
+  return s == mpf::Status::ok ? static_cast<int>(id) : status_code(s);
+}
+
+int mpf_open_receive(int process_id, const char* lnvc_name, int protocol) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0 || lnvc_name == nullptr ||
+      (protocol != MPF_FCFS && protocol != MPF_BROADCAST)) {
+    return MPF_EINVAL;
+  }
+  mpf::LnvcId id = mpf::kInvalidLnvc;
+  const mpf::Status s = f->open_receive(
+      static_cast<mpf::ProcessId>(process_id), lnvc_name,
+      protocol == MPF_FCFS ? mpf::Protocol::fcfs : mpf::Protocol::broadcast,
+      &id);
+  return s == mpf::Status::ok ? static_cast<int>(id) : status_code(s);
+}
+
+int mpf_close_send(int process_id, int lnvc_id) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0) return MPF_EINVAL;
+  return status_code(
+      f->close_send(static_cast<mpf::ProcessId>(process_id), lnvc_id));
+}
+
+int mpf_close_receive(int process_id, int lnvc_id) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0) return MPF_EINVAL;
+  return status_code(
+      f->close_receive(static_cast<mpf::ProcessId>(process_id), lnvc_id));
+}
+
+int mpf_message_send(int process_id, int lnvc_id, const char* send_buffer,
+                     int buffer_length) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0 || buffer_length < 0) return MPF_EINVAL;
+  return status_code(f->send(static_cast<mpf::ProcessId>(process_id),
+                             lnvc_id, send_buffer,
+                             static_cast<std::size_t>(buffer_length)));
+}
+
+int mpf_message_receive(int process_id, int lnvc_id, char* receive_buffer,
+                        int* buffer_length) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0 || buffer_length == nullptr || *buffer_length < 0) {
+    return MPF_EINVAL;
+  }
+  std::size_t len = 0;
+  const mpf::Status s = f->receive(
+      static_cast<mpf::ProcessId>(process_id), lnvc_id, receive_buffer,
+      static_cast<std::size_t>(*buffer_length), &len);
+  if (s == mpf::Status::ok || s == mpf::Status::truncated) {
+    *buffer_length = static_cast<int>(len);
+  }
+  return status_code(s);
+}
+
+int mpf_check_receive(int process_id, int lnvc_id) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0) return MPF_EINVAL;
+  bool has = false;
+  const mpf::Status s =
+      f->check(static_cast<mpf::ProcessId>(process_id), lnvc_id, &has);
+  return s == mpf::Status::ok ? (has ? 1 : 0) : status_code(s);
+}
+
+}  // extern "C"

@@ -1,0 +1,431 @@
+#include "mpf/core/facility.hpp"
+
+#include <cstring>
+
+namespace mpf {
+
+namespace {
+
+// The FacilityHeader is always the first allocation in the arena, directly
+// after the (64-byte-aligned) arena header, so attach() can find it without
+// a directory structure.
+constexpr shm::Offset kRootOffset = (sizeof(shm::ArenaHeader) + 63) & ~63ull;
+
+constexpr std::size_t align8(std::size_t v) { return (v + 7) & ~std::size_t{7}; }
+
+std::size_t block_node_bytes(std::uint32_t payload) {
+  return align8(sizeof(detail::Block) + payload);
+}
+
+}  // namespace
+
+NativePlatform& native_platform() noexcept {
+  static NativePlatform instance;
+  return instance;
+}
+
+const char* to_string(Status s) noexcept {
+  switch (s) {
+    case Status::ok: return "ok";
+    case Status::invalid_argument: return "invalid argument";
+    case Status::table_full: return "table full";
+    case Status::no_such_lnvc: return "no such LNVC";
+    case Status::not_connected: return "not connected";
+    case Status::already_connected: return "already connected";
+    case Status::protocol_conflict: return "FCFS/BROADCAST protocol conflict";
+    case Status::out_of_blocks: return "out of message blocks";
+    case Status::truncated: return "message truncated";
+    case Status::closed: return "LNVC closed";
+    case Status::timed_out: return "timed out";
+  }
+  return "unknown status";
+}
+
+Config Config::resolved() const noexcept {
+  Config c = *this;
+  if (c.max_lnvcs == 0) c.max_lnvcs = 1;
+  if (c.max_processes == 0) c.max_processes = 1;
+  if (c.block_payload == 0) c.block_payload = 10;
+  if (c.message_blocks == 0) {
+    // Enough blocks for ~16 KB of in-flight payload per process.
+    c.message_blocks =
+        std::max<std::size_t>(4096, static_cast<std::size_t>(c.max_processes) *
+                                        16384 / c.block_payload);
+  }
+  if (c.message_headers == 0) {
+    c.message_headers = std::max<std::size_t>(256, c.message_blocks / 4);
+  }
+  if (c.connections == 0) {
+    c.connections = static_cast<std::size_t>(c.max_lnvcs) * 8 +
+                    static_cast<std::size_t>(c.max_processes) * 8;
+  }
+  if (c.arena_bytes == 0) {
+    std::size_t bytes = 4096;  // arena + facility headers, slack
+    bytes += static_cast<std::size_t>(c.max_lnvcs) * sizeof(detail::LnvcDesc);
+    bytes += c.message_blocks * (block_node_bytes(c.block_payload) + 8);
+    bytes += c.message_headers * align8(sizeof(detail::MsgHeader));
+    bytes += c.connections * align8(sizeof(detail::Connection));
+    bytes += bytes / 4 + 65536;  // alignment waste + headroom
+    c.arena_bytes = bytes;
+  }
+  return c;
+}
+
+std::size_t Config::derived_arena_bytes() const noexcept {
+  return resolved().arena_bytes;
+}
+
+Facility Facility::create(const Config& config, shm::Region& region,
+                          Platform& platform) {
+  const Config c = config.resolved();
+  if (region.size() < c.arena_bytes) {
+    throw MpfError(Status::invalid_argument,
+                   "Facility::create: region smaller than derived_arena_bytes");
+  }
+  shm::Arena arena = shm::Arena::create(region);
+  const shm::Offset root = arena.allocate(sizeof(detail::FacilityHeader), 64);
+  if (root != kRootOffset) {
+    throw MpfError(Status::invalid_argument,
+                   "Facility::create: unexpected root offset");
+  }
+  auto* hdr = ::new (arena.raw(root)) detail::FacilityHeader();
+  hdr->max_lnvcs = c.max_lnvcs;
+  hdr->max_processes = c.max_processes;
+  hdr->block_payload = c.block_payload;
+  hdr->block_policy = static_cast<std::uint32_t>(c.block_policy);
+  hdr->reclaim_broadcast_only = c.reclaim_broadcast_only ? 1 : 0;
+
+  hdr->lnvc_table = arena.make_array<detail::LnvcDesc>(c.max_lnvcs);
+  hdr->block_list.carve(arena, block_node_bytes(c.block_payload),
+                        c.message_blocks);
+  hdr->msg_list.carve(arena, align8(sizeof(detail::MsgHeader)),
+                      c.message_headers);
+  hdr->conn_list.carve(arena, align8(sizeof(detail::Connection)),
+                       c.connections);
+  hdr->magic = detail::kFacilityMagic;  // published last
+  return Facility(arena, hdr, platform);
+}
+
+Facility Facility::attach(shm::Region& region, Platform& platform) {
+  shm::Arena arena = shm::Arena::attach(region);
+  auto* hdr =
+      static_cast<detail::FacilityHeader*>(arena.raw(kRootOffset));
+  if (hdr->magic != detail::kFacilityMagic) {
+    throw MpfError(Status::invalid_argument,
+                   "Facility::attach: region holds no MPF facility");
+  }
+  return Facility(arena, hdr, platform);
+}
+
+detail::LnvcDesc* Facility::table() const noexcept {
+  return static_cast<detail::LnvcDesc*>(arena_.raw(header_->lnvc_table));
+}
+
+detail::LnvcDesc* Facility::slot(LnvcId id) const noexcept {
+  if (id < 0 || static_cast<std::uint32_t>(id) >= header_->max_lnvcs) {
+    return nullptr;
+  }
+  return table() + id;
+}
+
+detail::LnvcDesc* Facility::find_locked(std::string_view name) const noexcept {
+  detail::LnvcDesc* t = table();
+  for (std::uint32_t i = 0; i < header_->max_lnvcs; ++i) {
+    if (t[i].in_use != 0 &&
+        name == std::string_view(t[i].name, ::strnlen(t[i].name,
+                                                      detail::kNameMax))) {
+      return &t[i];
+    }
+  }
+  return nullptr;
+}
+
+detail::Connection* Facility::find_conn(detail::LnvcDesc& d, ProcessId pid,
+                                        bool sender) const noexcept {
+  shm::Offset off = d.connections.off;
+  while (off != shm::kNullOffset) {
+    auto* conn = static_cast<detail::Connection*>(arena_.raw(off));
+    if (conn->process_id == pid && conn->is_sender() == sender) return conn;
+    off = conn->next;
+  }
+  return nullptr;
+}
+
+Status Facility::open_common(ProcessId pid, std::string_view name,
+                             std::uint32_t kind, LnvcId* out) {
+  if (out == nullptr) return Status::invalid_argument;
+  *out = kInvalidLnvc;
+  if (pid >= header_->max_processes || name.empty() ||
+      name.size() > detail::kNameMax) {
+    return Status::invalid_argument;
+  }
+  platform_->charge_open_close();
+  platform_->lock(header_->registry_lock);
+  detail::LnvcDesc* d = find_locked(name);
+  if (d == nullptr) {
+    // Create the LNVC in a free slot (paper: "If lnvc_name did not
+    // previously exist, it is created").
+    detail::LnvcDesc* t = table();
+    for (std::uint32_t i = 0; i < header_->max_lnvcs; ++i) {
+      if (t[i].in_use == 0) {
+        d = &t[i];
+        break;
+      }
+    }
+    if (d == nullptr) {
+      platform_->unlock(header_->registry_lock);
+      return Status::table_full;
+    }
+    platform_->lock(d->lock);
+    d->in_use = 1;
+    ++d->generation;
+    std::memset(d->name, 0, sizeof(d->name));
+    std::memcpy(d->name, name.data(), name.size());
+    d->n_senders = d->n_fcfs = d->n_bcast = d->n_queued = 0;
+    d->msg_head = d->msg_tail = d->fcfs_head = shm::Ref<detail::MsgHeader>{};
+    d->connections = shm::Ref<detail::Connection>{};
+    d->seq_counter = 0;
+    d->total_msgs = 0;
+    d->total_bytes = 0;
+  } else {
+    platform_->lock(d->lock);
+  }
+
+  // Enforce the paper's footnote 3: one process may not mix FCFS and
+  // BROADCAST receive protocols on the same LNVC; duplicates of the same
+  // connection kind are rejected too.
+  Status status = Status::ok;
+  const bool sender = (kind == detail::Connection::kSender);
+  if (find_conn(*d, pid, sender) != nullptr) {
+    const auto* existing = find_conn(*d, pid, sender);
+    if (sender || existing->kind == kind) {
+      status = Status::already_connected;
+    } else {
+      status = Status::protocol_conflict;
+    }
+  }
+  if (status == Status::ok) {
+    const shm::Offset conn_off = header_->conn_list.pop(arena_);
+    if (conn_off == shm::kNullOffset) {
+      status = Status::table_full;
+    } else {
+      auto* conn = ::new (arena_.raw(conn_off)) detail::Connection();
+      conn->process_id = pid;
+      conn->kind = kind;
+      conn->bcast_head = shm::kNullOffset;  // joins at the tail
+      conn->next = d->connections.off;
+      d->connections = shm::Ref<detail::Connection>{conn_off};
+      if (sender) {
+        ++d->n_senders;
+      } else if (kind == static_cast<std::uint32_t>(Protocol::fcfs)) {
+        ++d->n_fcfs;
+      } else {
+        ++d->n_bcast;
+      }
+      *out = static_cast<LnvcId>(d - table());
+    }
+  }
+  // An LNVC freshly created by a failed open must not linger.
+  if (status != Status::ok && d->n_senders + d->n_fcfs + d->n_bcast == 0) {
+    destroy_lnvc(*d);
+  }
+  platform_->unlock(d->lock);
+  platform_->unlock(header_->registry_lock);
+  return status;
+}
+
+Status Facility::open_send(ProcessId pid, std::string_view name, LnvcId* out) {
+  return open_common(pid, name, detail::Connection::kSender, out);
+}
+
+Status Facility::open_receive(ProcessId pid, std::string_view name,
+                              Protocol protocol, LnvcId* out) {
+  if (protocol != Protocol::fcfs && protocol != Protocol::broadcast) {
+    return Status::invalid_argument;
+  }
+  return open_common(pid, name, static_cast<std::uint32_t>(protocol), out);
+}
+
+Status Facility::close_common(ProcessId pid, LnvcId id, bool sender) {
+  detail::LnvcDesc* d = slot(id);
+  if (d == nullptr) return Status::invalid_argument;
+  if (pid >= header_->max_processes) return Status::invalid_argument;
+  platform_->charge_open_close();
+  platform_->lock(header_->registry_lock);
+  platform_->lock(d->lock);
+  if (d->in_use == 0) {
+    platform_->unlock(d->lock);
+    platform_->unlock(header_->registry_lock);
+    return Status::no_such_lnvc;
+  }
+  // Find and unlink the connection.
+  shm::Offset* link = &d->connections.off;
+  detail::Connection* conn = nullptr;
+  while (*link != shm::kNullOffset) {
+    auto* c = static_cast<detail::Connection*>(arena_.raw(*link));
+    if (c->process_id == pid && c->is_sender() == sender) {
+      conn = c;
+      break;
+    }
+    link = &c->next;
+  }
+  if (conn == nullptr) {
+    platform_->unlock(d->lock);
+    platform_->unlock(header_->registry_lock);
+    return Status::not_connected;
+  }
+  if (conn->is_bcast()) {
+    // The paper's "particularly vexing problem" (§3.2): unread messages of
+    // a departing BROADCAST receiver must release their claim.  With
+    // per-message reference counts this is a single walk from the private
+    // head to the tail.
+    shm::Offset m_off = conn->bcast_head;
+    while (m_off != shm::kNullOffset) {
+      auto* m = static_cast<detail::MsgHeader*>(arena_.raw(m_off));
+      m->bcast_remaining.fetch_sub(1, std::memory_order_acq_rel);
+      m_off = m->next_msg;
+    }
+    --d->n_bcast;
+  } else if (conn->is_fcfs()) {
+    --d->n_fcfs;
+  } else {
+    --d->n_senders;
+  }
+  const shm::Offset conn_off = arena_.ref_of(conn).off;
+  *link = conn->next;
+  header_->conn_list.push(arena_, conn_off);
+
+  if (d->n_senders + d->n_fcfs + d->n_bcast == 0) {
+    // Last connection gone: the LNVC is deleted and all unread messages
+    // are discarded (paper §2).
+    destroy_lnvc(*d);
+  } else {
+    reclaim(*d);
+    // Receivers blocked on this LNVC may need to reconsider (e.g. the
+    // closing process was expected to send).
+    platform_->notify_all(d->cond);
+  }
+  platform_->unlock(d->lock);
+  platform_->unlock(header_->registry_lock);
+  // Multi-waiters (receive_any) must reconsider after a close/destroy;
+  // rippled outside the LNVC/registry locks to keep lock order acyclic.
+  if (header_->activity_waiters.load(std::memory_order_acquire) > 0) {
+    platform_->lock(header_->activity_lock);
+    platform_->unlock(header_->activity_lock);
+    platform_->notify_all(header_->activity_cond);
+  }
+  return Status::ok;
+}
+
+Status Facility::close_send(ProcessId pid, LnvcId id) {
+  return close_common(pid, id, /*sender=*/true);
+}
+
+Status Facility::close_receive(ProcessId pid, LnvcId id) {
+  return close_common(pid, id, /*sender=*/false);
+}
+
+void Facility::destroy_lnvc(detail::LnvcDesc& d) {
+  shm::Offset m_off = d.msg_head.off;
+  while (m_off != shm::kNullOffset) {
+    auto* m = static_cast<detail::MsgHeader*>(arena_.raw(m_off));
+    const shm::Offset next = m->next_msg;
+    free_message(m);
+    m_off = next;
+  }
+  d.msg_head = d.msg_tail = d.fcfs_head = shm::Ref<detail::MsgHeader>{};
+  d.n_queued = 0;
+  d.in_use = 0;
+  std::memset(d.name, 0, sizeof(d.name));
+  ++d.generation;
+  // Anyone blocked with a stale handle must wake and observe the death.
+  platform_->notify_all(d.cond);
+}
+
+std::size_t Facility::queued(LnvcId id) const {
+  auto* self = const_cast<Facility*>(this);
+  detail::LnvcDesc* d = slot(id);
+  if (d == nullptr) return 0;
+  self->platform_->lock(d->lock);
+  const std::size_t n = d->in_use ? d->n_queued : 0;
+  self->platform_->unlock(d->lock);
+  return n;
+}
+
+bool Facility::lnvc_exists(std::string_view name) const {
+  auto* self = const_cast<Facility*>(this);
+  self->platform_->lock(header_->registry_lock);
+  const bool found = find_locked(name) != nullptr;
+  self->platform_->unlock(header_->registry_lock);
+  return found;
+}
+
+std::size_t Facility::lnvc_count() const {
+  auto* self = const_cast<Facility*>(this);
+  self->platform_->lock(header_->registry_lock);
+  std::size_t n = 0;
+  const detail::LnvcDesc* t = table();
+  for (std::uint32_t i = 0; i < header_->max_lnvcs; ++i) {
+    n += t[i].in_use != 0 ? 1 : 0;
+  }
+  self->platform_->unlock(header_->registry_lock);
+  return n;
+}
+
+Status Facility::lnvc_info(LnvcId id, LnvcInfo* out) const {
+  if (out == nullptr) return Status::invalid_argument;
+  auto* self = const_cast<Facility*>(this);
+  detail::LnvcDesc* d = slot(id);
+  if (d == nullptr) return Status::invalid_argument;
+  self->platform_->lock(d->lock);
+  if (d->in_use == 0) {
+    self->platform_->unlock(d->lock);
+    return Status::no_such_lnvc;
+  }
+  out->id = id;
+  out->name.assign(d->name, ::strnlen(d->name, detail::kNameMax));
+  out->senders = d->n_senders;
+  out->fcfs_receivers = d->n_fcfs;
+  out->broadcast_receivers = d->n_bcast;
+  out->queued = d->n_queued;
+  out->total_messages = d->total_msgs;
+  out->total_bytes = d->total_bytes;
+  self->platform_->unlock(d->lock);
+  return Status::ok;
+}
+
+std::vector<LnvcInfo> Facility::lnvc_infos() const {
+  std::vector<LnvcInfo> infos;
+  for (std::uint32_t i = 0; i < header_->max_lnvcs; ++i) {
+    LnvcInfo info;
+    if (lnvc_info(static_cast<LnvcId>(i), &info) == Status::ok) {
+      infos.push_back(std::move(info));
+    }
+  }
+  return infos;
+}
+
+FacilityStats Facility::stats() const {
+  FacilityStats s;
+  s.sends = header_->sends.load(std::memory_order_relaxed);
+  s.receives = header_->receives.load(std::memory_order_relaxed);
+  s.bytes_sent = header_->bytes_sent.load(std::memory_order_relaxed);
+  s.bytes_delivered =
+      header_->bytes_delivered.load(std::memory_order_relaxed);
+  s.blocks_free = header_->block_list.available();
+  s.blocks_total = header_->block_list.capacity();
+  s.arena_used = arena_.used();
+  return s;
+}
+
+std::uint32_t Facility::block_payload() const noexcept {
+  return header_->block_payload;
+}
+std::uint32_t Facility::max_processes() const noexcept {
+  return header_->max_processes;
+}
+std::uint32_t Facility::max_lnvcs() const noexcept {
+  return header_->max_lnvcs;
+}
+
+}  // namespace mpf

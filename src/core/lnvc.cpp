@@ -1,0 +1,411 @@
+// Message transfer over LNVCs: send, receive, check, and the
+// reference-counted reclamation that keeps the FIFO bounded.
+#include <cstring>
+
+#include "mpf/core/facility.hpp"
+
+namespace mpf {
+
+namespace {
+
+/// Upper bound on one message; a sanity valve, not a protocol limit.
+constexpr std::size_t kMaxMessageBytes = 64ull << 20;
+
+std::size_t blocks_for(std::size_t len, std::uint32_t payload) {
+  return payload == 0 ? 0 : (len + payload - 1) / payload;
+}
+
+}  // namespace
+
+void Facility::free_message(detail::MsgHeader* m) {
+  const std::size_t footprint =
+      sizeof(detail::MsgHeader) +
+      static_cast<std::size_t>(m->nblocks) *
+          (sizeof(detail::Block) + header_->block_payload);
+  // blocks_lock is the monitor mutex for pool-exhaustion waiting: pushing
+  // under it guarantees a sender is either still probing the pool (and will
+  // see these nodes) or already queued on blocks_cond (and gets notified).
+  platform_->lock(header_->blocks_lock);
+  if (m->nblocks > 0) {
+    header_->block_list.push_chain(arena_, m->first_block, m->last_block,
+                                   m->nblocks);
+  }
+  header_->msg_list.push(arena_, arena_.ref_of(m).off);
+  platform_->unlock(header_->blocks_lock);
+  platform_->on_buffer_free(footprint);
+  platform_->notify_all(header_->blocks_cond);
+}
+
+void Facility::reclaim(detail::LnvcDesc& d) {
+  // Recycle from the front of the FIFO while the head message has been
+  // FCFS-consumed, read by every BROADCAST receiver that claims it, and is
+  // not being copied out right now.
+  while (d.msg_head) {
+    auto* m = arena_.get(d.msg_head);
+    if (m->fcfs_consumed == 0 ||
+        m->bcast_remaining.load(std::memory_order_acquire) != 0 ||
+        m->pins != 0) {
+      break;
+    }
+    d.msg_head = shm::Ref<detail::MsgHeader>{m->next_msg};
+    if (!d.msg_head) d.msg_tail = shm::Ref<detail::MsgHeader>{};
+    free_message(m);
+  }
+}
+
+Status Facility::send(ProcessId pid, LnvcId id, const void* data,
+                      std::size_t len) {
+  detail::LnvcDesc* d = slot(id);
+  if (d == nullptr || pid >= header_->max_processes ||
+      (data == nullptr && len > 0) || len > kMaxMessageBytes) {
+    return Status::invalid_argument;
+  }
+  platform_->charge_send_fixed();
+
+  // Validate the connection before paying for allocation and copy-in.
+  platform_->lock(d->lock);
+  if (d->in_use == 0) {
+    platform_->unlock(d->lock);
+    return Status::no_such_lnvc;
+  }
+  const std::uint32_t generation = d->generation;
+  if (find_conn(*d, pid, /*sender=*/true) == nullptr) {
+    platform_->unlock(d->lock);
+    return Status::not_connected;
+  }
+  platform_->unlock(d->lock);
+
+  // Allocate a header plus the block chain.  All free-list traffic is
+  // funneled through blocks_lock so that the waiting discipline (when the
+  // pool runs dry) is a classic monitor and works on both platforms.
+  const std::size_t need = blocks_for(len, header_->block_payload);
+  shm::Offset msg_off = shm::kNullOffset;
+  shm::Offset chain = shm::kNullOffset;
+  platform_->lock(header_->blocks_lock);
+  for (;;) {
+    std::size_t got = 0;
+    msg_off = header_->msg_list.pop(arena_);
+    if (msg_off != shm::kNullOffset) {
+      if (need == 0) break;
+      chain = header_->block_list.pop_chain(arena_, need, got);
+      if (got == need) break;
+      // Partial grab: return it and wait for receivers to recycle.
+      if (got > 0) {
+        shm::Offset tail = chain;
+        for (std::size_t i = 1; i < got; ++i) {
+          tail = *static_cast<shm::Offset*>(arena_.raw(tail));
+        }
+        header_->block_list.push_chain(arena_, chain, tail, got);
+        chain = shm::kNullOffset;
+      }
+      header_->msg_list.push(arena_, msg_off);
+      msg_off = shm::kNullOffset;
+    }
+    if (header_->block_policy ==
+        static_cast<std::uint32_t>(BlockPolicy::fail)) {
+      platform_->unlock(header_->blocks_lock);
+      return Status::out_of_blocks;
+    }
+    platform_->wait(header_->blocks_lock, header_->blocks_cond);
+  }
+  platform_->unlock(header_->blocks_lock);
+
+  // Build the message outside any LNVC lock: copy the send buffer into the
+  // block chain (paper §3.1).
+  auto* m = ::new (arena_.raw(msg_off)) detail::MsgHeader();
+  m->length = static_cast<std::uint32_t>(len);
+  m->nblocks = static_cast<std::uint32_t>(need);
+  m->first_block = chain;
+  m->next_msg = shm::kNullOffset;
+  const auto* src = static_cast<const std::byte*>(data);
+  shm::Offset b_off = chain;
+  shm::Offset last = chain;
+  std::size_t copied = 0;
+  while (copied < len) {
+    auto* b = static_cast<detail::Block*>(arena_.raw(b_off));
+    const std::size_t chunk =
+        std::min<std::size_t>(header_->block_payload, len - copied);
+    std::memcpy(b->data(), src + copied, chunk);
+    copied += chunk;
+    last = b_off;
+    b_off = b->next;
+  }
+  m->last_block = need > 0 ? last : shm::kNullOffset;
+  const std::size_t footprint =
+      sizeof(detail::MsgHeader) +
+      need * (sizeof(detail::Block) + header_->block_payload);
+  platform_->on_buffer_alloc(footprint);
+  platform_->charge_copy(len, need);
+  platform_->touch(len);
+
+  // Enqueue under the LNVC lock.
+  platform_->lock(d->lock);
+  if (d->in_use == 0 || d->generation != generation ||
+      find_conn(*d, pid, /*sender=*/true) == nullptr) {
+    platform_->unlock(d->lock);
+    // The LNVC died (or our connection was closed) during the copy.
+    free_message(m);
+    return Status::closed;
+  }
+  m->seq = d->seq_counter++;
+  // Delivery claims (design §3 of DESIGN.md): every BROADCAST receiver
+  // connected now must read it; the FCFS sub-stream keeps a claim unless
+  // the reclaim_broadcast_only option applies.
+  m->bcast_remaining.store(d->n_bcast, std::memory_order_relaxed);
+  m->fcfs_consumed = (header_->reclaim_broadcast_only != 0 &&
+                      d->n_fcfs == 0 && d->n_bcast > 0)
+                         ? 1
+                         : 0;
+  m->pins = 0;
+
+  if (d->msg_tail) {
+    arena_.get(d->msg_tail)->next_msg = msg_off;
+  } else {
+    d->msg_head = shm::Ref<detail::MsgHeader>{msg_off};
+  }
+  d->msg_tail = shm::Ref<detail::MsgHeader>{msg_off};
+
+  // Receivers whose head pointer was "at the tail" now point here.
+  if (m->fcfs_consumed == 0) {
+    ++d->n_queued;
+    if (!d->fcfs_head) d->fcfs_head = shm::Ref<detail::MsgHeader>{msg_off};
+  }
+  shm::Offset c_off = d->connections.off;
+  while (c_off != shm::kNullOffset) {
+    auto* conn = static_cast<detail::Connection*>(arena_.raw(c_off));
+    if (conn->is_bcast() && conn->bcast_head == shm::kNullOffset) {
+      conn->bcast_head = msg_off;
+    }
+    c_off = conn->next;
+  }
+  ++d->total_msgs;
+  d->total_bytes += len;
+  // A message nobody will ever deliver (no receivers under the reclaim
+  // option) is dropped immediately rather than leaked.
+  if (m->fcfs_consumed != 0 &&
+      m->bcast_remaining.load(std::memory_order_relaxed) == 0) {
+    reclaim(*d);
+  }
+  platform_->unlock(d->lock);
+
+  header_->sends.fetch_add(1, std::memory_order_relaxed);
+  header_->bytes_sent.fetch_add(len, std::memory_order_relaxed);
+  platform_->notify_all(d->cond);
+  if (header_->activity_waiters.load(std::memory_order_acquire) > 0) {
+    // A multi-waiter may have scanned this LNVC before our enqueue; the
+    // empty lock/unlock orders us against its check-then-sleep, so the
+    // notify cannot be lost (monitor discipline for receive_any).
+    platform_->lock(header_->activity_lock);
+    platform_->unlock(header_->activity_lock);
+    platform_->notify_all(header_->activity_cond);
+  }
+  return Status::ok;
+}
+
+Status Facility::receive_any(ProcessId pid, std::span<const LnvcId> ids,
+                             void* buf, std::size_t cap,
+                             std::size_t* out_len, std::size_t* out_index) {
+  if (ids.empty() || out_len == nullptr || out_index == nullptr) {
+    return Status::invalid_argument;
+  }
+  if (ids.size() == 1) {
+    *out_index = 0;
+    return receive(pid, ids[0], buf, cap, out_len);
+  }
+  std::size_t start = 0;  // rotates so no listed LNVC starves
+  for (;;) {
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      const std::size_t i = (start + k) % ids.size();
+      bool ready = false;
+      const Status s =
+          receive_impl(pid, ids[i], buf, cap, out_len, /*blocking=*/false,
+                       &ready);
+      if (s != Status::ok && s != Status::truncated) return s;
+      if (ready) {
+        *out_index = i;
+        return s;
+      }
+    }
+    start = (start + 1) % ids.size();
+    // Nothing ready anywhere: sleep on the facility-wide activity signal.
+    header_->activity_waiters.fetch_add(1, std::memory_order_acq_rel);
+    platform_->lock(header_->activity_lock);
+    // Re-probe under the waiter registration: a send that happened after
+    // the scan above has either been seen here or will notify us.
+    bool ready = false;
+    Status probe = Status::ok;
+    for (std::size_t i = 0; i < ids.size() && !ready; ++i) {
+      probe = check(pid, ids[i], &ready);
+      if (probe != Status::ok) break;
+    }
+    if (probe != Status::ok) {
+      platform_->unlock(header_->activity_lock);
+      header_->activity_waiters.fetch_sub(1, std::memory_order_acq_rel);
+      return probe;
+    }
+    if (!ready) {
+      platform_->wait(header_->activity_lock, header_->activity_cond);
+    }
+    platform_->unlock(header_->activity_lock);
+    header_->activity_waiters.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+Status Facility::receive_impl(ProcessId pid, LnvcId id, void* buf,
+                              std::size_t cap, std::size_t* out_len,
+                              bool blocking, bool* out_ready,
+                              std::uint64_t timeout_ns) {
+  detail::LnvcDesc* d = slot(id);
+  if (d == nullptr || pid >= header_->max_processes || out_len == nullptr ||
+      (buf == nullptr && cap > 0)) {
+    return Status::invalid_argument;
+  }
+  *out_len = 0;
+  if (out_ready != nullptr) *out_ready = false;
+  platform_->charge_recv_fixed();
+  const std::uint64_t deadline =
+      timeout_ns > 0 ? platform_->now_ns() + timeout_ns : 0;
+
+  platform_->lock(d->lock);
+  if (d->in_use == 0) {
+    platform_->unlock(d->lock);
+    return Status::no_such_lnvc;
+  }
+  const std::uint32_t generation = d->generation;
+  detail::MsgHeader* m = nullptr;
+  bool bcast = false;
+  for (;;) {
+    detail::Connection* conn = find_conn(*d, pid, /*sender=*/false);
+    if (conn == nullptr) {
+      platform_->unlock(d->lock);
+      return Status::not_connected;
+    }
+    if (conn->is_fcfs()) {
+      if (d->fcfs_head) {
+        // Claim the oldest unconsumed message for this FCFS receiver.
+        m = arena_.get(d->fcfs_head);
+        m->fcfs_consumed = 1;
+        d->fcfs_head = shm::Ref<detail::MsgHeader>{m->next_msg};
+        --d->n_queued;
+        bcast = false;
+      }
+    } else {
+      if (conn->bcast_head != shm::kNullOffset) {
+        m = static_cast<detail::MsgHeader*>(arena_.raw(conn->bcast_head));
+        conn->bcast_head = m->next_msg;
+        bcast = true;
+      }
+    }
+    if (m != nullptr) break;
+    if (!blocking) {
+      platform_->unlock(d->lock);
+      return Status::ok;  // *out_ready stays false
+    }
+    if (timeout_ns > 0) {
+      const std::uint64_t now = platform_->now_ns();
+      if (now >= deadline ||
+          (!platform_->wait_for(d->lock, d->cond, deadline - now) &&
+           platform_->now_ns() >= deadline)) {
+        platform_->unlock(d->lock);
+        return Status::timed_out;
+      }
+    } else {
+      platform_->wait(d->lock, d->cond);
+    }
+    platform_->charge_check();
+    if (d->in_use == 0 || d->generation != generation) {
+      platform_->unlock(d->lock);
+      return Status::closed;
+    }
+  }
+  // Pin the message so reclaim leaves it alone, then copy outside the lock
+  // — this is what lets BROADCAST receivers copy concurrently (the paper's
+  // explanation of Figure 5's scaling).
+  ++m->pins;
+  platform_->unlock(d->lock);
+
+  const std::size_t want = std::min<std::size_t>(m->length, cap);
+  auto* dst = static_cast<std::byte*>(buf);
+  shm::Offset b_off = m->first_block;
+  std::size_t copied = 0;
+  while (copied < want) {
+    const auto* b = static_cast<const detail::Block*>(arena_.raw(b_off));
+    const std::size_t chunk =
+        std::min<std::size_t>(header_->block_payload, want - copied);
+    std::memcpy(dst + copied, b->data(), chunk);
+    copied += chunk;
+    b_off = b->next;
+  }
+  platform_->charge_copy(m->length, m->nblocks);
+  platform_->touch(m->length);
+  const Status status = m->length > cap ? Status::truncated : Status::ok;
+  *out_len = copied;
+  if (out_ready != nullptr) *out_ready = true;
+
+  platform_->lock(d->lock);
+  --m->pins;
+  if (bcast) m->bcast_remaining.fetch_sub(1, std::memory_order_acq_rel);
+  reclaim(*d);
+  platform_->unlock(d->lock);
+
+  header_->receives.fetch_add(1, std::memory_order_relaxed);
+  header_->bytes_delivered.fetch_add(copied, std::memory_order_relaxed);
+  return status;
+}
+
+Status Facility::receive(ProcessId pid, LnvcId id, void* buf, std::size_t cap,
+                         std::size_t* out_len) {
+  return receive_impl(pid, id, buf, cap, out_len, /*blocking=*/true, nullptr);
+}
+
+Status Facility::try_receive(ProcessId pid, LnvcId id, void* buf,
+                             std::size_t cap, std::size_t* out_len,
+                             bool* out_ready) {
+  if (out_ready == nullptr) return Status::invalid_argument;
+  return receive_impl(pid, id, buf, cap, out_len, /*blocking=*/false,
+                      out_ready);
+}
+
+Status Facility::receive_for(ProcessId pid, LnvcId id, void* buf,
+                             std::size_t cap, std::size_t* out_len,
+                             std::uint64_t timeout_ns) {
+  if (timeout_ns == 0) {
+    bool ready = false;
+    const Status s = receive_impl(pid, id, buf, cap, out_len,
+                                  /*blocking=*/false, &ready);
+    if (s != Status::ok && s != Status::truncated) return s;
+    return ready ? s : Status::timed_out;
+  }
+  return receive_impl(pid, id, buf, cap, out_len, /*blocking=*/true, nullptr,
+                      timeout_ns);
+}
+
+Status Facility::check(ProcessId pid, LnvcId id, bool* out) {
+  detail::LnvcDesc* d = slot(id);
+  if (d == nullptr || out == nullptr || pid >= header_->max_processes) {
+    return Status::invalid_argument;
+  }
+  *out = false;
+  platform_->charge_check();
+  platform_->lock(d->lock);
+  if (d->in_use == 0) {
+    platform_->unlock(d->lock);
+    return Status::no_such_lnvc;
+  }
+  detail::Connection* conn = find_conn(*d, pid, /*sender=*/false);
+  if (conn == nullptr) {
+    platform_->unlock(d->lock);
+    return Status::not_connected;
+  }
+  if (conn->is_fcfs()) {
+    // Advisory: another FCFS receiver may take the message first (§2).
+    *out = static_cast<bool>(d->fcfs_head);
+  } else {
+    // Stable: only this receiver advances its private head.
+    *out = conn->bcast_head != shm::kNullOffset;
+  }
+  platform_->unlock(d->lock);
+  return Status::ok;
+}
+
+}  // namespace mpf

@@ -1,0 +1,43 @@
+#include "mpf/core/rendezvous.hpp"
+
+#include <cstring>
+
+namespace mpf {
+
+void Rendezvous::send(std::span<const std::byte> payload) {
+  Platform& p = *platform_;
+  RendezvousCell& c = *cell_;
+  p.lock(c.lock);
+  // One offer at a time: wait for the slot to be idle.
+  while (c.state != 0) p.wait(c.lock, c.cond);
+  c.state = 1;
+  c.length = static_cast<std::uint32_t>(payload.size());
+  c.sender_buf = payload.data();
+  p.notify_all(c.cond);
+  // Block until a receiver has completed the direct copy (synchronous
+  // semantics: the send buffer may be reused as soon as send() returns).
+  while (c.state != 2) p.wait(c.lock, c.cond);
+  c.state = 0;
+  c.sender_buf = nullptr;
+  p.notify_all(c.cond);  // admit the next offer
+  p.unlock(c.lock);
+}
+
+std::size_t Rendezvous::receive(std::span<std::byte> buffer) {
+  Platform& p = *platform_;
+  RendezvousCell& c = *cell_;
+  p.lock(c.lock);
+  while (c.state != 1) p.wait(c.lock, c.cond);
+  const std::size_t copy = std::min<std::size_t>(c.length, buffer.size());
+  std::memcpy(buffer.data(), c.sender_buf, copy);
+  // The whole point: one copy, no block chain (nblocks = 0).
+  p.charge_copy(c.length, 0);
+  p.touch(c.length);
+  c.copied = copy;
+  c.state = 2;
+  p.notify_all(c.cond);
+  p.unlock(c.lock);
+  return copy;
+}
+
+}  // namespace mpf

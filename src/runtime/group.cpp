@@ -1,0 +1,93 @@
+#include "mpf/runtime/group.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mpf::rt {
+namespace {
+
+void run_threads(int n, const std::function<void(int)>& fn) {
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  for (int rank = 0; rank < n; ++rank) {
+    workers.emplace_back([&, rank] {
+      try {
+        fn(rank);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void run_forks(int n, const std::function<void(int)>& fn) {
+  std::vector<pid_t> children;
+  children.reserve(n);
+  for (int rank = 0; rank < n; ++rank) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      for (const pid_t c : children) ::kill(c, SIGKILL);
+      for (const pid_t c : children) ::waitpid(c, nullptr, 0);
+      throw std::runtime_error("run_group: fork failed");
+    }
+    if (pid == 0) {
+      // Child: run the worker and leave without unwinding parent state.
+      int code = 0;
+      try {
+        fn(rank);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "worker %d: %s\n", rank, e.what());
+        code = 1;
+      } catch (...) {
+        code = 1;
+      }
+      std::fflush(nullptr);
+      ::_exit(code);
+    }
+    children.push_back(pid);
+  }
+  bool failed = false;
+  for (const pid_t c : children) {
+    int status = 0;
+    if (::waitpid(c, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      failed = true;
+    }
+  }
+  if (failed) throw std::runtime_error("run_group: a forked worker failed");
+}
+
+}  // namespace
+
+void run_group(Backend backend, int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  switch (backend) {
+    case Backend::thread:
+      run_threads(n, fn);
+      return;
+    case Backend::fork:
+      run_forks(n, fn);
+      return;
+  }
+}
+
+int online_cpus() noexcept {
+  const long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+}  // namespace mpf::rt

@@ -1,0 +1,78 @@
+#include "mpf/shm/arena.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace mpf::shm {
+namespace {
+
+constexpr std::size_t align_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+
+}  // namespace
+
+Arena Arena::create(Region& region) {
+  if (region.size() < sizeof(ArenaHeader) + 64) {
+    throw std::invalid_argument("Arena::create: region too small");
+  }
+  Arena arena;
+  arena.base_ = static_cast<std::byte*>(region.base());
+  arena.capacity_ = region.size();
+  auto* hdr = ::new (arena.base_) ArenaHeader();
+  hdr->capacity = region.size();
+  hdr->cursor.store(align_up(sizeof(ArenaHeader), 64),
+                    std::memory_order_release);
+  hdr->magic = ArenaHeader::kMagic;  // published last
+  return arena;
+}
+
+Arena Arena::attach(Region& region) {
+  Arena arena;
+  arena.base_ = static_cast<std::byte*>(region.base());
+  arena.capacity_ = region.size();
+  const auto* hdr = arena.header();
+  if (hdr->magic != ArenaHeader::kMagic || hdr->capacity > region.size()) {
+    throw std::invalid_argument("Arena::attach: region is not an MPF arena");
+  }
+  return arena;
+}
+
+Offset Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  auto* hdr = header();
+  std::uint64_t cur = hdr->cursor.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t start = align_up(cur, align);
+    const std::uint64_t end = start + bytes;
+    if (end > hdr->capacity) throw ArenaExhausted();
+    if (hdr->cursor.compare_exchange_weak(cur, end, std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+      const std::uint64_t live =
+          hdr->live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+      std::uint64_t peak = hdr->peak_bytes.load(std::memory_order_relaxed);
+      while (peak < live && !hdr->peak_bytes.compare_exchange_weak(
+                                peak, live, std::memory_order_relaxed)) {
+      }
+      return start;
+    }
+  }
+}
+
+void Arena::account_free(std::size_t bytes) noexcept {
+  header()->live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::size_t Arena::used() const noexcept {
+  return header()->cursor.load(std::memory_order_relaxed);
+}
+
+std::size_t Arena::live_bytes() const noexcept {
+  return header()->live_bytes.load(std::memory_order_relaxed);
+}
+
+std::size_t Arena::peak_bytes() const noexcept {
+  return header()->peak_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace mpf::shm

@@ -1,0 +1,76 @@
+#include "mpf/shm/free_list.hpp"
+
+#include <stdexcept>
+
+namespace mpf::shm {
+
+void FreeList::carve(Arena& arena, std::size_t node_bytes, std::size_t count) {
+  if (node_bytes < sizeof(Offset)) {
+    throw std::invalid_argument("FreeList: node too small for a link word");
+  }
+  node_bytes_ = node_bytes;
+  capacity_ = count;
+  // Allocate one contiguous slab; nodes are 8-aligned so the link word is
+  // naturally aligned.
+  const std::size_t stride = (node_bytes + 7) & ~std::size_t{7};
+  const Offset slab = arena.allocate(stride * count, 64);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Offset node = slab + i * stride;
+    link_of(arena, node) = head_;
+    head_ = node;
+  }
+  count_.store(count, std::memory_order_release);
+}
+
+Offset FreeList::pop(Arena& arena) noexcept {
+  lock_.lock();
+  const Offset node = head_;
+  if (node != kNullOffset) {
+    head_ = link_of(arena, node);
+    count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  lock_.unlock();
+  return node;
+}
+
+void FreeList::push(Arena& arena, Offset node) noexcept {
+  lock_.lock();
+  link_of(arena, node) = head_;
+  head_ = node;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  lock_.unlock();
+}
+
+Offset FreeList::pop_chain(Arena& arena, std::size_t want,
+                           std::size_t& got) noexcept {
+  got = 0;
+  if (want == 0) return kNullOffset;
+  lock_.lock();
+  const Offset head = head_;
+  Offset last = kNullOffset;
+  Offset cur = head;
+  while (cur != kNullOffset && got < want) {
+    last = cur;
+    cur = link_of(arena, cur);
+    ++got;
+  }
+  if (got > 0) {
+    head_ = cur;
+    link_of(arena, last) = kNullOffset;  // terminate the handed-out chain
+    count_.fetch_sub(got, std::memory_order_relaxed);
+  }
+  lock_.unlock();
+  return got > 0 ? head : kNullOffset;
+}
+
+void FreeList::push_chain(Arena& arena, Offset head, Offset tail,
+                          std::size_t count) noexcept {
+  if (count == 0 || head == kNullOffset) return;
+  lock_.lock();
+  link_of(arena, tail) = head_;
+  head_ = head;
+  count_.fetch_add(count, std::memory_order_relaxed);
+  lock_.unlock();
+}
+
+}  // namespace mpf::shm

@@ -1,0 +1,90 @@
+#include "mpf/sim/sim_platform.hpp"
+
+namespace mpf::sim {
+
+void SimPlatform::lock(sync::SpinLock& cell) {
+  if (Simulator::current() == nullptr) {
+    cell.lock();  // pre-run setup: real, uncontended
+    return;
+  }
+  sim_->mutex_lock(&cell);
+}
+
+void SimPlatform::unlock(sync::SpinLock& cell) {
+  if (Simulator::current() == nullptr) {
+    cell.unlock();
+    return;
+  }
+  sim_->mutex_unlock(&cell);
+}
+
+void SimPlatform::wait(sync::SpinLock& mutex_cell,
+                       sync::EventCount& cond_cell) {
+  if (Simulator::current() == nullptr) {
+    // Setup code should never block; emulate the native bounded poll.
+    const auto ticket = cond_cell.prepare_wait();
+    mutex_cell.unlock();
+    cond_cell.wait_rounds(ticket, 64);
+    mutex_cell.lock();
+    return;
+  }
+  sim_->cond_wait(&mutex_cell, &cond_cell);
+}
+
+bool SimPlatform::wait_for(sync::SpinLock& mutex_cell,
+                           sync::EventCount& cond_cell,
+                           std::uint64_t timeout_ns) {
+  if (Simulator::current() == nullptr) {
+    const auto ticket = cond_cell.prepare_wait();
+    mutex_cell.unlock();
+    const bool notified = cond_cell.wait_rounds(ticket, 64);
+    mutex_cell.lock();
+    return notified;
+  }
+  return sim_->cond_wait_for(&mutex_cell, &cond_cell, timeout_ns);
+}
+
+void SimPlatform::notify_all(sync::EventCount& cond_cell) {
+  if (Simulator::current() == nullptr) {
+    cond_cell.notify_all();
+    return;
+  }
+  sim_->cond_notify_all(&cond_cell);
+}
+
+void SimPlatform::charge_send_fixed() {
+  sim_->advance(sim_->model().send_fixed_ns);
+}
+void SimPlatform::charge_recv_fixed() {
+  sim_->advance(sim_->model().recv_fixed_ns);
+}
+void SimPlatform::charge_check() { sim_->advance(sim_->model().check_ns); }
+void SimPlatform::charge_open_close() {
+  sim_->advance(sim_->model().open_close_ns);
+}
+void SimPlatform::charge_copy(std::size_t bytes, std::size_t nblocks) {
+  sim_->charge_copy(bytes, nblocks);
+}
+void SimPlatform::charge_ops(double ops) {
+  sim_->advance(ops * sim_->model().op_ns);
+}
+void SimPlatform::charge_flops(double flops) {
+  sim_->advance(flops * sim_->model().flop_ns);
+}
+void SimPlatform::on_buffer_alloc(std::size_t bytes) {
+  sim_->footprint_alloc(bytes);
+}
+void SimPlatform::on_buffer_free(std::size_t bytes) {
+  sim_->footprint_free(bytes);
+}
+void SimPlatform::touch(std::size_t bytes) { sim_->charge_touch(bytes); }
+
+std::uint64_t SimPlatform::now_ns() const { return sim_->now(); }
+
+void SimPlatform::yield() {
+  // Polling loops must consume virtual time or they would livelock the
+  // conductor; one check_ns quantum per probe mirrors a real poll cost.
+  sim_->advance(sim_->model().check_ns);
+}
+
+}  // namespace mpf::sim

@@ -1,0 +1,432 @@
+#include "mpf/sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mpf::sim {
+namespace {
+
+thread_local Process* tl_current = nullptr;
+
+}  // namespace
+
+Process* Simulator::current() noexcept { return tl_current; }
+
+bool Simulator::in_simulation() const noexcept { return tl_current != nullptr; }
+
+Simulator::Simulator(MachineModel model) : model_(model) {}
+
+Simulator::~Simulator() = default;
+
+int Simulator::spawn(std::function<void()> body) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (started_) {
+    throw std::logic_error("Simulator::spawn called after run()");
+  }
+  auto proc = std::make_unique<Process>();
+  proc->id_ = static_cast<int>(procs_.size());
+  proc->body_ = std::move(body);
+  procs_.push_back(std::move(proc));
+  return procs_.back()->id_;
+}
+
+void Simulator::spawn_group(int n, const std::function<void(int)>& fn) {
+  for (int rank = 0; rank < n; ++rank) {
+    spawn([fn, rank] { fn(rank); });
+  }
+}
+
+Process* Simulator::pick_next() const noexcept {
+  Process* best = nullptr;
+  for (const auto& p : procs_) {
+    if (p->state_ != Process::State::Runnable) continue;
+    if (best == nullptr || p->clock_ < best->clock_ ||
+        (p->clock_ == best->clock_ && p->id_ < best->id_)) {
+      best = p.get();
+    }
+  }
+  return best;
+}
+
+void Simulator::wake(Process* p, Time at_least) noexcept {
+  assert(p->state_ == Process::State::Blocked);
+  p->clock_ = std::max(p->clock_, at_least);
+  p->timed_ = false;
+  p->timed_out_ = false;
+  p->waiting_cond_ = nullptr;
+  p->state_ = Process::State::Runnable;
+}
+
+void Simulator::trigger_abort(std::unique_lock<std::mutex>&) {
+  if (aborting_) return;
+  aborting_ = true;
+  for (const auto& p : procs_) {
+    if (p->state_ == Process::State::Blocked ||
+        p->state_ == Process::State::Runnable) {
+      p->abort_requested_ = true;
+      p->cv_.notify_one();
+    }
+  }
+}
+
+void Simulator::promote_timeouts() noexcept {
+  for (;;) {
+    Process* runnable = pick_next();
+    Process* timed = nullptr;
+    for (const auto& p : procs_) {
+      if (p->state_ == Process::State::Blocked && p->timed_ &&
+          (timed == nullptr || p->wake_at_ < timed->wake_at_ ||
+           (p->wake_at_ == timed->wake_at_ && p->id_ < timed->id_))) {
+        timed = p.get();
+      }
+    }
+    if (timed == nullptr) return;
+    if (runnable != nullptr && runnable->clock_ <= timed->wake_at_) return;
+    // The earliest possible event is this deadline: the sleeper times out.
+    auto it = conds_.find(timed->waiting_cond_);
+    if (it != conds_.end()) {
+      auto& q = it->second.waiters;
+      q.erase(std::remove(q.begin(), q.end(), timed), q.end());
+    }
+    timed->clock_ = timed->wake_at_;
+    timed->timed_ = false;
+    timed->timed_out_ = true;
+    timed->waiting_cond_ = nullptr;
+    timed->state_ = Process::State::Runnable;
+  }
+}
+
+void Simulator::reschedule(std::unique_lock<std::mutex>& lk, Process* self) {
+  if (aborting_ && self->state_ != Process::State::Done) {
+    throw AbortProcess{};
+  }
+  promote_timeouts();
+  Process* next = pick_next();
+  if (next == self) {
+    self->state_ = Process::State::Running;
+    return;
+  }
+  if (next != nullptr) {
+    next->state_ = Process::State::Running;
+    ++switches_;
+    next->cv_.notify_one();
+  } else {
+    // Nobody is runnable.  Either everything is finished, or every live
+    // process is blocked -> deadlock.
+    if (live_ == 0) {
+      done_cv_.notify_all();
+    } else {
+      if (!first_error_) {
+        first_error_ = std::make_exception_ptr(DeadlockError(
+            "simulation deadlock: every live process is blocked"));
+      }
+      trigger_abort(lk);
+    }
+  }
+  if (self->state_ == Process::State::Done) return;
+  while (self->state_ != Process::State::Running) {
+    if (self->abort_requested_) throw AbortProcess{};
+    self->cv_.wait(lk);
+  }
+  if (aborting_) throw AbortProcess{};
+}
+
+void Simulator::thread_main(Process* self) {
+  tl_current = self;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (self->state_ != Process::State::Running &&
+           !self->abort_requested_) {
+      self->cv_.wait(lk);
+    }
+  }
+  if (!self->abort_requested_) {
+    try {
+      self->body_();
+    } catch (const AbortProcess&) {
+      // teardown in progress; fall through
+    } catch (...) {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      trigger_abort(lk);
+    }
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  if (trace_ != nullptr) {
+    trace_->record(self->clock_, self->id_, TraceKind::done, 0);
+  }
+  self->state_ = Process::State::Done;
+  makespan_ = std::max(makespan_, self->clock_);
+  --live_;
+  if (live_ == 0) {
+    done_cv_.notify_all();
+  } else {
+    // Hand off to the next runnable process (or detect deadlock).
+    try {
+      reschedule(lk, self);
+    } catch (const AbortProcess&) {
+    }
+  }
+  tl_current = nullptr;
+}
+
+void Simulator::run() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (started_) throw std::logic_error("Simulator::run is one-shot");
+    if (procs_.empty()) return;
+    started_ = true;
+    live_ = static_cast<int>(procs_.size());
+    for (const auto& p : procs_) p->state_ = Process::State::Runnable;
+  }
+  for (const auto& p : procs_) {
+    p->thread_ = std::thread([this, proc = p.get()] { thread_main(proc); });
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    Process* first = pick_next();
+    if (first != nullptr) {
+      first->state_ = Process::State::Running;
+      first->cv_.notify_one();
+    }
+    done_cv_.wait(lk, [this] { return live_ == 0; });
+  }
+  for (const auto& p : procs_) {
+    if (p->thread_.joinable()) p->thread_.join();
+  }
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+Process* Simulator::current_checked() const {
+  return tl_current;  // nullptr outside the simulation => charges ignored
+}
+
+void Simulator::advance(double ns) {
+  Process* self = current_checked();
+  if (self == nullptr) return;
+  self->clock_ += static_cast<Time>(ns);
+  std::unique_lock<std::mutex> lk(mu_);
+  if (trace_ != nullptr) {
+    trace_->record(self->clock_, self->id_, TraceKind::advance,
+                   static_cast<std::uint64_t>(ns));
+  }
+  self->state_ = Process::State::Runnable;
+  reschedule(lk, self);
+}
+
+Time Simulator::now() const noexcept {
+  const Process* self = tl_current;
+  return self != nullptr ? self->clock_ : 0;
+}
+
+void Simulator::mutex_lock(const void* cell) {
+  Process* self = current_checked();
+  if (self == nullptr) return;  // single-threaded setup: no contention
+  std::unique_lock<std::mutex> lk(mu_);
+  MutexState& m = mutexes_[cell];
+  if (m.owner == nullptr) {
+    m.owner = self;
+  } else {
+    if (trace_ != nullptr) {
+      trace_->record(self->clock_, self->id_, TraceKind::lock_wait, 0);
+    }
+    m.waiters.push_back(self);
+    self->state_ = Process::State::Blocked;
+    reschedule(lk, self);  // resumes once unlock() transfers ownership to us
+    assert(m.owner == self);
+  }
+  if (trace_ != nullptr) {
+    trace_->record(self->clock_, self->id_, TraceKind::lock_acquire, 0);
+  }
+  // A TAS lock's acquisition cost grows with the crowd still spinning on
+  // it (cache-line invalidation traffic on the shared bus).
+  const double contention =
+      1.0 + model_.lock_contention_factor *
+                static_cast<double>(m.waiters.size());
+  self->clock_ += static_cast<Time>(model_.lock_ns * contention);
+  self->state_ = Process::State::Runnable;
+  reschedule(lk, self);
+}
+
+void Simulator::mutex_unlock(const void* cell) {
+  Process* self = current_checked();
+  if (self == nullptr) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (trace_ != nullptr) {
+    trace_->record(self->clock_, self->id_, TraceKind::lock_release, 0);
+  }
+  MutexState& m = mutexes_[cell];
+  assert(m.owner == self);
+  if (m.waiters.empty()) {
+    m.owner = nullptr;
+  } else {
+    Process* next_owner = m.waiters.front();
+    m.waiters.pop_front();
+    m.owner = next_owner;
+    wake(next_owner, self->clock_);
+  }
+  self->state_ = Process::State::Runnable;
+  reschedule(lk, self);
+}
+
+void Simulator::cond_wait(const void* mutex_cell, const void* cond_cell) {
+  Process* self = current_checked();
+  if (self == nullptr) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  // Release the mutex (inline unlock without a scheduling point).
+  MutexState& m = mutexes_[mutex_cell];
+  assert(m.owner == self);
+  if (m.waiters.empty()) {
+    m.owner = nullptr;
+  } else {
+    Process* next_owner = m.waiters.front();
+    m.waiters.pop_front();
+    m.owner = next_owner;
+    wake(next_owner, self->clock_);
+  }
+  // Sleep on the condition queue.
+  if (trace_ != nullptr) {
+    trace_->record(self->clock_, self->id_, TraceKind::cond_sleep, 0);
+  }
+  conds_[cond_cell].waiters.push_back(self);
+  self->state_ = Process::State::Blocked;
+  reschedule(lk, self);
+  // Woken: pay the wakeup cost, then re-acquire the mutex.
+  self->clock_ += static_cast<Time>(model_.wake_ns);
+  if (trace_ != nullptr) {
+    trace_->record(self->clock_, self->id_, TraceKind::cond_wake, 0);
+  }
+  MutexState& m2 = mutexes_[mutex_cell];
+  if (m2.owner == nullptr) {
+    m2.owner = self;
+  } else {
+    m2.waiters.push_back(self);
+    self->state_ = Process::State::Blocked;
+    reschedule(lk, self);
+    assert(m2.owner == self);
+  }
+  self->clock_ += static_cast<Time>(model_.lock_ns);
+  self->state_ = Process::State::Runnable;
+  reschedule(lk, self);
+}
+
+bool Simulator::cond_wait_for(const void* mutex_cell, const void* cond_cell,
+                              std::uint64_t timeout_ns) {
+  Process* self = current_checked();
+  if (self == nullptr) return true;
+  std::unique_lock<std::mutex> lk(mu_);
+  MutexState& m = mutexes_[mutex_cell];
+  assert(m.owner == self);
+  if (m.waiters.empty()) {
+    m.owner = nullptr;
+  } else {
+    Process* next_owner = m.waiters.front();
+    m.waiters.pop_front();
+    m.owner = next_owner;
+    wake(next_owner, self->clock_);
+  }
+  if (trace_ != nullptr) {
+    trace_->record(self->clock_, self->id_, TraceKind::cond_sleep, timeout_ns);
+  }
+  conds_[cond_cell].waiters.push_back(self);
+  self->timed_ = true;
+  self->timed_out_ = false;
+  self->wake_at_ = self->clock_ + timeout_ns;
+  self->waiting_cond_ = cond_cell;
+  self->state_ = Process::State::Blocked;
+  reschedule(lk, self);
+  const bool notified = !self->timed_out_;
+  self->timed_ = false;
+  self->timed_out_ = false;
+  self->waiting_cond_ = nullptr;
+  if (notified) self->clock_ += static_cast<Time>(model_.wake_ns);
+  if (trace_ != nullptr) {
+    trace_->record(self->clock_, self->id_, TraceKind::cond_wake,
+                   notified ? 1 : 0);
+  }
+  MutexState& m2 = mutexes_[mutex_cell];
+  if (m2.owner == nullptr) {
+    m2.owner = self;
+  } else {
+    m2.waiters.push_back(self);
+    self->state_ = Process::State::Blocked;
+    reschedule(lk, self);
+    assert(m2.owner == self);
+  }
+  self->clock_ += static_cast<Time>(model_.lock_ns);
+  self->state_ = Process::State::Runnable;
+  reschedule(lk, self);
+  return notified;
+}
+
+void Simulator::cond_notify_all(const void* cond_cell) {
+  Process* self = current_checked();
+  if (self == nullptr) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = conds_.find(cond_cell);
+  if (it != conds_.end()) {
+    for (Process* w : it->second.waiters) wake(w, self->clock_);
+    it->second.waiters.clear();
+  }
+  self->state_ = Process::State::Runnable;
+  reschedule(lk, self);
+}
+
+void Simulator::charge_copy(std::uint64_t bytes, std::uint64_t nblocks) {
+  Process* self = current_checked();
+  if (self == nullptr) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  const double start = static_cast<double>(self->clock_);
+  const double cpu =
+      static_cast<double>(bytes) * model_.copy_ns_per_byte +
+      static_cast<double>(nblocks) * model_.block_overhead_ns;
+  const double cpu_done = start + cpu;
+  const double bus_bytes =
+      static_cast<double>(bytes) * model_.bus_fraction;
+  const double bus_start = std::max(start, bus_free_at_);
+  const double bus_done = bus_start + bus_bytes * model_.bus_ns_per_byte;
+  bus_free_at_ = bus_done;
+  bus_busy_ns_ += bus_done - bus_start;
+  self->clock_ = static_cast<Time>(std::max(cpu_done, bus_done));
+  if (trace_ != nullptr) {
+    trace_->record(self->clock_, self->id_, TraceKind::copy, bytes);
+  }
+  self->state_ = Process::State::Runnable;
+  reschedule(lk, self);
+}
+
+void Simulator::charge_touch(std::uint64_t bytes) {
+  Process* self = current_checked();
+  if (self == nullptr) return;
+  // Pressure follows the live buffer footprint: a deep backlog of
+  // in-flight messages keeps evicting and re-faulting pages; thrashing
+  // grows superlinearly with the overshoot.
+  if (live_msg_bytes_ <= model_.resident_bytes) return;
+  const double over =
+      static_cast<double>(live_msg_bytes_ - model_.resident_bytes);
+  const double pressure = std::min(
+      model_.pressure_cap, over / static_cast<double>(model_.resident_bytes));
+  const std::uint64_t pages = std::max<std::uint64_t>(
+      (bytes + model_.page_bytes - 1) / model_.page_bytes, 1);
+  const double extra =
+      pressure * pressure * model_.fault_ns * static_cast<double>(pages);
+  std::unique_lock<std::mutex> lk(mu_);
+  faults_ += pages;
+  self->clock_ += static_cast<Time>(extra);
+  if (trace_ != nullptr) {
+    trace_->record(self->clock_, self->id_, TraceKind::fault, pages);
+  }
+  self->state_ = Process::State::Runnable;
+  reschedule(lk, self);
+}
+
+void Simulator::footprint_alloc(std::uint64_t bytes) noexcept {
+  live_msg_bytes_ += bytes;
+  peak_msg_bytes_ = std::max(peak_msg_bytes_, live_msg_bytes_);
+}
+
+void Simulator::footprint_free(std::uint64_t bytes) noexcept {
+  live_msg_bytes_ = bytes > live_msg_bytes_ ? 0 : live_msg_bytes_ - bytes;
+}
+
+}  // namespace mpf::sim

@@ -1,0 +1,37 @@
+#include "mpf/sim/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace mpf::sim {
+
+const char* to_string(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::advance: return "advance";
+    case TraceKind::lock_acquire: return "lock_acquire";
+    case TraceKind::lock_wait: return "lock_wait";
+    case TraceKind::lock_release: return "lock_release";
+    case TraceKind::cond_sleep: return "cond_sleep";
+    case TraceKind::cond_wake: return "cond_wake";
+    case TraceKind::copy: return "copy";
+    case TraceKind::fault: return "fault";
+    case TraceKind::done: return "done";
+  }
+  return "unknown";
+}
+
+std::size_t Trace::count(TraceKind kind) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+void Trace::write_csv(std::ostream& os) const {
+  os << "time_ns,process,kind,detail\n";
+  for (const TraceEvent& e : events_) {
+    os << e.time_ns << ',' << e.process << ',' << to_string(e.kind) << ','
+       << e.detail << '\n';
+  }
+}
+
+}  // namespace mpf::sim

@@ -1,0 +1,20 @@
+/* Compile-time proof that the compatibility header is valid C and that
+ * the paper-spelled macro names resolve (MPF_PAPER_NAMES).  Linked into
+ * test_c_header as a C translation unit. */
+#define MPF_PAPER_NAMES
+#include "mpf/compat/mpf.h"
+
+int mpf_paper_names_smoke(void) {
+  if (init(4, 4) != 0) return -1;
+  int tx = open_send(0, "c-conv");
+  int rx = open_receive(1, "c-conv", MPF_FCFS);
+  if (tx < 0 || rx < 0) return -2;
+  if (message_send(0, tx, "xyz", 3) != 0) return -3;
+  char buf[8];
+  int len = (int)sizeof(buf);
+  if (check_receive(1, rx) != 1) return -4;
+  if (message_receive(1, rx, buf, &len) != 0 || len != 3) return -5;
+  if (close_send(0, tx) != 0 || close_receive(1, rx) != 0) return -6;
+  if (mpf_shutdown() != 0) return -7;
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Unit tests of the position-independent shared-memory arena.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "mpf/shm/arena.hpp"
+#include "mpf/shm/region.hpp"
+
+namespace {
+
+using namespace mpf::shm;
+
+TEST(Arena, CreateFormatsHeaderAndAllocates) {
+  HeapRegion region(64 * 1024);
+  Arena arena = Arena::create(region);
+  EXPECT_TRUE(arena.valid());
+  EXPECT_EQ(arena.capacity(), region.size());
+  const Offset a = arena.allocate(100);
+  const Offset b = arena.allocate(100);
+  EXPECT_NE(a, kNullOffset);
+  EXPECT_GE(b, a + 100);
+}
+
+TEST(Arena, AllocationRespectsAlignment) {
+  HeapRegion region(64 * 1024);
+  Arena arena = Arena::create(region);
+  (void)arena.allocate(3, 1);
+  for (const std::size_t align : {8u, 16u, 64u, 256u}) {
+    const Offset off = arena.allocate(1, align);
+    EXPECT_EQ(off % align, 0u) << "align " << align;
+    (void)arena.allocate(3, 1);  // misalign the cursor again
+  }
+}
+
+TEST(Arena, ExhaustionThrowsArenaExhausted) {
+  HeapRegion region(8 * 1024);
+  Arena arena = Arena::create(region);
+  EXPECT_THROW(
+      {
+        for (;;) (void)arena.allocate(512);
+      },
+      ArenaExhausted);
+}
+
+TEST(Arena, ZeroByteAllocationGetsDistinctAddress) {
+  HeapRegion region(16 * 1024);
+  Arena arena = Arena::create(region);
+  const Offset a = arena.allocate(0);
+  const Offset b = arena.allocate(0);
+  EXPECT_NE(a, b);
+}
+
+TEST(Arena, AttachSeesCreatedState) {
+  HeapRegion region(64 * 1024);
+  Arena creator = Arena::create(region);
+  const Offset off = creator.allocate(32);
+  std::memcpy(creator.raw(off), "shared-state", 13);
+
+  Arena attached = Arena::attach(region);
+  EXPECT_EQ(attached.capacity(), creator.capacity());
+  EXPECT_STREQ(static_cast<const char*>(attached.raw(off)), "shared-state");
+}
+
+TEST(Arena, AttachRejectsUnformattedRegion) {
+  HeapRegion region(64 * 1024);
+  EXPECT_THROW((void)Arena::attach(region), std::invalid_argument);
+}
+
+TEST(Arena, CreateRejectsTinyRegion) {
+  HeapRegion region(64);
+  EXPECT_THROW((void)Arena::create(region), std::invalid_argument);
+}
+
+TEST(Arena, RefRoundTrip) {
+  HeapRegion region(64 * 1024);
+  Arena arena = Arena::create(region);
+  const Ref<int> ref = arena.make<int>(41);
+  int* p = arena.get(ref);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 41);
+  EXPECT_EQ(arena.ref_of(p), ref);
+  EXPECT_EQ(arena.get(Ref<int>{}), nullptr);  // null resolves to nullptr
+}
+
+TEST(Arena, MakeArrayDefaultConstructsEveryElement) {
+  HeapRegion region(64 * 1024);
+  Arena arena = Arena::create(region);
+  struct Cell {
+    int v = 7;
+  };
+  const Offset off = arena.make_array<Cell>(33);
+  const auto* cells = static_cast<const Cell*>(arena.raw(off));
+  for (int i = 0; i < 33; ++i) EXPECT_EQ(cells[i].v, 7) << i;
+}
+
+TEST(Arena, LiveAndPeakAccounting) {
+  HeapRegion region(64 * 1024);
+  Arena arena = Arena::create(region);
+  const std::size_t base = arena.live_bytes();
+  (void)arena.allocate(1000);
+  EXPECT_EQ(arena.live_bytes(), base + 1000);
+  (void)arena.allocate(500);
+  EXPECT_EQ(arena.live_bytes(), base + 1500);
+  EXPECT_GE(arena.peak_bytes(), base + 1500);
+  arena.account_free(1500);
+  EXPECT_EQ(arena.live_bytes(), base);
+  EXPECT_GE(arena.peak_bytes(), base + 1500);  // peak is sticky
+}
+
+TEST(Arena, ConcurrentAllocationsDoNotOverlap) {
+  HeapRegion region(4 * 1024 * 1024);
+  Arena arena = Arena::create(region);
+  constexpr int kThreads = 8;
+  constexpr int kAllocs = 500;
+  std::vector<std::vector<Offset>> got(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kAllocs; ++i) {
+        got[t].push_back(arena.allocate(64));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::vector<Offset> all;
+  for (const auto& v : got) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i], all[i - 1] + 64) << "overlapping allocations";
+  }
+}
+
+}  // namespace

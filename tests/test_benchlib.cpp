@@ -1,0 +1,164 @@
+// The benchmark library itself: figure tables, the simulated-run harness,
+// and the paper's four synthetic workloads (run small, both natively on
+// threads and under the simulator).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mpf/benchlib/figure.hpp"
+#include "mpf/benchlib/simrun.hpp"
+#include "mpf/benchlib/workloads.hpp"
+#include "mpf/runtime/group.hpp"
+#include "mpf/shm/region.hpp"
+
+namespace {
+
+using namespace mpf;
+using namespace mpf::benchlib;
+
+TEST(Figure, TableLaysOutSeriesAsColumns) {
+  Figure fig;
+  fig.id = "Figure T";
+  fig.title = "Test";
+  fig.xlabel = "x";
+  fig.ylabel = "y";
+  fig.add("a", 1, 10);
+  fig.add("a", 2, 20);
+  fig.add("b", 1, 100);
+  fig.add("b", 3, 300);  // x=3 missing from series a
+  std::ostringstream os;
+  print_figure(os, fig);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Figure T"), std::string::npos);
+  EXPECT_NE(out.find("# x = x, y = y"), std::string::npos);
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("300"), std::string::npos);
+  EXPECT_NE(out.find("-"), std::string::npos) << "missing point marker";
+  // Three data rows: x = 1, 2, 3.
+  int rows = 0;
+  for (char ch : out) rows += ch == '\n';
+  EXPECT_GE(rows, 5);
+}
+
+TEST(Figure, AddAppendsToExistingSeries) {
+  Figure fig;
+  fig.add("s", 1, 1);
+  fig.add("s", 2, 2);
+  ASSERT_EQ(fig.series.size(), 1u);
+  EXPECT_EQ(fig.series[0].points.size(), 2u);
+}
+
+TEST(SimRun, ReportsConsistentMetrics) {
+  Config c;
+  c.max_lnvcs = 8;
+  c.max_processes = 4;
+  const SimMetrics m = run_sim(c, 1, [](Facility f, int) {
+    base_loopback(f, 64, 10);
+  });
+  EXPECT_GT(m.seconds, 0.0);
+  EXPECT_EQ(m.sends, 10u);
+  EXPECT_EQ(m.receives, 10u);
+  EXPECT_EQ(m.bytes_sent, 640u);
+  EXPECT_EQ(m.bytes_delivered, 640u);
+  EXPECT_NEAR(m.sent_throughput(), 640.0 / m.seconds, 1.0);
+}
+
+TEST(SimRun, DeterministicAcrossInvocations) {
+  Config c;
+  c.max_lnvcs = 16;
+  c.max_processes = 24;
+  auto once = [&] {
+    return run_sim(c, 6, [&](Facility f, int rank) {
+      random_worker(f, rank, 6, 64, 10, 7);
+    });
+  };
+  const SimMetrics a = once();
+  const SimMetrics b = once();
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.bytes_delivered, b.bytes_delivered);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+}
+
+// The four synthetic workloads must also be *correct* programs when run
+// natively on threads (they are ordinary MPF clients).
+
+TEST(Workloads, BaseLoopbackNative) {
+  Config c;
+  c.max_lnvcs = 8;
+  c.max_processes = 4;
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  base_loopback(f, 128, 50);
+  const FacilityStats s = f.stats();
+  EXPECT_EQ(s.sends, 50u);
+  EXPECT_EQ(s.bytes_delivered, 50u * 128u);
+  EXPECT_EQ(f.lnvc_count(), 0u);
+}
+
+TEST(Workloads, FcfsNative) {
+  Config c;
+  c.max_lnvcs = 16;
+  c.max_processes = 24;
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  constexpr int kRecv = 3;
+  constexpr int kMsgs = 60;
+  rt::run_group(rt::Backend::thread, kRecv + 1, [&](int rank) {
+    if (rank == 0) {
+      fcfs_sender(f, 32, kMsgs, kRecv);
+    } else {
+      fcfs_receiver(f, rank, kRecv);
+    }
+  });
+  const FacilityStats s = f.stats();
+  // Each message delivered once, plus the startup barrier's traffic:
+  // kRecv ready tokens (4 B) and one go broadcast to kRecv+1 receivers.
+  EXPECT_EQ(s.bytes_delivered, kMsgs * 32u + kRecv * 4u + (kRecv + 1) * 4u);
+  EXPECT_EQ(f.lnvc_count(), 0u);
+}
+
+TEST(Workloads, BroadcastNative) {
+  Config c;
+  c.max_lnvcs = 16;
+  c.max_processes = 24;
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  constexpr int kRecv = 4;
+  constexpr int kMsgs = 30;
+  rt::run_group(rt::Backend::thread, kRecv + 1, [&](int rank) {
+    if (rank == 0) {
+      broadcast_sender(f, 48, kMsgs, kRecv);
+    } else {
+      broadcast_receiver(f, rank, kMsgs, kRecv);
+    }
+  });
+  const FacilityStats s = f.stats();
+  // Every broadcast copy counted, plus the barrier's bytes.
+  EXPECT_EQ(s.bytes_delivered,
+            kRecv * kMsgs * 48u + kRecv * 4u + (kRecv + 1) * 4u);
+}
+
+TEST(Workloads, RandomNativeDeliversMostTraffic) {
+  Config c;
+  c.max_lnvcs = 32;
+  c.max_processes = 24;
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  constexpr int kProcs = 6;
+  constexpr int kMsgs = 40;
+  rt::run_group(rt::Backend::thread, kProcs, [&](int rank) {
+    random_worker(f, rank, kProcs, 16, kMsgs, 99);
+  });
+  const FacilityStats s = f.stats();
+  // Barrier traffic: kProcs-1 ready tokens plus one go broadcast.
+  EXPECT_EQ(s.sends, static_cast<std::uint64_t>(kProcs) * kMsgs + kProcs);
+  // Trailing messages are discarded at close (paper §3.2 semantics), and
+  // on one core the interleaving decides how many; the hard invariants
+  // are no duplication and no leakage.
+  EXPECT_LE(s.receives, s.sends);
+  EXPECT_GE(s.receives, static_cast<std::uint64_t>(kMsgs) / 2);
+  EXPECT_EQ(f.lnvc_count(), 0u);
+  EXPECT_EQ(f.stats().blocks_free, c.resolved().message_blocks);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Conformance tests of the paper's C interface (mpf/compat/mpf.h).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "mpf/compat/mpf.h"
+
+namespace {
+
+struct CApi : ::testing::Test {
+  void SetUp() override { ASSERT_EQ(mpf_init(8, 8), 0); }
+  void TearDown() override { mpf_shutdown(); }
+};
+
+TEST(CApiLifecycle, OperationsBeforeInitFail) {
+  EXPECT_EQ(mpf_open_send(0, "x"), MPF_ENOTINIT);
+  EXPECT_EQ(mpf_open_receive(0, "x", MPF_FCFS), MPF_ENOTINIT);
+  EXPECT_EQ(mpf_close_send(0, 0), MPF_ENOTINIT);
+  EXPECT_EQ(mpf_message_send(0, 0, "a", 1), MPF_ENOTINIT);
+  char buf[4];
+  int len = 4;
+  EXPECT_EQ(mpf_message_receive(0, 0, buf, &len), MPF_ENOTINIT);
+  EXPECT_EQ(mpf_check_receive(0, 0), MPF_ENOTINIT);
+  EXPECT_EQ(mpf_shutdown(), MPF_ENOTINIT);
+}
+
+TEST(CApiLifecycle, DoubleInitRejected) {
+  ASSERT_EQ(mpf_init(4, 4), 0);
+  EXPECT_EQ(mpf_init(4, 4), MPF_EALREADY);
+  EXPECT_EQ(mpf_shutdown(), 0);
+  // A fresh init works after shutdown.
+  ASSERT_EQ(mpf_init(4, 4), 0);
+  EXPECT_EQ(mpf_shutdown(), 0);
+}
+
+TEST(CApiLifecycle, InitValidatesArguments) {
+  EXPECT_EQ(mpf_init(0, 4), MPF_EINVAL);
+  EXPECT_EQ(mpf_init(4, -1), MPF_EINVAL);
+}
+
+TEST_F(CApi, OpenReturnsSameIdForSameName) {
+  const int a = mpf_open_send(0, "conv");
+  const int b = mpf_open_receive(1, "conv", MPF_FCFS);
+  ASSERT_GE(a, 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(CApi, InvalidArgumentsRejected) {
+  EXPECT_EQ(mpf_open_send(-1, "x"), MPF_EINVAL);
+  EXPECT_EQ(mpf_open_send(0, nullptr), MPF_EINVAL);
+  EXPECT_EQ(mpf_open_receive(0, "x", 3), MPF_EINVAL);
+  EXPECT_EQ(mpf_message_send(0, 0, "a", -1), MPF_EINVAL);
+  char buf[4];
+  EXPECT_EQ(mpf_message_receive(0, 0, buf, nullptr), MPF_EINVAL);
+}
+
+TEST_F(CApi, ProtocolConflictSurfacesAsEPROTOCOL) {
+  ASSERT_GE(mpf_open_receive(1, "conv", MPF_FCFS), 0);
+  EXPECT_EQ(mpf_open_receive(1, "conv", MPF_BROADCAST), MPF_EPROTOCOL);
+}
+
+TEST_F(CApi, DuplicateOpenSurfacesAsEALREADY) {
+  ASSERT_GE(mpf_open_send(0, "conv"), 0);
+  EXPECT_EQ(mpf_open_send(0, "conv"), MPF_EALREADY);
+}
+
+TEST_F(CApi, SendReceiveRoundTrip) {
+  const int tx = mpf_open_send(0, "conv");
+  const int rx = mpf_open_receive(1, "conv", MPF_FCFS);
+  ASSERT_EQ(mpf_message_send(0, tx, "payload", 7), 0);
+  char buf[16] = {};
+  int len = sizeof(buf);
+  ASSERT_EQ(mpf_message_receive(1, rx, buf, &len), 0);
+  EXPECT_EQ(len, 7);
+  EXPECT_EQ(std::string(buf, 7), "payload");
+}
+
+TEST_F(CApi, TruncationReportsETRUNCAndLength) {
+  const int tx = mpf_open_send(0, "conv");
+  const int rx = mpf_open_receive(1, "conv", MPF_FCFS);
+  ASSERT_EQ(mpf_message_send(0, tx, "0123456789", 10), 0);
+  char buf[4];
+  int len = sizeof(buf);
+  EXPECT_EQ(mpf_message_receive(1, rx, buf, &len), MPF_ETRUNC);
+  EXPECT_EQ(len, 4);
+  EXPECT_EQ(std::memcmp(buf, "0123", 4), 0);
+}
+
+TEST_F(CApi, CheckReceiveTriState) {
+  const int tx = mpf_open_send(0, "conv");
+  const int rx = mpf_open_receive(1, "conv", MPF_BROADCAST);
+  EXPECT_EQ(mpf_check_receive(1, rx), 0);
+  ASSERT_EQ(mpf_message_send(0, tx, "x", 1), 0);
+  EXPECT_EQ(mpf_check_receive(1, rx), 1);
+  EXPECT_EQ(mpf_check_receive(1, 77), MPF_EINVAL);
+  EXPECT_EQ(mpf_check_receive(2, rx), MPF_ENOTCONN);
+}
+
+TEST_F(CApi, CloseSemantics) {
+  const int tx = mpf_open_send(0, "conv");
+  EXPECT_EQ(mpf_close_receive(0, tx), MPF_ENOTCONN);
+  EXPECT_EQ(mpf_close_send(0, tx), 0);
+  EXPECT_EQ(mpf_close_send(0, tx), MPF_ENOLNVC);
+  EXPECT_EQ(mpf_message_send(0, tx, "a", 1), MPF_ENOLNVC);
+}
+
+TEST_F(CApi, ZeroLengthMessages) {
+  const int tx = mpf_open_send(0, "conv");
+  const int rx = mpf_open_receive(1, "conv", MPF_FCFS);
+  ASSERT_EQ(mpf_message_send(0, tx, nullptr, 0), 0);
+  char buf[1];
+  int len = 0;
+  EXPECT_EQ(mpf_message_receive(1, rx, buf, &len), 0);
+  EXPECT_EQ(len, 0);
+}
+
+}  // namespace

@@ -1,0 +1,7 @@
+// The compat header must be consumable by a C compiler with the paper's
+// unprefixed names; the workload lives in c_compat/paper_names.c.
+#include <gtest/gtest.h>
+
+extern "C" int mpf_paper_names_smoke(void);
+
+TEST(CHeader, PaperNamesWorkFromC) { EXPECT_EQ(mpf_paper_names_smoke(), 0); }

@@ -1,0 +1,101 @@
+// Cannon's algorithm on the process mesh: correctness against the
+// sequential product, mesh-size sweeps, and simulated speedup.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpf/apps/cannon.hpp"
+#include "mpf/runtime/group.hpp"
+#include "mpf/shm/region.hpp"
+#include "mpf/sim/sim_platform.hpp"
+
+namespace {
+
+using namespace mpf;
+namespace cn = mpf::apps::cannon;
+
+Config mesh_config(int mesh) {
+  Config c;
+  c.max_lnvcs = static_cast<std::uint32_t>(mesh * mesh * mesh * mesh + 64);
+  c.max_processes = static_cast<std::uint32_t>(mesh * mesh + 2);
+  c.connections = static_cast<std::size_t>(mesh) * mesh * mesh * mesh * 4 + 128;
+  c.message_blocks = 1 << 15;
+  return c;
+}
+
+TEST(Cannon, SequentialMultiplyIsCorrect) {
+  cn::Problem p;
+  p.n = 2;
+  p.a = {1, 2, 3, 4};
+  p.b = {5, 6, 7, 8};
+  const auto c = cn::multiply_sequential(p);
+  const std::vector<double> expected = {19, 22, 43, 50};
+  EXPECT_LT(cn::max_abs_diff(c, expected), 1e-12);
+}
+
+class CannonMesh : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CannonMesh, MatchesSequentialProduct) {
+  const auto [n, mesh] = GetParam();
+  const cn::Problem p = cn::random_problem(n, 100 + n);
+  const auto expected = cn::multiply_sequential(p);
+
+  const Config c = mesh_config(mesh);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  std::vector<double> got;
+  rt::run_group(rt::Backend::thread, mesh * mesh, [&](int rank) {
+    auto mine = cn::worker(f, rank, mesh, p);
+    if (rank == 0) got = std::move(mine);
+  });
+  ASSERT_EQ(got.size(), expected.size());
+  EXPECT_LT(cn::max_abs_diff(got, expected), 1e-10)
+      << "n=" << n << " mesh=" << mesh;
+  EXPECT_EQ(f.lnvc_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CannonMesh,
+                         ::testing::Values(std::pair{4, 1}, std::pair{4, 2},
+                                           std::pair{6, 2}, std::pair{6, 3},
+                                           std::pair{12, 3},
+                                           std::pair{12, 4}));
+
+TEST(Cannon, IndivisibleMeshRejected) {
+  const cn::Problem p = cn::random_problem(5, 1);
+  const Config c = mesh_config(2);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  EXPECT_THROW((void)cn::worker(f, 0, 2, p), std::invalid_argument);
+}
+
+TEST(Cannon, SimulatedMeshSpeedsUpLargeMatrices) {
+  const int n = 24;
+  const cn::Problem p = cn::random_problem(n, 7);
+  auto mesh_seconds = [&](int mesh) {
+    const Config c = mesh_config(mesh);
+    sim::Simulator simulator;
+    sim::SimPlatform platform(simulator);
+    shm::HeapRegion region(c.derived_arena_bytes());
+    Facility f = Facility::create(c, region, platform);
+    simulator.spawn_group(mesh * mesh, [&](int rank) {
+      (void)cn::worker(f, rank, mesh, p);
+    });
+    simulator.run();
+    return static_cast<double>(simulator.elapsed());
+  };
+  auto seq_seconds = [&] {
+    sim::Simulator simulator;
+    sim::SimPlatform platform(simulator);
+    simulator.spawn([&] { (void)cn::multiply_sequential(p, &platform); });
+    simulator.run();
+    return static_cast<double>(simulator.elapsed());
+  };
+  const double t1 = seq_seconds();
+  const double t4 = mesh_seconds(2);
+  const double t9 = mesh_seconds(3);
+  EXPECT_GT(t1 / t4, 1.5) << "2x2 mesh must beat sequential on 24x24";
+  EXPECT_GT(t1 / t9, t1 / t4 * 0.8)
+      << "3x3 mesh should stay in the same league";
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Collectives over MPF circuits: every operation, swept over group sizes,
+// on native threads and under the simulator.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpf/coll/collectives.hpp"
+#include "mpf/runtime/group.hpp"
+#include "mpf/shm/region.hpp"
+#include "mpf/sim/sim_platform.hpp"
+
+namespace {
+
+using namespace mpf;
+using coll::Communicator;
+using coll::Op;
+
+Config coll_config(int size) {
+  Config c;
+  c.max_lnvcs = static_cast<std::uint32_t>(size * size + 4 * size + 8);
+  c.max_processes = static_cast<std::uint32_t>(size + 2);
+  c.connections = static_cast<std::size_t>(size) * size * 4 + 64;
+  return c;
+}
+
+class CollectiveSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSize, AllOperationsAgree) {
+  const int size = GetParam();
+  const Config c = coll_config(size);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+
+  rt::run_group(rt::Backend::thread, size, [&](int rank) {
+    Communicator comm(f, rank, size, "t");
+    ASSERT_EQ(comm.rank(), rank);
+    ASSERT_EQ(comm.size(), size);
+
+    // broadcast from every root in turn
+    for (int root = 0; root < size; ++root) {
+      int v = rank == root ? 100 + root : -1;
+      comm.broadcast(&v, sizeof(v), root);
+      EXPECT_EQ(v, 100 + root) << "rank " << rank << " root " << root;
+    }
+
+    // gather to rank 0
+    const double mine = 1.5 * rank;
+    std::vector<double> all(size, -1);
+    comm.gather(&mine, sizeof(mine), all.data(), 0);
+    if (rank == 0) {
+      for (int r = 0; r < size; ++r) EXPECT_DOUBLE_EQ(all[r], 1.5 * r);
+    }
+
+    // scatter from the last rank
+    std::vector<int> chunks(size);
+    std::iota(chunks.begin(), chunks.end(), 1000);
+    int got = -1;
+    comm.scatter(chunks.data(), sizeof(int), &got, size - 1);
+    EXPECT_EQ(got, 1000 + rank);
+
+    // reduce + allreduce
+    const double contrib[2] = {static_cast<double>(rank + 1),
+                               static_cast<double>(-rank)};
+    double reduced[2] = {0, 0};
+    comm.reduce(contrib, reduced, 2, Op::sum, 0);
+    const double expect_sum = size * (size + 1) / 2.0;
+    if (rank == 0) {
+      EXPECT_DOUBLE_EQ(reduced[0], expect_sum);
+      EXPECT_DOUBLE_EQ(reduced[1], -(size * (size - 1) / 2.0));
+    }
+    double mx[1] = {static_cast<double>(rank)};
+    comm.allreduce(mx, mx, 1, Op::max);
+    EXPECT_DOUBLE_EQ(mx[0], size - 1.0);
+    double mn[1] = {static_cast<double>(rank)};
+    comm.allreduce(mn, mn, 1, Op::min);
+    EXPECT_DOUBLE_EQ(mn[0], 0.0);
+
+    // alltoall: member i sends (i*size + j) to member j.
+    std::vector<int> out(size), in(size);
+    for (int j = 0; j < size; ++j) out[j] = rank * size + j;
+    comm.alltoall(out.data(), sizeof(int), in.data());
+    for (int i = 0; i < size; ++i) EXPECT_EQ(in[i], i * size + rank);
+
+    // repeated barriers stay in phase
+    for (int i = 0; i < 5; ++i) comm.barrier();
+  });
+  EXPECT_EQ(f.lnvc_count(), 0u) << "communicators must clean up";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSize, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Collectives, PointToPointIsFifoPerPair) {
+  const Config c = coll_config(3);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  rt::run_group(rt::Backend::thread, 3, [&](int rank) {
+    Communicator comm(f, rank, 3, "p2p");
+    if (rank == 0) {
+      for (int i = 0; i < 20; ++i) {
+        comm.send(1, &i, sizeof(i));
+        const int j = i + 1000;
+        comm.send(2, &j, sizeof(j));
+      }
+    } else {
+      for (int i = 0; i < 20; ++i) {
+        int v = -1;
+        ASSERT_EQ(comm.recv(0, &v, sizeof(v)), sizeof(int));
+        ASSERT_EQ(v, rank == 1 ? i : i + 1000);
+      }
+    }
+    comm.barrier();
+  });
+}
+
+TEST(Collectives, SelfSendRejected) {
+  const Config c = coll_config(2);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  rt::run_group(rt::Backend::thread, 2, [&](int rank) {
+    Communicator comm(f, rank, 2, "self");
+    if (rank == 0) {
+      int v = 0;
+      EXPECT_THROW(comm.send(0, &v, sizeof(v)), std::invalid_argument);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(Collectives, BadRankRejected) {
+  const Config c = coll_config(2);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  EXPECT_THROW(Communicator(f, 2, 2, "bad"), std::invalid_argument);
+  EXPECT_THROW(Communicator(f, 0, 0, "bad"), std::invalid_argument);
+}
+
+TEST(Collectives, WorkUnderSimulatorWithVirtualCosts) {
+  const int size = 4;
+  const Config c = coll_config(size);
+  sim::Simulator simulator;
+  sim::SimPlatform platform(simulator);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region, platform);
+  std::vector<double> results(size, 0);
+  simulator.spawn_group(size, [&](int rank) {
+    Communicator comm(f, rank, size, "sim");
+    double v[1] = {1.0 * (rank + 1)};
+    comm.allreduce(v, v, 1, Op::sum);
+    results[rank] = v[0];
+    comm.barrier();
+  });
+  simulator.run();
+  for (int r = 0; r < size; ++r) EXPECT_DOUBLE_EQ(results[r], 10.0);
+  EXPECT_GT(simulator.elapsed(), 0u);
+}
+
+TEST(Collectives, TwoCommunicatorsCoexist) {
+  const Config c = coll_config(4);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  rt::run_group(rt::Backend::thread, 4, [&](int rank) {
+    Communicator world(f, rank, 4, "world");
+    // A second communicator over the same processes, different tag.
+    Communicator other(f, rank, 4, "other");
+    int v = rank == 0 ? 5 : 0;
+    world.broadcast(&v, sizeof(v), 0);
+    int w = rank == 3 ? 9 : 0;
+    other.broadcast(&w, sizeof(w), 3);
+    EXPECT_EQ(v, 5);
+    EXPECT_EQ(w, 9);
+    world.barrier();
+    other.barrier();
+  });
+}
+
+}  // namespace

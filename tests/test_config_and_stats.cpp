@@ -1,0 +1,146 @@
+// Config derivation and facility introspection.
+#include <gtest/gtest.h>
+
+#include "mpf/apps/coordination.hpp"
+#include "mpf/core/facility.hpp"
+#include "mpf/core/ports.hpp"
+#include "mpf/runtime/group.hpp"
+#include "mpf/shm/region.hpp"
+
+namespace {
+
+using namespace mpf;
+
+TEST(Config, ResolvedFillsEveryDerivedField) {
+  const Config r = Config{}.resolved();
+  EXPECT_GT(r.message_blocks, 0u);
+  EXPECT_GT(r.message_headers, 0u);
+  EXPECT_GT(r.connections, 0u);
+  EXPECT_GT(r.arena_bytes, 0u);
+  EXPECT_EQ(r.block_payload, 10u);  // the paper's default
+}
+
+TEST(Config, ArenaGrowsWithMaxima) {
+  Config small;
+  small.max_lnvcs = 4;
+  small.max_processes = 2;
+  Config big;
+  big.max_lnvcs = 256;
+  big.max_processes = 64;
+  EXPECT_LT(small.derived_arena_bytes(), big.derived_arena_bytes());
+}
+
+TEST(Config, ZeroMaximaClampToOne) {
+  Config c;
+  c.max_lnvcs = 0;
+  c.max_processes = 0;
+  const Config r = c.resolved();
+  EXPECT_EQ(r.max_lnvcs, 1u);
+  EXPECT_EQ(r.max_processes, 1u);
+}
+
+TEST(Config, DerivedArenaActuallySuffices) {
+  // The derived size must fit the full init-time carving for a variety
+  // of shapes — creation throws ArenaExhausted otherwise.
+  for (const std::uint32_t lnvcs : {1u, 16u, 128u}) {
+    for (const std::uint32_t procs : {1u, 8u, 64u}) {
+      for (const std::uint32_t payload : {10u, 64u, 1024u}) {
+        Config c;
+        c.max_lnvcs = lnvcs;
+        c.max_processes = procs;
+        c.block_payload = payload;
+        shm::HeapRegion region(c.derived_arena_bytes());
+        EXPECT_NO_THROW((void)Facility::create(c, region))
+            << lnvcs << "/" << procs << "/" << payload;
+      }
+    }
+  }
+}
+
+TEST(Config, UndersizedRegionRejected) {
+  Config c;
+  shm::HeapRegion region(c.derived_arena_bytes() / 4);
+  EXPECT_THROW((void)Facility::create(c, region), MpfError);
+}
+
+TEST(Stats, CountersTrackTraffic) {
+  Config c;
+  c.max_lnvcs = 4;
+  c.max_processes = 4;
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  Participant a(f, 0);
+  Participant b(f, 1);
+  SendPort tx = a.open_send("s");
+  ReceivePort rx = b.open_receive("s", Protocol::fcfs);
+  const std::string msg(100, 'x');
+  for (int i = 0; i < 5; ++i) tx.send(msg);
+  std::vector<std::byte> buf(128);
+  for (int i = 0; i < 3; ++i) (void)rx.receive(buf);
+  const FacilityStats s = f.stats();
+  EXPECT_EQ(s.sends, 5u);
+  EXPECT_EQ(s.receives, 3u);
+  EXPECT_EQ(s.bytes_sent, 500u);
+  EXPECT_EQ(s.bytes_delivered, 300u);
+  EXPECT_EQ(f.queued(tx.id()), 2u);
+  EXPECT_LT(s.blocks_free, s.blocks_total);
+  EXPECT_GT(s.arena_used, 0u);
+}
+
+TEST(Stats, AttachSeesSameFacility) {
+  Config c;
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  LnvcId tx;
+  ASSERT_EQ(f.open_send(0, "shared", &tx), Status::ok);
+  Facility g = Facility::attach(region);
+  EXPECT_TRUE(g.lnvc_exists("shared"));
+  EXPECT_EQ(g.max_processes(), f.max_processes());
+  EXPECT_EQ(g.block_payload(), f.block_payload());
+  // Operations through the second handle act on the same state.
+  int v = 5;
+  ASSERT_EQ(g.send(0, tx, &v, sizeof(v)), Status::ok);
+  EXPECT_EQ(f.queued(tx), 1u);
+}
+
+TEST(Coordination, BarrierSynchronizesThreadGroups) {
+  for (const int n : {2, 3, 5, 8}) {
+    Config c;
+    c.max_lnvcs = 8;
+    c.max_processes = 16;
+    shm::HeapRegion region(c.derived_arena_bytes());
+    Facility f = Facility::create(c, region);
+    std::atomic<int> before{0};
+    std::atomic<bool> violated{false};
+    rt::run_group(rt::Backend::thread, n, [&](int rank) {
+      before.fetch_add(1);
+      apps::startup_barrier(f, static_cast<ProcessId>(rank), n, "t");
+      if (before.load() != n) violated.store(true);
+    });
+    EXPECT_FALSE(violated.load()) << "n=" << n;
+    EXPECT_EQ(f.lnvc_count(), 0u) << "barrier leaked LNVCs";
+  }
+}
+
+TEST(Coordination, BarrierWithOffsetPids) {
+  Config c;
+  c.max_lnvcs = 8;
+  c.max_processes = 16;
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  rt::run_group(rt::Backend::thread, 3, [&](int rank) {
+    apps::startup_barrier(f, static_cast<ProcessId>(rank + 5), 3, "t",
+                          /*base_pid=*/5);
+  });
+  EXPECT_EQ(f.lnvc_count(), 0u);
+}
+
+TEST(Coordination, SingleParticipantIsNoop) {
+  Config c;
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  apps::startup_barrier(f, 0, 1, "solo");
+  EXPECT_EQ(f.lnvc_count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Distributed variables (the paper's cited DeBenedictis model) layered on
+// LNVCs: registers converge through the circuit's global order,
+// accumulators fold every delta exactly once per replica.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "mpf/apps/coordination.hpp"
+#include "mpf/dvar/dvar.hpp"
+#include "mpf/runtime/group.hpp"
+#include "mpf/shm/region.hpp"
+
+namespace {
+
+using namespace mpf;
+using dvar::Accumulator;
+using dvar::DVar;
+
+struct DVarTest : ::testing::Test {
+  Config config = [] {
+    Config c;
+    c.max_lnvcs = 16;
+    c.max_processes = 16;
+    return c;
+  }();
+  shm::HeapRegion region{config.derived_arena_bytes()};
+  Facility f{Facility::create(config, region)};
+};
+
+TEST_F(DVarTest, ReadYourWrites) {
+  DVar<int> v(f, 0, "x", -1);
+  EXPECT_EQ(v.read(), -1);  // initial
+  v.write(10);
+  EXPECT_EQ(v.read(), 10);
+  v.write(20);
+  v.write(30);
+  EXPECT_EQ(v.read(), 30);  // last write wins
+}
+
+TEST_F(DVarTest, ReplicasConvergeInGlobalOrder) {
+  DVar<int> a(f, 0, "x", 0);
+  DVar<int> b(f, 1, "x", 0);
+  a.write(1);
+  b.write(2);
+  a.write(3);
+  // Both replicas fold the same totally ordered stream 1,2,3.
+  EXPECT_EQ(a.read(), 3);
+  EXPECT_EQ(b.read(), 3);
+}
+
+TEST_F(DVarTest, PendingReflectsUnreadUpdates) {
+  DVar<int> a(f, 0, "x", 0);
+  DVar<int> b(f, 1, "x", 0);
+  EXPECT_FALSE(b.pending());
+  a.write(5);
+  EXPECT_TRUE(b.pending());
+  EXPECT_EQ(b.read(), 5);
+  EXPECT_FALSE(b.pending());
+}
+
+TEST_F(DVarTest, ReadOnlyReplicaRejectsWrites) {
+  DVar<int> writer(f, 0, "x", 0);
+  DVar<int> reader(f, 1, "x", 0, DVar<int>::Mode::read_only);
+  EXPECT_THROW(reader.write(1), MpfError);
+  writer.write(9);
+  EXPECT_EQ(reader.read(), 9);
+}
+
+TEST_F(DVarTest, LateJoinerStartsFromInitial) {
+  DVar<int> a(f, 0, "x", 0);
+  a.write(7);
+  DVar<int> late(f, 1, "x", -5);
+  EXPECT_EQ(late.read(), -5);  // missed the pre-join write
+  a.write(8);
+  EXPECT_EQ(late.read(), 8);  // synced by the next write
+}
+
+TEST_F(DVarTest, AccumulatorFoldsEveryDeltaOnce) {
+  Accumulator<long> a(f, 0, "sum");
+  Accumulator<long> b(f, 1, "sum");
+  a.add(5);
+  b.add(7);
+  a.add(-2);
+  EXPECT_EQ(a.value_after(3), 10);
+  EXPECT_EQ(b.value_after(3), 10);
+  // Idempotent once drained.
+  EXPECT_EQ(a.value(), 10);
+  EXPECT_EQ(b.value(), 10);
+}
+
+TEST_F(DVarTest, AccumulatorAcrossThreads) {
+  constexpr int kThreads = 6;
+  constexpr int kAdds = 50;
+  std::vector<long> totals(kThreads, 0);
+  rt::run_group(rt::Backend::thread, kThreads, [&](int rank) {
+    Accumulator<long> acc(f, static_cast<ProcessId>(rank), "psum");
+    apps::startup_barrier(f, static_cast<ProcessId>(rank), kThreads, "j");
+    for (int i = 0; i < kAdds; ++i) acc.add(rank + 1);
+    totals[rank] = acc.value_after(kThreads * kAdds);
+  });
+  long expected = 0;
+  for (int r = 0; r < kThreads; ++r) expected += (r + 1) * kAdds;
+  for (int r = 0; r < kThreads; ++r) {
+    EXPECT_EQ(totals[r], expected) << "replica " << r << " diverged";
+  }
+}
+
+TEST_F(DVarTest, ManyVariablesCoexist) {
+  DVar<double> x(f, 0, "x", 0.0);
+  DVar<double> y(f, 0, "y", 0.0);
+  Accumulator<int> n(f, 0, "n");
+  x.write(1.5);
+  y.write(-2.5);
+  n.add(3);
+  EXPECT_DOUBLE_EQ(x.read(), 1.5);
+  EXPECT_DOUBLE_EQ(y.read(), -2.5);
+  EXPECT_EQ(n.value_after(1), 3);
+  EXPECT_EQ(f.lnvc_count(), 3u);
+}
+
+TEST_F(DVarTest, VariablesCleanUpTheirCircuits) {
+  {
+    DVar<int> a(f, 0, "temp", 0);
+    DVar<int> b(f, 1, "temp", 0);
+    a.write(1);
+  }
+  EXPECT_EQ(f.lnvc_count(), 0u);
+  EXPECT_EQ(f.stats().blocks_free, config.resolved().message_blocks);
+}
+
+TEST_F(DVarTest, ConcurrentRegisterWritersConvergeToSameValue) {
+  // Writers race, but all replicas must agree on the winner (the last
+  // update in the circuit's global order).
+  constexpr int kThreads = 4;
+  std::vector<int> finals(kThreads, 0);
+  rt::run_group(rt::Backend::thread, kThreads, [&](int rank) {
+    DVar<int> v(f, static_cast<ProcessId>(rank), "race", 0);
+    apps::startup_barrier(f, static_cast<ProcessId>(rank), kThreads, "j2");
+    for (int i = 0; i < 20; ++i) v.write(rank * 100 + i);
+    apps::startup_barrier(f, static_cast<ProcessId>(rank), kThreads, "j3");
+    finals[rank] = v.read();
+  });
+  for (int r = 1; r < kThreads; ++r) EXPECT_EQ(finals[r], finals[0]);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Unit tests of the shared-memory free lists (the paper's init-time block
+// carving mechanism).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "mpf/shm/arena.hpp"
+#include "mpf/shm/free_list.hpp"
+#include "mpf/shm/region.hpp"
+
+namespace {
+
+using namespace mpf::shm;
+
+struct FreeListFixture : ::testing::Test {
+  HeapRegion region{1 << 20};
+  Arena arena{Arena::create(region)};
+  FreeList list;
+};
+
+TEST_F(FreeListFixture, CarveMakesAllNodesAvailable) {
+  list.carve(arena, 24, 100);
+  EXPECT_EQ(list.available(), 100u);
+  EXPECT_EQ(list.capacity(), 100u);
+  EXPECT_EQ(list.node_bytes(), 24u);
+}
+
+TEST_F(FreeListFixture, PopReturnsDistinctNodes) {
+  list.carve(arena, 24, 50);
+  std::set<Offset> seen;
+  for (int i = 0; i < 50; ++i) {
+    const Offset node = list.pop(arena);
+    ASSERT_NE(node, kNullOffset);
+    EXPECT_TRUE(seen.insert(node).second) << "duplicate node";
+  }
+  EXPECT_EQ(list.pop(arena), kNullOffset);  // empty
+  EXPECT_EQ(list.available(), 0u);
+}
+
+TEST_F(FreeListFixture, PushRecycles) {
+  list.carve(arena, 24, 4);
+  const Offset a = list.pop(arena);
+  (void)list.pop(arena);
+  list.push(arena, a);
+  EXPECT_EQ(list.available(), 3u);
+  EXPECT_EQ(list.pop(arena), a);  // LIFO
+}
+
+TEST_F(FreeListFixture, PopChainDeliversExactlyRequested) {
+  list.carve(arena, 24, 32);
+  std::size_t got = 0;
+  const Offset head = list.pop_chain(arena, 10, got);
+  EXPECT_EQ(got, 10u);
+  EXPECT_EQ(list.available(), 22u);
+  // Chain is linked through first words and terminated.
+  std::size_t count = 0;
+  Offset cur = head;
+  Offset last = kNullOffset;
+  while (cur != kNullOffset) {
+    ++count;
+    last = cur;
+    cur = *static_cast<Offset*>(arena.raw(cur));
+  }
+  EXPECT_EQ(count, 10u);
+  list.push_chain(arena, head, last, 10);
+  EXPECT_EQ(list.available(), 32u);
+}
+
+TEST_F(FreeListFixture, PopChainPartialWhenShort) {
+  list.carve(arena, 24, 5);
+  std::size_t got = 0;
+  const Offset head = list.pop_chain(arena, 10, got);
+  EXPECT_EQ(got, 5u);
+  EXPECT_NE(head, kNullOffset);
+  EXPECT_EQ(list.available(), 0u);
+  std::size_t got2 = 0;
+  EXPECT_EQ(list.pop_chain(arena, 3, got2), kNullOffset);
+  EXPECT_EQ(got2, 0u);
+}
+
+TEST_F(FreeListFixture, PopChainZeroIsNoop) {
+  list.carve(arena, 24, 5);
+  std::size_t got = 77;
+  EXPECT_EQ(list.pop_chain(arena, 0, got), kNullOffset);
+  EXPECT_EQ(got, 0u);
+  EXPECT_EQ(list.available(), 5u);
+}
+
+TEST_F(FreeListFixture, NodeTooSmallThrows) {
+  EXPECT_THROW(list.carve(arena, 4, 10), std::invalid_argument);
+}
+
+TEST_F(FreeListFixture, ConcurrentPopPushKeepsInventory) {
+  constexpr std::size_t kNodes = 256;
+  list.carve(arena, 24, kNodes);
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        const Offset node = list.pop(arena);
+        if (node != kNullOffset) list.push(arena, node);
+        std::size_t got = 0;
+        const Offset head = list.pop_chain(arena, 5, got);
+        if (got > 0) {
+          Offset tail = head;
+          for (std::size_t k = 1; k < got; ++k) {
+            tail = *static_cast<Offset*>(arena.raw(tail));
+          }
+          list.push_chain(arena, head, tail, got);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(list.available(), kNodes);  // nothing lost, nothing duplicated
+  std::set<Offset> seen;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    const Offset node = list.pop(arena);
+    ASSERT_NE(node, kNullOffset);
+    EXPECT_TRUE(seen.insert(node).second);
+  }
+}
+
+}  // namespace

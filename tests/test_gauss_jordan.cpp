@@ -1,0 +1,144 @@
+// Gauss-Jordan application: sequential correctness, parallel equivalence
+// on native threads, and simulated-speedup sanity.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "mpf/apps/gauss_jordan.hpp"
+#include "mpf/runtime/group.hpp"
+#include "mpf/shm/region.hpp"
+#include "mpf/sim/sim_platform.hpp"
+
+namespace {
+
+using namespace mpf;
+namespace gj = mpf::apps::gj;
+
+Config app_config() {
+  Config c;
+  c.max_lnvcs = 32;
+  c.max_processes = 32;
+  c.block_payload = 64;  // keep native tests brisk; benches use 10
+  return c;
+}
+
+TEST(GaussJordan, SequentialSolvesRandomSystems) {
+  for (const int n : {1, 2, 5, 17, 40}) {
+    const gj::Problem p = gj::random_problem(n, 42 + n);
+    const auto x = gj::solve_sequential(p);
+    EXPECT_LT(gj::max_residual(p, x), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(GaussJordan, SequentialHandlesPermutedIdentity) {
+  // A system that *requires* pivoting: zero diagonal.
+  gj::Problem p;
+  p.n = 3;
+  p.a = {0, 1, 0,  //
+         0, 0, 2,  //
+         3, 0, 0};
+  p.rhs = {5, 8, 9};
+  const auto x = gj::solve_sequential(p);
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 5.0, 1e-12);
+  EXPECT_NEAR(x[2], 4.0, 1e-12);
+}
+
+TEST(GaussJordan, SequentialRejectsSingular) {
+  gj::Problem p;
+  p.n = 2;
+  p.a = {1, 2, 2, 4};
+  p.rhs = {1, 2};
+  EXPECT_THROW((void)gj::solve_sequential(p), std::runtime_error);
+}
+
+class GaussJordanParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussJordanParallel, MatchesSequentialOnThreads) {
+  const int nprocs = GetParam();
+  const int n = 24;
+  const gj::Problem p = gj::random_problem(n, 7);
+  const auto expected = gj::solve_sequential(p);
+
+  const Config c = app_config();
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  std::vector<double> got;
+  rt::run_group(rt::Backend::thread, nprocs, [&](int rank) {
+    auto x = gj::worker(f, rank, nprocs, p);
+    if (rank == 0) got = std::move(x);
+  });
+  ASSERT_EQ(got.size(), expected.size());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(got[i], expected[i], 1e-9) << i;
+  EXPECT_LT(gj::max_residual(p, got), 1e-8);
+  // Every conversation ended: the facility must be free of LNVCs.
+  EXPECT_EQ(f.lnvc_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, GaussJordanParallel,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(GaussJordan, UnevenPartitionsWork) {
+  // n not divisible by nprocs exercises the remainder distribution.
+  const gj::Problem p = gj::random_problem(13, 99);
+  const auto expected = gj::solve_sequential(p);
+  const Config c = app_config();
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  std::vector<double> got;
+  rt::run_group(rt::Backend::thread, 5, [&](int rank) {
+    auto x = gj::worker(f, rank, 5, p);
+    if (rank == 0) got = std::move(x);
+  });
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], expected[i], 1e-9);
+  }
+}
+
+TEST(GaussJordan, MoreProcessesThanRowsStillSolves) {
+  // Partitioning leaves some workers with zero rows; they must still
+  // participate in every pivot round without deadlocking the arbiter.
+  const gj::Problem p = gj::random_problem(3, 21);
+  const auto expected = gj::solve_sequential(p);
+  const Config c = app_config();
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  std::vector<double> got;
+  rt::run_group(rt::Backend::thread, 5, [&](int rank) {
+    auto x = gj::worker(f, rank, 5, p);
+    if (rank == 0) got = std::move(x);
+  });
+  ASSERT_EQ(got.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(got[i], expected[i], 1e-10);
+}
+
+TEST(GaussJordan, SimulatedSpeedupIsRealAndOrdered) {
+  // The headline of Figure 7: "real speedups can be obtained in the MPF
+  // environment", and larger matrices scale further.
+  auto simulated_time = [](int n, int nprocs) {
+    const gj::Problem p = gj::random_problem(n, 11);
+    sim::Simulator simulator;
+    sim::SimPlatform platform(simulator);
+    const Config c = app_config();
+    shm::HeapRegion region(c.derived_arena_bytes());
+    Facility f = Facility::create(c, region, platform);
+    if (nprocs == 1) {
+      simulator.spawn([&] { (void)gj::solve_sequential(p, &platform); });
+    } else {
+      simulator.spawn_group(nprocs, [&](int rank) {
+        (void)gj::worker(f, rank, nprocs, p);
+      });
+    }
+    simulator.run();
+    return static_cast<double>(simulator.elapsed());
+  };
+  const double t1 = simulated_time(48, 1);
+  const double t4 = simulated_time(48, 4);
+  const double speedup4 = t1 / t4;
+  EXPECT_GT(speedup4, 1.5) << "4 processes must beat sequential";
+  EXPECT_LT(speedup4, 4.0) << "speedup cannot exceed the processor count";
+}
+
+}  // namespace

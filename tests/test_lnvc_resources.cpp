@@ -1,0 +1,155 @@
+// Resource management: block recycling, pool exhaustion policies, the
+// reclaim_broadcast_only option, and descriptor pool limits.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mpf/core/facility.hpp"
+#include "mpf/shm/region.hpp"
+
+namespace {
+
+using namespace mpf;
+
+Config tiny_config(BlockPolicy policy, bool reclaim_bo = true) {
+  Config c;
+  c.max_lnvcs = 4;
+  c.max_processes = 4;
+  c.block_payload = 10;
+  c.message_blocks = 8;  // deliberately tiny
+  c.message_headers = 8;
+  c.block_policy = policy;
+  c.reclaim_broadcast_only = reclaim_bo;
+  return c;
+}
+
+TEST(LnvcResources, SteadyStateTrafficRecyclesBlocks) {
+  const Config c = tiny_config(BlockPolicy::fail);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  LnvcId tx, rx;
+  ASSERT_EQ(f.open_send(0, "q", &tx), Status::ok);
+  ASSERT_EQ(f.open_receive(1, "q", Protocol::fcfs, &rx), Status::ok);
+  // 8 blocks; each 32-byte message needs 4.  Thousands of round trips
+  // must work because receive recycles.
+  char buf[32] = {};
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(f.send(0, tx, buf, sizeof(buf)), Status::ok) << i;
+    std::size_t len = 0;
+    ASSERT_EQ(f.receive(1, rx, buf, sizeof(buf), &len), Status::ok);
+  }
+  EXPECT_EQ(f.stats().blocks_free, c.message_blocks);
+}
+
+TEST(LnvcResources, FailPolicyReportsExhaustion) {
+  const Config c = tiny_config(BlockPolicy::fail);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  LnvcId tx, rx;
+  ASSERT_EQ(f.open_send(0, "q", &tx), Status::ok);
+  ASSERT_EQ(f.open_receive(1, "q", Protocol::fcfs, &rx), Status::ok);
+  char buf[40] = {};  // 4 blocks per message
+  ASSERT_EQ(f.send(0, tx, buf, sizeof(buf)), Status::ok);
+  ASSERT_EQ(f.send(0, tx, buf, sizeof(buf)), Status::ok);
+  EXPECT_EQ(f.send(0, tx, buf, sizeof(buf)), Status::out_of_blocks);
+  // Draining one message frees enough to send again.
+  std::size_t len = 0;
+  ASSERT_EQ(f.receive(1, rx, buf, sizeof(buf), &len), Status::ok);
+  EXPECT_EQ(f.send(0, tx, buf, sizeof(buf)), Status::ok);
+}
+
+TEST(LnvcResources, WaitPolicyBlocksUntilBlocksReturn) {
+  const Config c = tiny_config(BlockPolicy::wait);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  LnvcId tx, rx;
+  ASSERT_EQ(f.open_send(0, "q", &tx), Status::ok);
+  ASSERT_EQ(f.open_receive(1, "q", Protocol::fcfs, &rx), Status::ok);
+  char buf[40] = {};
+  ASSERT_EQ(f.send(0, tx, buf, sizeof(buf)), Status::ok);
+  ASSERT_EQ(f.send(0, tx, buf, sizeof(buf)), Status::ok);
+  std::thread drainer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::size_t len = 0;
+    ASSERT_EQ(f.receive(1, rx, buf, sizeof(buf), &len), Status::ok);
+  });
+  // Blocks until the drainer recycles a message's blocks.
+  EXPECT_EQ(f.send(0, tx, buf, sizeof(buf)), Status::ok);
+  drainer.join();
+}
+
+TEST(LnvcResources, RetainModeKeepsBroadcastHistoryForLateFcfs) {
+  const Config c = tiny_config(BlockPolicy::fail, /*reclaim_bo=*/false);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  LnvcId tx, bc;
+  ASSERT_EQ(f.open_send(0, "b", &tx), Status::ok);
+  ASSERT_EQ(f.open_receive(1, "b", Protocol::broadcast, &bc), Status::ok);
+  int v = 11;
+  ASSERT_EQ(f.send(0, tx, &v, sizeof(v)), Status::ok);
+  std::size_t len = 0;
+  ASSERT_EQ(f.receive(1, bc, &v, sizeof(v), &len), Status::ok);
+  // Fully broadcast-read, but retained: a late FCFS joiner still gets it.
+  LnvcId fc;
+  ASSERT_EQ(f.open_receive(2, "b", Protocol::fcfs, &fc), Status::ok);
+  int got = 0;
+  ASSERT_EQ(f.receive(2, fc, &got, sizeof(got), &len), Status::ok);
+  EXPECT_EQ(got, 11);
+}
+
+TEST(LnvcResources, EagerModeReclaimsBroadcastOnlyMessages) {
+  const Config c = tiny_config(BlockPolicy::fail, /*reclaim_bo=*/true);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  LnvcId tx, bc;
+  ASSERT_EQ(f.open_send(0, "b", &tx), Status::ok);
+  ASSERT_EQ(f.open_receive(1, "b", Protocol::broadcast, &bc), Status::ok);
+  // With only 8 blocks, streaming 100 single-block messages through one
+  // broadcast receiver proves reclamation happens on the fly.
+  for (int i = 0; i < 100; ++i) {
+    int v = i;
+    ASSERT_EQ(f.send(0, tx, &v, sizeof(v)), Status::ok) << i;
+    std::size_t len = 0;
+    int got = -1;
+    ASSERT_EQ(f.receive(1, bc, &got, sizeof(got), &len), Status::ok);
+    EXPECT_EQ(got, i);
+  }
+  EXPECT_EQ(f.stats().blocks_free, c.message_blocks);
+}
+
+TEST(LnvcResources, ConnectionPoolExhaustionIsReported) {
+  Config c = tiny_config(BlockPolicy::fail);
+  c.connections = 3;
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  LnvcId id;
+  ASSERT_EQ(f.open_send(0, "a", &id), Status::ok);
+  ASSERT_EQ(f.open_send(1, "a", &id), Status::ok);
+  ASSERT_EQ(f.open_send(2, "a", &id), Status::ok);
+  EXPECT_EQ(f.open_send(3, "a", &id), Status::table_full);
+  // Closing one frees a descriptor.
+  ASSERT_EQ(f.close_send(2, 0), Status::ok);
+  EXPECT_EQ(f.open_send(3, "a", &id), Status::ok);
+}
+
+TEST(LnvcResources, HeaderPoolIsAlsoRecycled) {
+  Config c = tiny_config(BlockPolicy::fail);
+  c.message_headers = 2;
+  c.message_blocks = 64;
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  LnvcId tx, rx;
+  ASSERT_EQ(f.open_send(0, "q", &tx), Status::ok);
+  ASSERT_EQ(f.open_receive(1, "q", Protocol::fcfs, &rx), Status::ok);
+  char buf[8] = {};
+  std::size_t len = 0;
+  ASSERT_EQ(f.send(0, tx, buf, 4), Status::ok);
+  ASSERT_EQ(f.send(0, tx, buf, 4), Status::ok);
+  EXPECT_EQ(f.send(0, tx, buf, 4), Status::out_of_blocks);  // headers gone
+  ASSERT_EQ(f.receive(1, rx, buf, sizeof(buf), &len), Status::ok);
+  EXPECT_EQ(f.send(0, tx, buf, 4), Status::ok);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// The Platform seam itself: native wait/notify behaviour and the exact
+// virtual-time charges SimPlatform maps onto the machine model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "mpf/core/platform.hpp"
+#include "mpf/sim/sim_platform.hpp"
+
+namespace {
+
+using namespace mpf;
+
+TEST(NativePlatform, LockIsASpinlock) {
+  NativePlatform p;
+  sync::SpinLock cell;
+  p.lock(cell);
+  EXPECT_TRUE(cell.is_locked());
+  p.unlock(cell);
+  EXPECT_FALSE(cell.is_locked());
+}
+
+TEST(NativePlatform, WaitReleasesLockAndWakesOnNotify) {
+  NativePlatform p;
+  sync::SpinLock mutex;
+  sync::EventCount cond;
+  std::atomic<bool> ready{false};
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    p.lock(mutex);
+    ready.store(true);
+    while (!woke.load()) {
+      p.wait(mutex, cond);  // must release `mutex` while sleeping
+      // (bounded poll: loop until the flag really flipped)
+    }
+    p.unlock(mutex);
+  });
+  while (!ready.load()) std::this_thread::yield();
+  // If wait() failed to release the lock this would deadlock.
+  p.lock(mutex);
+  woke.store(true);
+  p.unlock(mutex);
+  p.notify_all(cond);
+  waiter.join();
+}
+
+TEST(NativePlatform, ChargesAreNoOps) {
+  NativePlatform p;
+  const auto t0 = p.now_ns();
+  p.charge_send_fixed();
+  p.charge_copy(1 << 20, 1000);
+  p.charge_flops(1e9);
+  p.touch(1 << 20);
+  const auto t1 = p.now_ns();
+  EXPECT_LT(t1 - t0, 1'000'000u) << "native charges must cost ~nothing";
+}
+
+TEST(SimPlatform, ChargesMapToModelConstants) {
+  sim::Simulator simulator;
+  sim::SimPlatform platform(simulator);
+  const sim::MachineModel& m = simulator.model();
+  struct Point {
+    const char* what;
+    double expected;
+  };
+  simulator.spawn([&] {
+    sim::Time before = simulator.now();
+    platform.charge_send_fixed();
+    EXPECT_EQ(simulator.now() - before,
+              static_cast<sim::Time>(m.send_fixed_ns));
+    before = simulator.now();
+    platform.charge_recv_fixed();
+    EXPECT_EQ(simulator.now() - before,
+              static_cast<sim::Time>(m.recv_fixed_ns));
+    before = simulator.now();
+    platform.charge_check();
+    EXPECT_EQ(simulator.now() - before, static_cast<sim::Time>(m.check_ns));
+    before = simulator.now();
+    platform.charge_flops(100);
+    EXPECT_EQ(simulator.now() - before,
+              static_cast<sim::Time>(100 * m.flop_ns));
+    before = simulator.now();
+    platform.charge_ops(100);
+    EXPECT_EQ(simulator.now() - before,
+              static_cast<sim::Time>(100 * m.op_ns));
+    // Copy of L bytes through n blocks: L*copy + n*block (bus unloaded).
+    before = simulator.now();
+    platform.charge_copy(100, 10);
+    EXPECT_EQ(simulator.now() - before,
+              static_cast<sim::Time>(100 * m.copy_ns_per_byte +
+                                     10 * m.block_overhead_ns));
+  });
+  simulator.run();
+}
+
+TEST(SimPlatform, FootprintDrivesPaging) {
+  sim::Simulator simulator;
+  sim::SimPlatform platform(simulator);
+  simulator.spawn([&] {
+    const sim::Time before = simulator.now();
+    platform.touch(4096);
+    EXPECT_EQ(simulator.now(), before) << "no pressure, no charge";
+    platform.on_buffer_alloc(10 * simulator.model().resident_bytes);
+    platform.touch(4096);
+    EXPECT_GT(simulator.now(), before);
+    platform.on_buffer_free(10 * simulator.model().resident_bytes);
+    EXPECT_EQ(simulator.footprint(), 0u);
+  });
+  simulator.run();
+  EXPECT_GT(simulator.page_faults(), 0u);
+}
+
+TEST(SimPlatform, OutsideSimulationFallsBackToNative) {
+  sim::Simulator simulator;
+  sim::SimPlatform platform(simulator);
+  // Main-thread setup context: locks act on the real cell, charges vanish.
+  sync::SpinLock cell;
+  platform.lock(cell);
+  EXPECT_TRUE(cell.is_locked());
+  platform.unlock(cell);
+  EXPECT_FALSE(cell.is_locked());
+  platform.charge_send_fixed();  // no simulated process: ignored
+  EXPECT_EQ(platform.now_ns(), 0u);
+  EXPECT_STREQ(platform.name(), "balance21000-sim");
+}
+
+TEST(SimPlatform, LockTransfersVirtualTimeToWaiters) {
+  sim::Simulator simulator;
+  sim::SimPlatform platform(simulator);
+  sync::SpinLock cell;
+  sim::Time second_entry = 0;
+  simulator.spawn([&] {
+    platform.lock(cell);
+    simulator.advance(1'000'000);  // hold for 1 ms
+    platform.unlock(cell);
+  });
+  simulator.spawn([&] {
+    simulator.advance(10);  // arrive just after the holder
+    platform.lock(cell);
+    second_entry = simulator.now();
+    platform.unlock(cell);
+  });
+  simulator.run();
+  EXPECT_GE(second_entry, 1'000'000u)
+      << "waiter must inherit the holder's release time";
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// The RAII port layer: construction, moves, close semantics, typed
+// helpers, and exception mapping.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "mpf/core/ports.hpp"
+#include "mpf/shm/region.hpp"
+
+namespace {
+
+using namespace mpf;
+
+struct PortsTest : ::testing::Test {
+  Config config = [] {
+    Config c;
+    c.max_lnvcs = 8;
+    c.max_processes = 8;
+    return c;
+  }();
+  shm::HeapRegion region{config.derived_arena_bytes()};
+  Facility f{Facility::create(config, region)};
+};
+
+TEST_F(PortsTest, PortsCloseOnDestruction) {
+  {
+    Participant p(f, 0);
+    SendPort tx = p.open_send("scoped");
+    EXPECT_TRUE(tx.open());
+    EXPECT_TRUE(f.lnvc_exists("scoped"));
+  }
+  EXPECT_FALSE(f.lnvc_exists("scoped"));
+}
+
+TEST_F(PortsTest, ExplicitCloseIsIdempotent) {
+  Participant p(f, 0);
+  SendPort tx = p.open_send("x");
+  tx.close();
+  EXPECT_FALSE(tx.open());
+  tx.close();  // second close: harmless
+  EXPECT_FALSE(f.lnvc_exists("x"));
+}
+
+TEST_F(PortsTest, SendOnClosedPortThrows) {
+  Participant p(f, 0);
+  SendPort tx = p.open_send("x");
+  tx.close();
+  EXPECT_THROW(tx.send("data"), MpfError);
+}
+
+TEST_F(PortsTest, MoveTransfersOwnership) {
+  Participant p(f, 0);
+  SendPort a = p.open_send("mv");
+  const LnvcId id = a.id();
+  SendPort b = std::move(a);
+  EXPECT_FALSE(a.open());
+  EXPECT_TRUE(b.open());
+  EXPECT_EQ(b.id(), id);
+  b.send("still works");
+  // Move assignment closes the target's old connection.
+  SendPort c = p.open_send("other");
+  c = std::move(b);
+  EXPECT_FALSE(f.lnvc_exists("other"));
+  EXPECT_TRUE(c.open());
+  EXPECT_TRUE(f.lnvc_exists("mv"));
+}
+
+TEST_F(PortsTest, ReceivePortMoveKeepsProtocol) {
+  Participant p(f, 1);
+  ReceivePort a = p.open_receive("mv", Protocol::broadcast);
+  ReceivePort b = std::move(a);
+  EXPECT_EQ(b.protocol(), Protocol::broadcast);
+  EXPECT_FALSE(a.open());
+  EXPECT_TRUE(b.open());
+}
+
+TEST_F(PortsTest, TypedValueRoundTrip) {
+  Participant s(f, 0);
+  Participant r(f, 1);
+  SendPort tx = s.open_send("typed");
+  ReceivePort rx = r.open_receive("typed", Protocol::fcfs);
+  struct Payload {
+    double a;
+    int b;
+  };
+  tx.send_value(Payload{2.5, -3});
+  const auto got = rx.receive_value<Payload>();
+  EXPECT_DOUBLE_EQ(got.a, 2.5);
+  EXPECT_EQ(got.b, -3);
+}
+
+TEST_F(PortsTest, ReceiveValueSizeMismatchThrows) {
+  Participant s(f, 0);
+  Participant r(f, 1);
+  SendPort tx = s.open_send("typed");
+  ReceivePort rx = r.open_receive("typed", Protocol::fcfs);
+  tx.send_value(std::int16_t{5});
+  EXPECT_THROW((void)rx.receive_value<std::int64_t>(), MpfError);
+}
+
+TEST_F(PortsTest, ReceiveBytesSizesExactly) {
+  Participant s(f, 0);
+  Participant r(f, 1);
+  SendPort tx = s.open_send("bytes");
+  ReceivePort rx = r.open_receive("bytes", Protocol::fcfs);
+  tx.send("12345");
+  const auto bytes = rx.receive_bytes();
+  EXPECT_EQ(bytes.size(), 5u);
+}
+
+TEST_F(PortsTest, TruncatedReceiveReportsViaFlagNotException) {
+  Participant s(f, 0);
+  Participant r(f, 1);
+  SendPort tx = s.open_send("tr");
+  ReceivePort rx = r.open_receive("tr", Protocol::fcfs);
+  tx.send("0123456789");
+  std::vector<std::byte> small(4);
+  const Received got = rx.receive(small);
+  EXPECT_TRUE(got.truncated);
+  EXPECT_EQ(got.length, 4u);
+}
+
+TEST_F(PortsTest, OpenErrorsSurfaceAsExceptions) {
+  Participant p(f, 1);
+  ReceivePort a = p.open_receive("conv", Protocol::fcfs);
+  EXPECT_THROW((void)p.open_receive("conv", Protocol::broadcast), MpfError);
+  try {
+    (void)p.open_receive("conv", Protocol::broadcast);
+    FAIL() << "expected MpfError";
+  } catch (const MpfError& e) {
+    EXPECT_EQ(e.status(), Status::protocol_conflict);
+  }
+}
+
+TEST_F(PortsTest, DefaultConstructedPortsAreInert) {
+  SendPort tx;
+  ReceivePort rx;
+  EXPECT_FALSE(tx.open());
+  EXPECT_FALSE(rx.open());
+  tx.close();
+  rx.close();  // no facility: must not crash
+}
+
+}  // namespace

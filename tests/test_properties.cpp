@@ -1,0 +1,222 @@
+// Property-based tests over concurrent configurations: conservation and
+// ordering invariants swept across sender/receiver/protocol/size mixes
+// with real threads (parameterized gtest).
+//
+// Invariants checked, for every configuration:
+//   P1 conservation (FCFS): every message is delivered to exactly one
+//      FCFS receiver — none lost, none duplicated.
+//   P2 conservation (BROADCAST): every joined-from-the-start broadcast
+//      receiver sees every message exactly once.
+//   P3 per-sender FIFO: every observer sees any given sender's messages
+//      in that sender's send order.
+//   P4 payload integrity: checksums survive block chaining.
+//   P5 pool integrity: all blocks return to the free list afterwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "mpf/apps/coordination.hpp"
+#include "mpf/core/facility.hpp"
+#include "mpf/core/ports.hpp"
+#include "mpf/runtime/group.hpp"
+#include "mpf/runtime/rng.hpp"
+#include "mpf/shm/region.hpp"
+
+namespace {
+
+using namespace mpf;
+
+struct Wire {
+  std::uint32_t sender;
+  std::uint32_t seq;
+  std::uint32_t len;
+  std::uint32_t checksum;
+  // len payload bytes follow
+};
+
+std::uint32_t checksum(const std::byte* data, std::size_t len) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < len; ++i) {
+    h = (h ^ static_cast<std::uint32_t>(data[i])) * 16777619u;
+  }
+  return h;
+}
+
+// (senders, fcfs receivers, broadcast receivers, payload bytes)
+using Shape = std::tuple<int, int, int, int>;
+
+class ConservationProperty : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ConservationProperty, AllInvariantsHold) {
+  const auto [nsend, nfcfs, nbcast, payload] = GetParam();
+  constexpr int kPerSender = 40;
+  const int nprocs = nsend + nfcfs + nbcast;
+
+  Config config;
+  config.max_lnvcs = 8;
+  config.max_processes = static_cast<std::uint32_t>(nprocs + 1);
+  config.block_payload = 10;
+  config.message_blocks = 1 << 14;
+  shm::HeapRegion region(config.derived_arena_bytes());
+  Facility f = Facility::create(config, region);
+
+  struct Observation {
+    std::vector<Wire> headers;
+  };
+  std::vector<Observation> fcfs_obs(std::max(nfcfs, 1));
+  std::vector<Observation> bcast_obs(std::max(nbcast, 1));
+  std::atomic<bool> integrity_ok{true};
+
+  rt::run_group(rt::Backend::thread, nprocs, [&](int rank) {
+    Participant self(f, static_cast<ProcessId>(rank));
+    const bool is_sender = rank < nsend;
+    const bool is_fcfs = !is_sender && rank < nsend + nfcfs;
+    SendPort tx;
+    ReceivePort rx;
+    if (is_sender) {
+      tx = self.open_send("prop");
+    } else {
+      rx = self.open_receive("prop",
+                             is_fcfs ? Protocol::fcfs : Protocol::broadcast);
+    }
+    apps::startup_barrier(f, static_cast<ProcessId>(rank), nprocs, "join");
+
+    if (is_sender) {
+      rt::SplitMix64 rng(rank * 7919 + 13);
+      std::vector<std::byte> msg(sizeof(Wire) + payload);
+      for (int i = 0; i < kPerSender; ++i) {
+        auto* w = reinterpret_cast<Wire*>(msg.data());
+        w->sender = rank;
+        w->seq = i;
+        w->len = payload;
+        std::byte* body = msg.data() + sizeof(Wire);
+        for (int b = 0; b < payload; ++b) {
+          body[b] = static_cast<std::byte>(rng.next() & 0xff);
+        }
+        w->checksum = checksum(body, payload);
+        tx.send(msg);
+      }
+      // Poison for the FCFS pool: zero-length messages, one per receiver,
+      // sent by sender 0 only after every sender finished.
+      if (rank == 0) {
+        apps::startup_barrier(f, 0, nsend, "senders-done", 0);
+        for (int r = 0; r < nfcfs; ++r) tx.send(std::span<const std::byte>{});
+      } else {
+        apps::startup_barrier(f, static_cast<ProcessId>(rank), nsend,
+                              "senders-done", 0);
+      }
+    } else if (is_fcfs) {
+      std::vector<std::byte> buf(sizeof(Wire) + payload + 16);
+      for (;;) {
+        const Received r = rx.receive(buf);
+        if (r.length == 0) break;
+        const auto* w = reinterpret_cast<const Wire*>(buf.data());
+        if (checksum(buf.data() + sizeof(Wire), w->len) != w->checksum) {
+          integrity_ok.store(false);
+        }
+        fcfs_obs[rank - nsend].headers.push_back(*w);
+      }
+    } else {
+      std::vector<std::byte> buf(sizeof(Wire) + payload + 16);
+      const int expected = nsend * kPerSender;
+      int seen = 0;
+      while (seen < expected) {
+        const Received r = rx.receive(buf);
+        if (r.length == 0) continue;  // FCFS poison is invisible here? no:
+        // broadcast receivers see every message, including poisons; skip.
+        const auto* w = reinterpret_cast<const Wire*>(buf.data());
+        if (checksum(buf.data() + sizeof(Wire), w->len) != w->checksum) {
+          integrity_ok.store(false);
+        }
+        bcast_obs[rank - nsend - nfcfs].headers.push_back(*w);
+        ++seen;
+      }
+    }
+  });
+
+  EXPECT_TRUE(integrity_ok.load()) << "P4 violated: payload corruption";
+
+  if (nfcfs > 0) {
+    // P1: exactly-once across the FCFS pool.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, int> counts;
+    for (const auto& obs : fcfs_obs) {
+      for (const Wire& w : obs.headers) ++counts[{w.sender, w.seq}];
+    }
+    EXPECT_EQ(counts.size(),
+              static_cast<std::size_t>(nsend) * kPerSender)
+        << "P1 violated: lost messages";
+    for (const auto& [key, n] : counts) {
+      EXPECT_EQ(n, 1) << "P1 violated: duplicate delivery of sender "
+                      << key.first << " seq " << key.second;
+    }
+    // P3 for the FCFS sub-stream: each receiver sees per-sender
+    // ascending sequence numbers.
+    for (const auto& obs : fcfs_obs) {
+      std::map<std::uint32_t, std::int64_t> last;
+      for (const Wire& w : obs.headers) {
+        auto it = last.find(w.sender);
+        if (it != last.end()) {
+          EXPECT_LT(it->second, static_cast<std::int64_t>(w.seq))
+              << "P3 violated in FCFS stream";
+        }
+        last[w.sender] = w.seq;
+      }
+    }
+  }
+  if (nbcast > 0) {
+    // P2 + P3 for every broadcast receiver.
+    for (const auto& obs : bcast_obs) {
+      std::map<std::uint32_t, std::int64_t> last;
+      std::map<std::pair<std::uint32_t, std::uint32_t>, int> counts;
+      for (const Wire& w : obs.headers) {
+        ++counts[{w.sender, w.seq}];
+        auto it = last.find(w.sender);
+        if (it != last.end()) {
+          EXPECT_LT(it->second, static_cast<std::int64_t>(w.seq))
+              << "P3 violated in broadcast stream";
+        }
+        last[w.sender] = w.seq;
+      }
+      EXPECT_EQ(counts.size(),
+                static_cast<std::size_t>(nsend) * kPerSender)
+          << "P2 violated";
+      for (const auto& [key, n] : counts) EXPECT_EQ(n, 1) << "P2 violated";
+    }
+  }
+  // P5: quiescent pool.
+  EXPECT_EQ(f.stats().blocks_free, config.message_blocks)
+      << "P5 violated: leaked blocks";
+}
+
+std::string shape_name(const ::testing::TestParamInfo<Shape>& param_info) {
+  return "s" + std::to_string(std::get<0>(param_info.param)) + "_f" +
+         std::to_string(std::get<1>(param_info.param)) + "_b" +
+         std::to_string(std::get<2>(param_info.param)) + "_len" +
+         std::to_string(std::get<3>(param_info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConservationProperty,
+    ::testing::Values(
+        // one-to-one, tiny and block-spanning payloads
+        Shape{1, 1, 0, 0}, Shape{1, 1, 0, 9}, Shape{1, 1, 0, 10},
+        Shape{1, 1, 0, 117},
+        // FCFS pools
+        Shape{1, 2, 0, 24}, Shape{1, 4, 0, 24}, Shape{2, 3, 0, 48},
+        Shape{4, 4, 0, 8},
+        // broadcast fan-out
+        Shape{1, 0, 1, 24}, Shape{1, 0, 3, 24}, Shape{2, 0, 2, 96},
+        // mixed protocols, multiple senders
+        Shape{1, 2, 2, 24}, Shape{2, 2, 1, 10}, Shape{3, 2, 2, 33},
+        Shape{2, 1, 3, 250},
+        // wider fan-in/fan-out and jumbo payloads
+        Shape{6, 2, 0, 20}, Shape{1, 6, 0, 64}, Shape{1, 0, 6, 40},
+        Shape{4, 3, 3, 100}, Shape{2, 2, 2, 999}, Shape{5, 1, 1, 1}),
+    shape_name);
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Synchronous rendezvous transfer (paper §5 future work): pairing,
+// blocking semantics, reuse, and behaviour under the simulator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "mpf/core/rendezvous.hpp"
+#include "mpf/sim/sim_platform.hpp"
+
+namespace {
+
+using namespace mpf;
+
+TEST(Rendezvous, TransfersOneMessage) {
+  RendezvousCell cell;
+  const std::string msg = "direct transfer";
+  std::thread sender([&] {
+    Rendezvous r(cell);
+    r.send(std::as_bytes(std::span(msg.data(), msg.size())));
+  });
+  Rendezvous r(cell);
+  std::vector<std::byte> buf(64);
+  const std::size_t len = r.receive(buf);
+  sender.join();
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf.data()), len), msg);
+}
+
+TEST(Rendezvous, SendBlocksUntilReceiverTakes) {
+  RendezvousCell cell;
+  std::atomic<bool> send_returned{false};
+  std::vector<std::byte> payload(32, std::byte{7});
+  std::thread sender([&] {
+    Rendezvous r(cell);
+    r.send(payload);
+    send_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_FALSE(send_returned.load()) << "send returned with no receiver";
+  Rendezvous r(cell);
+  std::vector<std::byte> buf(32);
+  EXPECT_EQ(r.receive(buf), 32u);
+  sender.join();
+  EXPECT_TRUE(send_returned.load());
+}
+
+TEST(Rendezvous, SequentialReuse) {
+  RendezvousCell cell;
+  std::thread sender([&] {
+    Rendezvous r(cell);
+    for (int i = 0; i < 200; ++i) r.send(std::as_bytes(std::span(&i, 1)));
+  });
+  Rendezvous r(cell);
+  for (int i = 0; i < 200; ++i) {
+    int v = -1;
+    ASSERT_EQ(r.receive(std::as_writable_bytes(std::span(&v, 1))),
+              sizeof(int));
+    ASSERT_EQ(v, i);
+  }
+  sender.join();
+}
+
+TEST(Rendezvous, ManySendersOneReceiver) {
+  RendezvousCell cell;
+  constexpr int kSenders = 4;
+  constexpr int kEach = 50;
+  std::vector<std::thread> senders;
+  for (int s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&, s] {
+      Rendezvous r(cell);
+      for (int i = 0; i < kEach; ++i) {
+        const int v = s * 1000 + i;
+        r.send(std::as_bytes(std::span(&v, 1)));
+      }
+    });
+  }
+  Rendezvous r(cell);
+  std::vector<int> per_sender_last(kSenders, -1);
+  for (int i = 0; i < kSenders * kEach; ++i) {
+    int v = 0;
+    ASSERT_EQ(r.receive(std::as_writable_bytes(std::span(&v, 1))),
+              sizeof(int));
+    const int s = v / 1000;
+    const int seq = v % 1000;
+    ASSERT_LT(per_sender_last[s], seq) << "per-sender order broken";
+    per_sender_last[s] = seq;
+  }
+  for (auto& t : senders) t.join();
+  for (int s = 0; s < kSenders; ++s) {
+    EXPECT_EQ(per_sender_last[s], kEach - 1);
+  }
+}
+
+TEST(Rendezvous, TruncatesToReceiverBuffer) {
+  RendezvousCell cell;
+  std::vector<std::byte> big(100, std::byte{9});
+  std::thread sender([&] {
+    Rendezvous r(cell);
+    r.send(big);
+  });
+  Rendezvous r(cell);
+  std::vector<std::byte> small(10);
+  EXPECT_EQ(r.receive(small), 10u);
+  sender.join();
+}
+
+TEST(Rendezvous, SingleCopyUnderSimulatorIsCheaperThanTwo) {
+  // The whole point of §5: rendezvous charges one copy, the LNVC path
+  // two plus block overhead.  Check the virtual-time ratio directly.
+  sim::Simulator simulator;
+  sim::SimPlatform platform(simulator);
+  RendezvousCell cell;
+  constexpr std::size_t kLen = 2048;
+  std::vector<std::byte> payload(kLen, std::byte{1});
+  sim::Time recv_done = 0;
+  simulator.spawn([&] {
+    Rendezvous r(cell, platform);
+    r.send(payload);
+  });
+  simulator.spawn([&] {
+    Rendezvous r(cell, platform);
+    std::vector<std::byte> buf(kLen);
+    (void)r.receive(buf);
+    recv_done = simulator.now();
+  });
+  simulator.run();
+  const double one_copy = simulator.model().copy_ns_per_byte * kLen;
+  EXPECT_GE(recv_done, static_cast<sim::Time>(one_copy));
+  EXPECT_LT(recv_done, static_cast<sim::Time>(1.5 * one_copy))
+      << "rendezvous must cost ~one copy, not two";
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// The process runtime: thread/fork groups, error propagation, timers, RNG.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <unistd.h>
+
+#include "mpf/runtime/group.hpp"
+#include "mpf/runtime/rng.hpp"
+#include "mpf/runtime/timer.hpp"
+
+namespace {
+
+using namespace mpf::rt;
+
+TEST(RunGroup, ThreadBackendRunsEveryRank) {
+  std::atomic<int> mask{0};
+  run_group(Backend::thread, 6, [&](int rank) {
+    mask.fetch_or(1 << rank);
+  });
+  EXPECT_EQ(mask.load(), 0b111111);
+}
+
+TEST(RunGroup, ThreadBackendPropagatesExceptions) {
+  EXPECT_THROW(run_group(Backend::thread, 3,
+                         [&](int rank) {
+                           if (rank == 1) {
+                             throw std::runtime_error("worker 1 failed");
+                           }
+                         }),
+               std::runtime_error);
+}
+
+TEST(RunGroup, ZeroOrNegativeCountIsNoop) {
+  bool ran = false;
+  run_group(Backend::thread, 0, [&](int) { ran = true; });
+  run_group(Backend::thread, -3, [&](int) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(RunGroup, ForkBackendIsolatesWorkerState) {
+  // Children get copy-on-write memory: writes do not leak back.
+  int plain = 7;
+  run_group(Backend::fork, 3, [&](int rank) {
+    plain = 100 + rank;  // private to the child
+  });
+  EXPECT_EQ(plain, 7);
+}
+
+TEST(RunGroup, ForkBackendReportsChildFailure) {
+  EXPECT_THROW(run_group(Backend::fork, 2,
+                         [&](int rank) {
+                           if (rank == 0) {
+                             throw std::runtime_error("child died");
+                           }
+                         }),
+               std::runtime_error);
+}
+
+TEST(RunGroup, ForkChildrenHaveDistinctPids) {
+  // Each child writes its pid into a pipe; all must differ.
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  run_group(Backend::fork, 3, [&](int) {
+    const pid_t me = getpid();
+    (void)!write(fds[1], &me, sizeof(me));
+  });
+  std::set<pid_t> pids;
+  for (int i = 0; i < 3; ++i) {
+    pid_t p = 0;
+    ASSERT_EQ(read(fds[0], &p, sizeof(p)), static_cast<ssize_t>(sizeof(p)));
+    pids.insert(p);
+  }
+  close(fds[0]);
+  close(fds[1]);
+  EXPECT_EQ(pids.size(), 3u);
+  EXPECT_EQ(pids.count(getpid()), 0u);
+}
+
+TEST(Runtime, OnlineCpusIsPositive) { EXPECT_GE(online_cpus(), 1); }
+
+TEST(Runtime, WallTimerAdvances) {
+  WallTimer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(timer.elapsed_ns(), 0u);
+  const auto first = timer.elapsed_ns();
+  timer.reset();
+  EXPECT_LT(timer.elapsed_ns(), first + 1'000'000'000ull);
+}
+
+TEST(Runtime, SplitMixIsDeterministicAndSpreads) {
+  SplitMix64 a(42), b(42), c(43);
+  std::set<std::uint64_t> values;
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    diverged |= va != c.next();
+    values.insert(va);
+  }
+  EXPECT_TRUE(diverged);
+  EXPECT_EQ(values.size(), 1000u) << "collisions in 1000 draws";
+}
+
+TEST(Runtime, SplitMixBelowStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+// Integration of the MPF core with the Balance-21000 simulation: the same
+// LNVC code that runs natively must run under SimPlatform, charge the
+// modeled costs, and stay deterministic.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpf/core/facility.hpp"
+#include "mpf/core/ports.hpp"
+#include "mpf/shm/region.hpp"
+#include "mpf/sim/sim_platform.hpp"
+
+namespace {
+
+using namespace mpf;
+using sim::MachineModel;
+using sim::SimPlatform;
+using sim::Simulator;
+
+struct SimFixture {
+  Config config;
+  Simulator sim;
+  SimPlatform platform{sim};
+  shm::HeapRegion region;
+  Facility facility;
+
+  explicit SimFixture(Config c = Config{})
+      : config(c),
+        region(c.derived_arena_bytes()),
+        facility(Facility::create(c, region, platform)) {}
+};
+
+TEST(SimMpf, LoopBackMatchesModel) {
+  // The paper's `base` benchmark: one process, one LNVC, alternating
+  // send/receive of L-byte messages.  Virtual time per round must equal
+  // send_fixed + recv_fixed + 2*copy(L) (+ lock costs), so throughput is
+  // predictable from the model.
+  SimFixture fx;
+  const MachineModel& m = fx.sim.model();
+  constexpr std::size_t kLen = 256;
+  constexpr int kRounds = 50;
+  sim::Time elapsed = 0;
+  fx.sim.spawn([&] {
+    Participant self(fx.facility, 0);
+    SendPort tx = self.open_send("loop");
+    ReceivePort rx = self.open_receive("loop", Protocol::fcfs);
+    std::vector<std::byte> out(kLen), in(kLen);
+    const sim::Time start = fx.sim.now();
+    for (int i = 0; i < kRounds; ++i) {
+      tx.send(out);
+      const Received r = rx.receive(in);
+      ASSERT_EQ(r.length, kLen);
+    }
+    elapsed = fx.sim.now() - start;
+  });
+  fx.sim.run();
+
+  const double per_round_floor =
+      m.send_fixed_ns + m.recv_fixed_ns +
+      2 * m.copy_cost_ns(kLen, fx.config.block_payload);
+  const double measured = static_cast<double>(elapsed) / kRounds;
+  EXPECT_GE(measured, per_round_floor);
+  // Locks, checks and open/close amortization stay under 20% overhead.
+  EXPECT_LE(measured, per_round_floor * 1.2);
+}
+
+TEST(SimMpf, SenderReceiverPipeline) {
+  SimFixture fx;
+  constexpr int kMsgs = 40;
+  fx.sim.spawn([&] {
+    Participant self(fx.facility, 0);
+    SendPort tx = self.open_send("stream");
+    for (int i = 0; i < kMsgs; ++i) tx.send_value(i);
+  });
+  std::vector<int> got;
+  fx.sim.spawn([&] {
+    Participant self(fx.facility, 1);
+    ReceivePort rx = self.open_receive("stream", Protocol::fcfs);
+    for (int i = 0; i < kMsgs; ++i) got.push_back(rx.receive_value<int>());
+  });
+  fx.sim.run();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMsgs));
+  for (int i = 0; i < kMsgs; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(SimMpf, BroadcastDeliversToAllSimProcesses) {
+  SimFixture fx;
+  constexpr int kReceivers = 6;
+  constexpr int kMsgs = 10;
+  std::vector<int> sums(kReceivers, 0);
+  fx.sim.spawn([&] {
+    Participant self(fx.facility, 0);
+    SendPort tx = self.open_send("news");
+    // Give receivers virtual time to join before the first send: opens
+    // cost open_close_ns each, so two quanta cover them.
+    fx.sim.advance(kReceivers * fx.sim.model().open_close_ns * 4);
+    for (int i = 1; i <= kMsgs; ++i) tx.send_value(i);
+  });
+  for (int r = 0; r < kReceivers; ++r) {
+    fx.sim.spawn([&, r] {
+      Participant self(fx.facility, static_cast<ProcessId>(1 + r));
+      ReceivePort rx = self.open_receive("news", Protocol::broadcast);
+      for (int i = 0; i < kMsgs; ++i) sums[r] += rx.receive_value<int>();
+    });
+  }
+  fx.sim.run();
+  for (int r = 0; r < kReceivers; ++r) {
+    EXPECT_EQ(sums[r], kMsgs * (kMsgs + 1) / 2) << "receiver " << r;
+  }
+}
+
+TEST(SimMpf, FcfsDeliversEachMessageExactlyOnce) {
+  SimFixture fx;
+  constexpr int kReceivers = 5;
+  constexpr int kMsgs = 60;
+  std::vector<int> counts(kMsgs, 0);
+  fx.sim.spawn([&] {
+    Participant self(fx.facility, 0);
+    SendPort tx = self.open_send("queue");
+    fx.sim.advance(kReceivers * fx.sim.model().open_close_ns * 4);
+    for (int i = 0; i < kMsgs; ++i) tx.send_value(i);
+    // Poison pills let receivers terminate.
+    for (int r = 0; r < kReceivers; ++r) tx.send_value(-1);
+  });
+  for (int r = 0; r < kReceivers; ++r) {
+    fx.sim.spawn([&, r] {
+      (void)r;
+      Participant self(fx.facility, static_cast<ProcessId>(1 + r));
+      ReceivePort rx = self.open_receive("queue", Protocol::fcfs);
+      for (;;) {
+        const int v = rx.receive_value<int>();
+        if (v < 0) break;
+        ++counts[v];
+      }
+    });
+  }
+  fx.sim.run();
+  for (int i = 0; i < kMsgs; ++i) EXPECT_EQ(counts[i], 1) << "message " << i;
+}
+
+TEST(SimMpf, DeterministicVirtualTime) {
+  auto run_once = [] {
+    SimFixture fx;
+    fx.sim.spawn([&] {
+      Participant self(fx.facility, 0);
+      SendPort tx = self.open_send("d");
+      for (int i = 0; i < 25; ++i) tx.send_value(i);
+    });
+    for (int r = 0; r < 3; ++r) {
+      fx.sim.spawn([&, r] {
+        (void)r;
+        Participant self(fx.facility, static_cast<ProcessId>(1 + r));
+        ReceivePort rx = self.open_receive("d", Protocol::broadcast);
+        for (int i = 0; i < 25; ++i) (void)rx.receive_value<int>();
+      });
+    }
+    fx.sim.run();
+    return fx.sim.elapsed();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0u);
+}
+
+TEST(SimMpf, LockContentionExtendsVirtualTime) {
+  // More FCFS receivers hammering one LNVC must not make the sender
+  // faster; with small messages the added lock/wake traffic slows the
+  // total exchange down (the Figure 4 mechanism).
+  auto makespan_with = [](int receivers) {
+    SimFixture fx;
+    constexpr int kMsgs = 30;
+    fx.sim.spawn([&] {
+      Participant self(fx.facility, 0);
+      SendPort tx = self.open_send("hot");
+      fx.sim.advance(1e9);
+      for (int i = 0; i < kMsgs; ++i) tx.send_value(i);
+      for (int r = 0; r < 16; ++r) tx.send_value(-1);
+    });
+    for (int r = 0; r < receivers; ++r) {
+      fx.sim.spawn([&, r] {
+        (void)r;
+        Participant self(fx.facility, static_cast<ProcessId>(1 + r));
+        ReceivePort rx = self.open_receive("hot", Protocol::fcfs);
+        while (rx.receive_value<int>() >= 0) {
+        }
+      });
+    }
+    fx.sim.run();
+    return fx.sim.elapsed();
+  };
+  EXPECT_GT(makespan_with(12), makespan_with(1) * 95 / 100);
+}
+
+}  // namespace

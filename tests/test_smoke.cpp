@@ -1,0 +1,83 @@
+// End-to-end smoke: one facility, one LNVC, send/receive round trip on
+// every layer (C++ status API, RAII ports, C compat API).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "mpf/compat/mpf.h"
+#include "mpf/core/facility.hpp"
+#include "mpf/core/ports.hpp"
+#include "mpf/shm/region.hpp"
+
+namespace {
+
+using namespace mpf;
+
+TEST(Smoke, StatusApiRoundTrip) {
+  shm::HeapRegion region(Config{}.derived_arena_bytes());
+  Facility f = Facility::create(Config{}, region);
+
+  LnvcId sid = kInvalidLnvc;
+  LnvcId rid = kInvalidLnvc;
+  ASSERT_EQ(f.open_send(0, "pipe", &sid), Status::ok);
+  ASSERT_EQ(f.open_receive(1, "pipe", Protocol::fcfs, &rid), Status::ok);
+  EXPECT_EQ(sid, rid);
+
+  const std::string msg = "hello, 1987";
+  ASSERT_EQ(f.send(0, sid, msg.data(), msg.size()), Status::ok);
+  char buf[64] = {};
+  std::size_t len = 0;
+  ASSERT_EQ(f.receive(1, rid, buf, sizeof(buf), &len), Status::ok);
+  EXPECT_EQ(len, msg.size());
+  EXPECT_EQ(std::string(buf, len), msg);
+
+  EXPECT_EQ(f.close_send(0, sid), Status::ok);
+  EXPECT_EQ(f.close_receive(1, rid), Status::ok);
+  EXPECT_FALSE(f.lnvc_exists("pipe"));
+}
+
+TEST(Smoke, PortsApiAcrossThreads) {
+  shm::HeapRegion region(Config{}.derived_arena_bytes());
+  Facility f = Facility::create(Config{}, region);
+
+  std::thread consumer([&] {
+    Participant p(f, 1);
+    ReceivePort rx = p.open_receive("work", Protocol::fcfs);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(rx.receive_value<int>(), i);
+    }
+  });
+  {
+    Participant p(f, 0);
+    SendPort tx = p.open_send("work");
+    for (int i = 0; i < 100; ++i) tx.send_value(i);
+    consumer.join();
+  }
+  EXPECT_FALSE(f.lnvc_exists("work"));
+}
+
+TEST(Smoke, CCompatApi) {
+  ASSERT_EQ(mpf_init(16, 8), 0);
+  const int sid = mpf_open_send(0, "conv");
+  ASSERT_GE(sid, 0);
+  const int rid = mpf_open_receive(1, "conv", MPF_BROADCAST);
+  ASSERT_GE(rid, 0);
+
+  EXPECT_EQ(mpf_check_receive(1, rid), 0);
+  ASSERT_EQ(mpf_message_send(0, sid, "abc", 3), 0);
+  EXPECT_EQ(mpf_check_receive(1, rid), 1);
+
+  char buf[8] = {};
+  int len = static_cast<int>(sizeof(buf));
+  ASSERT_EQ(mpf_message_receive(1, rid, buf, &len), 0);
+  EXPECT_EQ(len, 3);
+  EXPECT_EQ(std::memcmp(buf, "abc", 3), 0);
+
+  EXPECT_EQ(mpf_close_send(0, sid), 0);
+  EXPECT_EQ(mpf_close_receive(1, rid), 0);
+  EXPECT_EQ(mpf_shutdown(), 0);
+}
+
+}  // namespace

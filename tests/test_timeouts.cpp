@@ -1,0 +1,160 @@
+// Timed receives: wall-clock deadlines natively, virtual-time deadlines
+// under the simulator (where the timeout is exact and deterministic).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "mpf/core/facility.hpp"
+#include "mpf/core/ports.hpp"
+#include "mpf/runtime/timer.hpp"
+#include "mpf/shm/region.hpp"
+#include "mpf/sim/sim_platform.hpp"
+
+namespace {
+
+using namespace mpf;
+
+struct TimeoutTest : ::testing::Test {
+  Config config = [] {
+    Config c;
+    c.max_lnvcs = 8;
+    c.max_processes = 8;
+    return c;
+  }();
+  shm::HeapRegion region{config.derived_arena_bytes()};
+  Facility f{Facility::create(config, region)};
+};
+
+TEST_F(TimeoutTest, ExpiresWhenNothingArrives) {
+  LnvcId rx;
+  ASSERT_EQ(f.open_receive(0, "idle", Protocol::fcfs, &rx), Status::ok);
+  char buf[8];
+  std::size_t len = 0;
+  rt::WallTimer timer;
+  EXPECT_EQ(f.receive_for(0, rx, buf, sizeof(buf), &len, 30'000'000),
+            Status::timed_out);
+  const double waited = timer.elapsed_s();
+  EXPECT_GE(waited, 0.025);
+  EXPECT_LT(waited, 2.0);
+}
+
+TEST_F(TimeoutTest, DeliversWhenMessageArrivesInTime) {
+  LnvcId rx;
+  ASSERT_EQ(f.open_receive(0, "busy", Protocol::fcfs, &rx), Status::ok);
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    LnvcId tx;
+    ASSERT_EQ(f.open_send(1, "busy", &tx), Status::ok);
+    int v = 17;
+    ASSERT_EQ(f.send(1, tx, &v, sizeof(v)), Status::ok);
+    ASSERT_EQ(f.close_send(1, tx), Status::ok);
+  });
+  int got = 0;
+  std::size_t len = 0;
+  EXPECT_EQ(f.receive_for(0, rx, &got, sizeof(got), &len, 5'000'000'000ull),
+            Status::ok);
+  EXPECT_EQ(got, 17);
+  sender.join();
+}
+
+TEST_F(TimeoutTest, ZeroTimeoutIsAPoll) {
+  LnvcId tx, rx;
+  ASSERT_EQ(f.open_send(0, "p", &tx), Status::ok);
+  ASSERT_EQ(f.open_receive(1, "p", Protocol::fcfs, &rx), Status::ok);
+  char buf[8];
+  std::size_t len = 0;
+  EXPECT_EQ(f.receive_for(1, rx, buf, sizeof(buf), &len, 0),
+            Status::timed_out);
+  int v = 3;
+  ASSERT_EQ(f.send(0, tx, &v, sizeof(v)), Status::ok);
+  EXPECT_EQ(f.receive_for(1, rx, buf, sizeof(buf), &len, 0), Status::ok);
+}
+
+TEST_F(TimeoutTest, PortWrapper) {
+  Participant p(f, 0);
+  ReceivePort rx = p.open_receive("w", Protocol::broadcast);
+  std::vector<std::byte> buf(16);
+  Received r{};
+  EXPECT_FALSE(rx.receive_for(buf, 10'000'000, &r));
+  Participant s(f, 1);
+  SendPort tx = s.open_send("w");
+  tx.send("hello");
+  EXPECT_TRUE(rx.receive_for(buf, 10'000'000, &r));
+  EXPECT_EQ(r.length, 5u);
+}
+
+TEST(TimeoutSim, VirtualDeadlineIsExact) {
+  Config c;
+  c.max_lnvcs = 8;
+  c.max_processes = 8;
+  sim::Simulator simulator;
+  sim::SimPlatform platform(simulator);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region, platform);
+  sim::Time woke_at = 0;
+  simulator.spawn([&] {
+    LnvcId rx;
+    ASSERT_EQ(f.open_receive(0, "t", Protocol::fcfs, &rx), Status::ok);
+    char buf[8];
+    std::size_t len = 0;
+    const sim::Time start = simulator.now();
+    ASSERT_EQ(f.receive_for(0, rx, buf, sizeof(buf), &len, 250'000'000),
+              Status::timed_out);
+    woke_at = simulator.now() - start;
+  });
+  simulator.run();
+  // Deterministic: the requested interval plus the modeled fixed receive
+  // cost (charged before the deadline starts) and lock reacquisition.
+  EXPECT_GE(woke_at, 250'000'000u);
+  EXPECT_LT(woke_at, 256'000'000u);
+}
+
+TEST(TimeoutSim, NotifyBeforeDeadlineWins) {
+  Config c;
+  c.max_lnvcs = 8;
+  c.max_processes = 8;
+  sim::Simulator simulator;
+  sim::SimPlatform platform(simulator);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region, platform);
+  int got = 0;
+  simulator.spawn([&] {
+    LnvcId rx;
+    ASSERT_EQ(f.open_receive(0, "t", Protocol::fcfs, &rx), Status::ok);
+    std::size_t len = 0;
+    ASSERT_EQ(f.receive_for(0, rx, &got, sizeof(got), &len, 1'000'000'000),
+              Status::ok);
+  });
+  simulator.spawn([&] {
+    simulator.advance(50'000'000);
+    LnvcId tx;
+    ASSERT_EQ(f.open_send(1, "t", &tx), Status::ok);
+    int v = 88;
+    ASSERT_EQ(f.send(1, tx, &v, sizeof(v)), Status::ok);
+  });
+  simulator.run();
+  EXPECT_EQ(got, 88);
+}
+
+TEST(TimeoutSim, TimedSleepIsNotADeadlock) {
+  // All processes asleep, but one with a deadline: the conductor must
+  // promote it rather than declare deadlock.
+  Config c;
+  c.max_lnvcs = 8;
+  c.max_processes = 8;
+  sim::Simulator simulator;
+  sim::SimPlatform platform(simulator);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region, platform);
+  simulator.spawn([&] {
+    LnvcId rx;
+    ASSERT_EQ(f.open_receive(0, "never", Protocol::fcfs, &rx), Status::ok);
+    char buf[4];
+    std::size_t len = 0;
+    EXPECT_EQ(f.receive_for(0, rx, buf, sizeof(buf), &len, 10'000'000),
+              Status::timed_out);
+  });
+  EXPECT_NO_THROW(simulator.run());
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Simulator event tracing: completeness, ordering, and CSV export.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "mpf/core/facility.hpp"
+#include "mpf/shm/region.hpp"
+#include "mpf/sim/sim_platform.hpp"
+#include "mpf/sim/trace.hpp"
+
+namespace {
+
+using namespace mpf;
+using sim::Simulator;
+using sim::Trace;
+using sim::TraceKind;
+
+TEST(Trace, RecordsScheduleEvents) {
+  Simulator sim;
+  Trace trace;
+  sim.set_trace(&trace);
+  sync::SpinLock lock;
+  sim.spawn_group(3, [&](int) {
+    for (int i = 0; i < 4; ++i) {
+      sim.mutex_lock(&lock);
+      sim.advance(1000);
+      sim.mutex_unlock(&lock);
+    }
+  });
+  sim.run();
+  EXPECT_EQ(trace.count(TraceKind::lock_acquire), 12u);
+  EXPECT_EQ(trace.count(TraceKind::lock_release), 12u);
+  EXPECT_EQ(trace.count(TraceKind::advance), 12u);
+  EXPECT_EQ(trace.count(TraceKind::done), 3u);
+  EXPECT_GT(trace.count(TraceKind::lock_wait), 0u) << "3 procs must contend";
+}
+
+TEST(Trace, PerProcessTimesAreMonotone) {
+  // Events are stamped *after* their charge is applied, so the global log
+  // can show a later-stamped event before an earlier process runs; within
+  // one process, however, time never goes backwards.
+  Simulator sim;
+  Trace trace;
+  sim.set_trace(&trace);
+  sim.spawn_group(4, [&](int rank) {
+    for (int i = 0; i < 5; ++i) sim.advance(100 * (rank + 1));
+  });
+  sim.run();
+  std::map<int, std::uint64_t> last;
+  for (const auto& e : trace.events()) {
+    auto it = last.find(e.process);
+    if (it != last.end()) {
+      EXPECT_LE(it->second, e.time_ns) << "process " << e.process;
+    }
+    last[e.process] = e.time_ns;
+  }
+  EXPECT_EQ(last.size(), 4u);
+}
+
+TEST(Trace, CapturesMpfTraffic) {
+  Simulator sim;
+  sim::SimPlatform platform(sim);
+  Trace trace;
+  sim.set_trace(&trace);
+  Config c;
+  c.max_lnvcs = 4;
+  c.max_processes = 4;
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region, platform);
+  sim.spawn([&] {
+    LnvcId tx, rx;
+    ASSERT_EQ(f.open_send(0, "t", &tx), Status::ok);
+    ASSERT_EQ(f.open_receive(0, "t", Protocol::fcfs, &rx), Status::ok);
+    char buf[32] = {};
+    std::size_t len = 0;
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_EQ(f.send(0, tx, buf, sizeof(buf)), Status::ok);
+      ASSERT_EQ(f.receive(0, rx, buf, sizeof(buf), &len), Status::ok);
+    }
+  });
+  sim.run();
+  // 5 sends + 5 receives = 10 modeled copies of 32 bytes.
+  EXPECT_EQ(trace.count(TraceKind::copy), 10u);
+  for (const auto& e : trace.events()) {
+    if (e.kind == TraceKind::copy) EXPECT_EQ(e.detail, 32u);
+  }
+}
+
+TEST(Trace, CsvExport) {
+  Trace trace;
+  trace.record(100, 0, TraceKind::advance, 42);
+  trace.record(250, 1, TraceKind::copy, 1024);
+  std::ostringstream os;
+  trace.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "time_ns,process,kind,detail\n"
+            "100,0,advance,42\n"
+            "250,1,copy,1024\n");
+}
+
+TEST(Trace, ClearAndReuse) {
+  Trace trace;
+  trace.record(1, 0, TraceKind::done, 0);
+  EXPECT_EQ(trace.size(), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.count(TraceKind::done), 0u);
+}
+
+TEST(Trace, DisabledByDefaultCostsNothing) {
+  Simulator sim;
+  sim.spawn([&] { sim.advance(100); });
+  sim.run();  // no trace attached: must simply work
+  SUCCEED();
+}
+
+}  // namespace
