@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_block_size"
+  "../bench/ablation_block_size.pdb"
+  "CMakeFiles/ablation_block_size.dir/ablation_block_size.cpp.o"
+  "CMakeFiles/ablation_block_size.dir/ablation_block_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

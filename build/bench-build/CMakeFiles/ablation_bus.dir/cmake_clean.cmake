@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_bus"
+  "../bench/ablation_bus.pdb"
+  "CMakeFiles/ablation_bus.dir/ablation_bus.cpp.o"
+  "CMakeFiles/ablation_bus.dir/ablation_bus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

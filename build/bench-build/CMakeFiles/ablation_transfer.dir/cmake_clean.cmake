@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_transfer"
+  "../bench/ablation_transfer.pdb"
+  "CMakeFiles/ablation_transfer.dir/ablation_transfer.cpp.o"
+  "CMakeFiles/ablation_transfer.dir/ablation_transfer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_cannon"
+  "../bench/ext_cannon.pdb"
+  "CMakeFiles/ext_cannon.dir/ext_cannon.cpp.o"
+  "CMakeFiles/ext_cannon.dir/ext_cannon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cannon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_base"
+  "../bench/fig3_base.pdb"
+  "CMakeFiles/fig3_base.dir/fig3_base.cpp.o"
+  "CMakeFiles/fig3_base.dir/fig3_base.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

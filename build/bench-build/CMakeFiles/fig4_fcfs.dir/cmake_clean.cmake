@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_fcfs"
+  "../bench/fig4_fcfs.pdb"
+  "CMakeFiles/fig4_fcfs.dir/fig4_fcfs.cpp.o"
+  "CMakeFiles/fig4_fcfs.dir/fig4_fcfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fcfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

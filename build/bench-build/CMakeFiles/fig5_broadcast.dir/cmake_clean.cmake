@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_broadcast"
+  "../bench/fig5_broadcast.pdb"
+  "CMakeFiles/fig5_broadcast.dir/fig5_broadcast.cpp.o"
+  "CMakeFiles/fig5_broadcast.dir/fig5_broadcast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

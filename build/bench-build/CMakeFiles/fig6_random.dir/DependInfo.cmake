@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_random.cpp" "bench-build/CMakeFiles/fig6_random.dir/fig6_random.cpp.o" "gcc" "bench-build/CMakeFiles/fig6_random.dir/fig6_random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/mpf_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mpf_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/mpf_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mpf_coordination.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mpf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/mpf_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mpf_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

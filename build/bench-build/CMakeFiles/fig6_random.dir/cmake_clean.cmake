@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_random"
+  "../bench/fig6_random.pdb"
+  "CMakeFiles/fig6_random.dir/fig6_random.cpp.o"
+  "CMakeFiles/fig6_random.dir/fig6_random.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_gauss_jordan"
+  "../bench/fig7_gauss_jordan.pdb"
+  "CMakeFiles/fig7_gauss_jordan.dir/fig7_gauss_jordan.cpp.o"
+  "CMakeFiles/fig7_gauss_jordan.dir/fig7_gauss_jordan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_gauss_jordan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

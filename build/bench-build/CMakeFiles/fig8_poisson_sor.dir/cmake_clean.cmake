@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_poisson_sor"
+  "../bench/fig8_poisson_sor.pdb"
+  "CMakeFiles/fig8_poisson_sor.dir/fig8_poisson_sor.cpp.o"
+  "CMakeFiles/fig8_poisson_sor.dir/fig8_poisson_sor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_poisson_sor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/native_micro"
+  "../bench/native_micro.pdb"
+  "CMakeFiles/native_micro.dir/native_micro.cpp.o"
+  "CMakeFiles/native_micro.dir/native_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_sim.dir/balance_sim.cpp.o"
+  "CMakeFiles/balance_sim.dir/balance_sim.cpp.o.d"
+  "balance_sim"
+  "balance_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conversation.dir/conversation.cpp.o"
+  "CMakeFiles/conversation.dir/conversation.cpp.o.d"
+  "conversation"
+  "conversation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conversation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauss_jordan_solve.dir/gauss_jordan_solve.cpp.o"
+  "CMakeFiles/gauss_jordan_solve.dir/gauss_jordan_solve.cpp.o.d"
+  "gauss_jordan_solve"
+  "gauss_jordan_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauss_jordan_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_c_api.dir/paper_c_api.cpp.o"
+  "CMakeFiles/paper_c_api.dir/paper_c_api.cpp.o.d"
+  "paper_c_api"
+  "paper_c_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_c_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson_sor_solve.dir/poisson_sor_solve.cpp.o"
+  "CMakeFiles/poisson_sor_solve.dir/poisson_sor_solve.cpp.o.d"
+  "poisson_sor_solve"
+  "poisson_sor_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson_sor_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cannon.cpp" "src/apps/CMakeFiles/mpf_apps.dir/cannon.cpp.o" "gcc" "src/apps/CMakeFiles/mpf_apps.dir/cannon.cpp.o.d"
+  "/root/repo/src/apps/gauss_jordan.cpp" "src/apps/CMakeFiles/mpf_apps.dir/gauss_jordan.cpp.o" "gcc" "src/apps/CMakeFiles/mpf_apps.dir/gauss_jordan.cpp.o.d"
+  "/root/repo/src/apps/poisson_sor.cpp" "src/apps/CMakeFiles/mpf_apps.dir/poisson_sor.cpp.o" "gcc" "src/apps/CMakeFiles/mpf_apps.dir/poisson_sor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mpf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mpf_coordination.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/mpf_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/mpf_shm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpf_apps.dir/cannon.cpp.o"
+  "CMakeFiles/mpf_apps.dir/cannon.cpp.o.d"
+  "CMakeFiles/mpf_apps.dir/gauss_jordan.cpp.o"
+  "CMakeFiles/mpf_apps.dir/gauss_jordan.cpp.o.d"
+  "CMakeFiles/mpf_apps.dir/poisson_sor.cpp.o"
+  "CMakeFiles/mpf_apps.dir/poisson_sor.cpp.o.d"
+  "libmpf_apps.a"
+  "libmpf_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpf_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpf_coordination.dir/coordination.cpp.o"
+  "CMakeFiles/mpf_coordination.dir/coordination.cpp.o.d"
+  "libmpf_coordination.a"
+  "libmpf_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpf_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

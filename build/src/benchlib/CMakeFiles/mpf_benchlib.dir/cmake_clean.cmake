@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpf_benchlib.dir/figure.cpp.o"
+  "CMakeFiles/mpf_benchlib.dir/figure.cpp.o.d"
+  "CMakeFiles/mpf_benchlib.dir/simrun.cpp.o"
+  "CMakeFiles/mpf_benchlib.dir/simrun.cpp.o.d"
+  "CMakeFiles/mpf_benchlib.dir/workloads.cpp.o"
+  "CMakeFiles/mpf_benchlib.dir/workloads.cpp.o.d"
+  "libmpf_benchlib.a"
+  "libmpf_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpf_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpf_coll.dir/collectives.cpp.o"
+  "CMakeFiles/mpf_coll.dir/collectives.cpp.o.d"
+  "libmpf_coll.a"
+  "libmpf_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpf_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

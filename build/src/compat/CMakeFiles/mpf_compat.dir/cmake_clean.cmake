@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpf_compat.dir/mpf_c.cpp.o"
+  "CMakeFiles/mpf_compat.dir/mpf_c.cpp.o.d"
+  "libmpf_compat.a"
+  "libmpf_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpf_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

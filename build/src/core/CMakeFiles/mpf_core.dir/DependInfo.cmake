@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/channel.cpp" "src/core/CMakeFiles/mpf_core.dir/channel.cpp.o" "gcc" "src/core/CMakeFiles/mpf_core.dir/channel.cpp.o.d"
+  "/root/repo/src/core/facility.cpp" "src/core/CMakeFiles/mpf_core.dir/facility.cpp.o" "gcc" "src/core/CMakeFiles/mpf_core.dir/facility.cpp.o.d"
+  "/root/repo/src/core/lnvc.cpp" "src/core/CMakeFiles/mpf_core.dir/lnvc.cpp.o" "gcc" "src/core/CMakeFiles/mpf_core.dir/lnvc.cpp.o.d"
+  "/root/repo/src/core/rendezvous.cpp" "src/core/CMakeFiles/mpf_core.dir/rendezvous.cpp.o" "gcc" "src/core/CMakeFiles/mpf_core.dir/rendezvous.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shm/CMakeFiles/mpf_shm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpf_core.dir/channel.cpp.o"
+  "CMakeFiles/mpf_core.dir/channel.cpp.o.d"
+  "CMakeFiles/mpf_core.dir/facility.cpp.o"
+  "CMakeFiles/mpf_core.dir/facility.cpp.o.d"
+  "CMakeFiles/mpf_core.dir/lnvc.cpp.o"
+  "CMakeFiles/mpf_core.dir/lnvc.cpp.o.d"
+  "CMakeFiles/mpf_core.dir/rendezvous.cpp.o"
+  "CMakeFiles/mpf_core.dir/rendezvous.cpp.o.d"
+  "libmpf_core.a"
+  "libmpf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

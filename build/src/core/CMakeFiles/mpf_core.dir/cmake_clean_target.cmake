@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpf_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpf_runtime.dir/group.cpp.o"
+  "CMakeFiles/mpf_runtime.dir/group.cpp.o.d"
+  "libmpf_runtime.a"
+  "libmpf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shm/arena.cpp" "src/shm/CMakeFiles/mpf_shm.dir/arena.cpp.o" "gcc" "src/shm/CMakeFiles/mpf_shm.dir/arena.cpp.o.d"
+  "/root/repo/src/shm/free_list.cpp" "src/shm/CMakeFiles/mpf_shm.dir/free_list.cpp.o" "gcc" "src/shm/CMakeFiles/mpf_shm.dir/free_list.cpp.o.d"
+  "/root/repo/src/shm/region.cpp" "src/shm/CMakeFiles/mpf_shm.dir/region.cpp.o" "gcc" "src/shm/CMakeFiles/mpf_shm.dir/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

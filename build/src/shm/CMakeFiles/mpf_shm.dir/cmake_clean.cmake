@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpf_shm.dir/arena.cpp.o"
+  "CMakeFiles/mpf_shm.dir/arena.cpp.o.d"
+  "CMakeFiles/mpf_shm.dir/free_list.cpp.o"
+  "CMakeFiles/mpf_shm.dir/free_list.cpp.o.d"
+  "CMakeFiles/mpf_shm.dir/region.cpp.o"
+  "CMakeFiles/mpf_shm.dir/region.cpp.o.d"
+  "libmpf_shm.a"
+  "libmpf_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpf_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

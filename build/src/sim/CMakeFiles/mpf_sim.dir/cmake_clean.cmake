@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpf_sim.dir/sim_platform.cpp.o"
+  "CMakeFiles/mpf_sim.dir/sim_platform.cpp.o.d"
+  "CMakeFiles/mpf_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mpf_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mpf_sim.dir/trace.cpp.o"
+  "CMakeFiles/mpf_sim.dir/trace.cpp.o.d"
+  "libmpf_sim.a"
+  "libmpf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

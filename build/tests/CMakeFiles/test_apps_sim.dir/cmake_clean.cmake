@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_sim.dir/test_apps_sim.cpp.o"
+  "CMakeFiles/test_apps_sim.dir/test_apps_sim.cpp.o.d"
+  "test_apps_sim"
+  "test_apps_sim.pdb"
+  "test_apps_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchlib.dir/test_benchlib.cpp.o"
+  "CMakeFiles/test_benchlib.dir/test_benchlib.cpp.o.d"
+  "test_benchlib"
+  "test_benchlib.pdb"
+  "test_benchlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

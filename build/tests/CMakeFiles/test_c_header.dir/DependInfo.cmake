@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/c_compat/paper_names.c" "tests/CMakeFiles/test_c_header.dir/c_compat/paper_names.c.o" "gcc" "tests/CMakeFiles/test_c_header.dir/c_compat/paper_names.c.o.d"
+  "/root/repo/tests/test_c_header.cpp" "tests/CMakeFiles/test_c_header.dir/test_c_header.cpp.o" "gcc" "tests/CMakeFiles/test_c_header.dir/test_c_header.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compat/CMakeFiles/mpf_compat.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mpf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/mpf_shm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

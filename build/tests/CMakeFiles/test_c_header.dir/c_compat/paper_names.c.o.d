@@ -1,0 +1,3 @@
+tests/CMakeFiles/test_c_header.dir/c_compat/paper_names.c.o: \
+ /root/repo/tests/c_compat/paper_names.c /usr/include/stdc-predef.h \
+ /root/repo/include/mpf/compat/mpf.h

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_c_header.dir/c_compat/paper_names.c.o"
+  "CMakeFiles/test_c_header.dir/c_compat/paper_names.c.o.d"
+  "CMakeFiles/test_c_header.dir/test_c_header.cpp.o"
+  "CMakeFiles/test_c_header.dir/test_c_header.cpp.o.d"
+  "test_c_header"
+  "test_c_header.pdb"
+  "test_c_header[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C CXX)
+  include(CMakeFiles/test_c_header.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cannon.dir/test_cannon.cpp.o"
+  "CMakeFiles/test_cannon.dir/test_cannon.cpp.o.d"
+  "test_cannon"
+  "test_cannon.pdb"
+  "test_cannon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cannon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

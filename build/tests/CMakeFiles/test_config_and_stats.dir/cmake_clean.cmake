@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_and_stats.dir/test_config_and_stats.cpp.o"
+  "CMakeFiles/test_config_and_stats.dir/test_config_and_stats.cpp.o.d"
+  "test_config_and_stats"
+  "test_config_and_stats.pdb"
+  "test_config_and_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_and_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dvar.dir/test_dvar.cpp.o"
+  "CMakeFiles/test_dvar.dir/test_dvar.cpp.o.d"
+  "test_dvar"
+  "test_dvar.pdb"
+  "test_dvar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dvar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lnvc_resources.dir/test_lnvc_resources.cpp.o"
+  "CMakeFiles/test_lnvc_resources.dir/test_lnvc_resources.cpp.o.d"
+  "test_lnvc_resources"
+  "test_lnvc_resources.pdb"
+  "test_lnvc_resources[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lnvc_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poisson_sor.dir/test_poisson_sor.cpp.o"
+  "CMakeFiles/test_poisson_sor.dir/test_poisson_sor.cpp.o.d"
+  "test_poisson_sor"
+  "test_poisson_sor.pdb"
+  "test_poisson_sor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poisson_sor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ports.dir/test_ports.cpp.o"
+  "CMakeFiles/test_ports.dir/test_ports.cpp.o.d"
+  "test_ports"
+  "test_ports.pdb"
+  "test_ports[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_receive_any.dir/test_receive_any.cpp.o"
+  "CMakeFiles/test_receive_any.dir/test_receive_any.cpp.o.d"
+  "test_receive_any"
+  "test_receive_any.pdb"
+  "test_receive_any[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_receive_any.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rendezvous.dir/test_rendezvous.cpp.o"
+  "CMakeFiles/test_rendezvous.dir/test_rendezvous.cpp.o.d"
+  "test_rendezvous"
+  "test_rendezvous.pdb"
+  "test_rendezvous[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

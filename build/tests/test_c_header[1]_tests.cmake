@@ -1,0 +1,3 @@
+add_test([=[CHeader.PaperNamesWorkFromC]=]  /root/repo/build/tests/test_c_header [==[--gtest_filter=CHeader.PaperNamesWorkFromC]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[CHeader.PaperNamesWorkFromC]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 300)
+set(  test_c_header_TESTS CHeader.PaperNamesWorkFromC)

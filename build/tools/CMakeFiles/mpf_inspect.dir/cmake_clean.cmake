@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpf_inspect.dir/mpf_inspect.cpp.o"
+  "CMakeFiles/mpf_inspect.dir/mpf_inspect.cpp.o.d"
+  "mpf_inspect"
+  "mpf_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpf_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
