@@ -1,0 +1,155 @@
+// Ablation: sharded block-pool allocator.
+//
+// The seed implementation funneled every message allocation and free
+// through one global blocks_lock; at 16 processes that lock is the
+// allocator bottleneck the paper's own Figure 4/6 knees hint at.  This
+// bench sweeps the shard count on the simulated Balance 21000 and reports
+// the virtual time senders spend acquiring allocator (shard) locks:
+// shards=1 is the pre-sharding control, and the wait must fall as shards
+// are added.  A second series shows the single-process loop-back pays no
+// penalty for sharding, and a third isolates the per-process magazine
+// cache (hits replace shard-lock visits entirely).
+#include <cstdio>
+#include <iostream>
+
+#include "mpf/benchlib/figure.hpp"
+#include "mpf/benchlib/simrun.hpp"
+#include "mpf/benchlib/workloads.hpp"
+#include "mpf/shm/region.hpp"
+#include "mpf/sim/sim_platform.hpp"
+
+namespace {
+
+using namespace mpf;
+using namespace mpf::benchlib;
+
+constexpr int kPairs = 8;  // 16 simulated processes
+constexpr int kMsgs = 200;
+constexpr std::size_t kLen = 64;
+
+Config pair_config(std::uint32_t shards, bool cache) {
+  Config c;
+  c.max_lnvcs = 32;
+  c.max_processes = 2 * kPairs;
+  c.block_payload = 10;
+  c.pool_shards = shards;
+  c.per_process_cache = cache;
+  return c;
+}
+
+/// 8 disjoint sender/receiver pairs, one LNVC each: all contention in this
+/// workload is on the allocator, not on any LNVC.
+void pair_body(Facility f, int rank) {
+  const int pair = rank % kPairs;
+  char name[16];
+  std::snprintf(name, sizeof(name), "pr%d", pair);
+  std::size_t len = 0;
+  char buf[kLen] = {};
+  LnvcId id;
+  if (rank < kPairs) {
+    if (f.open_send(rank, name, &id) != Status::ok) return;
+    for (int i = 0; i < kMsgs; ++i) (void)f.send(rank, id, buf, kLen);
+    (void)f.close_send(rank, id);
+  } else {
+    if (f.open_receive(rank, name, Protocol::fcfs, &id) != Status::ok) return;
+    for (int i = 0; i < kMsgs; ++i) (void)f.receive(rank, id, buf, kLen, &len);
+    (void)f.close_receive(rank, id);
+  }
+}
+
+SimMetrics pair_run(std::uint32_t shards, bool cache) {
+  return run_sim(pair_config(shards, cache), 2 * kPairs, pair_body);
+}
+
+/// One configuration re-run with direct facility access so the per-shard
+/// counters (the numbers mpf_inspect shows on a live facility) can be
+/// dumped alongside the figure tables.
+void print_shard_detail(std::uint32_t shards) {
+  sim::Simulator simulator{sim::MachineModel::balance21000()};
+  sim::SimPlatform platform(simulator);
+  const Config c = pair_config(shards, /*cache=*/false);
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region, platform);
+  simulator.spawn_group(2 * kPairs, [&](int rank) { pair_body(f, rank); });
+  simulator.run();
+  std::printf("# per-shard counters, %u shards, 16 procs, cache off\n",
+              shards);
+  std::printf("# %5s %10s %10s %12s %8s %8s %8s\n", "shard", "free", "cap",
+              "acq", "wait_us", "steals", "flushes");
+  for (const auto& s : f.pool_shard_infos()) {
+    std::printf("  %5u %10zu %10zu %12llu %8.1f %8llu %8llu\n", s.index,
+                s.free_blocks, s.block_capacity,
+                static_cast<unsigned long long>(s.lock_acquisitions),
+                static_cast<double>(s.lock_wait_ns) * 1e-3,
+                static_cast<unsigned long long>(s.steals),
+                static_cast<unsigned long long>(s.flushes));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Figure wait;
+  wait.id = "Ablation A5a";
+  wait.title = "Sharded block pool";
+  wait.subtitle = "Allocator lock wait (virtual) vs shard count, 16 procs";
+  wait.xlabel = "pool_shards";
+  wait.ylabel = "alloc_lock_wait_us";
+  Figure rate;
+  rate.id = "Ablation A5b";
+  rate.title = "Sharded block pool";
+  rate.subtitle = "Delivered throughput vs shard count, 16 procs";
+  rate.xlabel = "pool_shards";
+  rate.ylabel = "delivered_bytes_per_sec";
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    const SimMetrics m = pair_run(shards, /*cache=*/false);
+    wait.add("cache off", shards,
+             static_cast<double>(m.alloc_lock_wait_ns) * 1e-3);
+    rate.add("cache off", shards, m.delivered_throughput());
+    const SimMetrics mc = pair_run(shards, /*cache=*/true);
+    wait.add("cache on", shards,
+             static_cast<double>(mc.alloc_lock_wait_ns) * 1e-3);
+    rate.add("cache on", shards, mc.delivered_throughput());
+  }
+  print_figure(std::cout, wait);
+  print_figure(std::cout, rate);
+
+  // Control: a single process's loop-back must not get slower when the
+  // pool is split (it only ever touches its home shard / magazine).
+  Figure solo;
+  solo.id = "Ablation A5c";
+  solo.title = "Sharded block pool";
+  solo.subtitle = "Single-process loop-back throughput vs shard count";
+  solo.xlabel = "pool_shards";
+  solo.ylabel = "delivered_bytes_per_sec";
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    Config c;
+    c.max_lnvcs = 8;
+    c.max_processes = 4;
+    c.pool_shards = shards;
+    const SimMetrics m = run_sim(
+        c, 1, [](Facility f, int) { base_loopback(f, kLen, 400); });
+    solo.add("loopback", shards, m.delivered_throughput());
+  }
+  print_figure(std::cout, solo);
+
+  // Magazine effect at 4 shards: hits replace shard-lock acquisitions.
+  Figure cache;
+  cache.id = "Ablation A5d";
+  cache.title = "Per-process magazine cache";
+  cache.subtitle = "Shard-lock acquisitions, 16 procs, 4 shards";
+  cache.xlabel = "cache (0=off, 1=on)";
+  cache.ylabel = "shard_lock_acquisitions";
+  for (const bool on : {false, true}) {
+    const SimMetrics m = pair_run(4, on);
+    cache.add("acquisitions", on ? 1 : 0,
+              static_cast<double>(m.alloc_lock_acquisitions));
+    cache.add("cache hits", on ? 1 : 0, static_cast<double>(m.cache_hits));
+  }
+  print_figure(std::cout, cache);
+
+  print_shard_detail(1);
+  print_shard_detail(4);
+  return 0;
+}

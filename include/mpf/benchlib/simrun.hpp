@@ -22,6 +22,14 @@ struct SimMetrics {
   std::uint64_t page_faults = 0;
   std::uint64_t peak_footprint = 0;
   std::uint64_t context_switches = 0;
+  // Sharded-allocator counters (virtual time; see DESIGN.md §7).
+  std::uint32_t pool_shards = 0;
+  std::uint64_t alloc_lock_wait_ns = 0;  ///< wait acquiring shard locks
+  std::uint64_t alloc_lock_acquisitions = 0;
+  std::uint64_t shard_steals = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t exhaustion_waits = 0;
 
   [[nodiscard]] double sent_throughput() const {
     return seconds > 0 ? static_cast<double>(bytes_sent) / seconds : 0;

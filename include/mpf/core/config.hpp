@@ -34,6 +34,23 @@ struct Config {
   /// Total arena size; 0 derives from everything above.
   std::size_t arena_bytes = 0;
 
+  /// Pool shards (rounded up to a power of two).  Each shard holds a slice
+  /// of the block and message-header pools behind its own lock, so
+  /// allocator traffic from different processes stops serializing on one
+  /// global lock.  0 derives the default: next power of two >=
+  /// max_processes / 4 (1 = the pre-sharding behaviour).
+  std::uint32_t pool_shards = 0;
+  /// Enable the per-process magazine cache in front of the shards.  The
+  /// common send/receive cycle then allocates and frees with no shared
+  /// lock traffic at all.  Magazines live in the arena and are raided by
+  /// exhausted peers, so blocking/fail semantics under true pool
+  /// exhaustion are unchanged.
+  bool per_process_cache = true;
+  /// Blocks one process may hold in its magazine; 0 derives a bound from
+  /// message_blocks / max_processes (and disables caching entirely for
+  /// pools too small to spare hostage blocks).
+  std::size_t cache_blocks = 0;
+
   BlockPolicy block_policy = BlockPolicy::wait;
 
   /// true (default, the paper's behaviour per its close_receive()

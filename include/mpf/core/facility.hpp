@@ -49,9 +49,45 @@ struct FacilityStats {
   std::uint64_t receives = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
-  std::size_t blocks_free = 0;
+  std::size_t blocks_free = 0;  ///< shards + magazines combined
   std::size_t blocks_total = 0;
   std::size_t arena_used = 0;
+  // Sharded-allocator counters (see DESIGN.md §7).
+  std::uint32_t pool_shards = 0;
+  std::size_t blocks_cached = 0;  ///< currently parked in magazines
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_flushes = 0;
+  std::uint64_t cache_raids = 0;
+  std::uint64_t shard_lock_acquisitions = 0;
+  std::uint64_t shard_lock_wait_ns = 0;  ///< allocator-path lock wait
+  std::uint64_t shard_steals = 0;
+  std::uint64_t exhaustion_waits = 0;
+};
+
+/// Snapshot of one pool shard (allocator introspection).
+struct PoolShardInfo {
+  std::uint32_t index = 0;
+  std::size_t free_blocks = 0;
+  std::size_t block_capacity = 0;
+  std::size_t free_msgs = 0;
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t lock_wait_ns = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t refills = 0;
+  std::uint64_t flushes = 0;
+};
+
+/// Snapshot of one process's allocator magazine.
+struct ProcCacheInfo {
+  ProcessId pid = 0;
+  std::uint32_t blocks = 0;
+  std::uint32_t block_cap = 0;
+  std::uint32_t msgs = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t raids = 0;
 };
 
 /// Cheap per-process handle to a facility living in a shared region.  Copy
@@ -116,6 +152,11 @@ class Facility {
   /// Count of live LNVCs.
   [[nodiscard]] std::size_t lnvc_count() const;
   [[nodiscard]] FacilityStats stats() const;
+  /// Per-shard allocator state + contention counters.
+  [[nodiscard]] std::vector<PoolShardInfo> pool_shard_infos() const;
+  /// Per-process magazine state (entries with any activity or content).
+  [[nodiscard]] std::vector<ProcCacheInfo> proc_cache_infos() const;
+  [[nodiscard]] std::uint32_t pool_shards() const noexcept;
   /// Snapshots of every live LNVC (for tools/monitoring).
   [[nodiscard]] std::vector<LnvcInfo> lnvc_infos() const;
   /// Snapshot of one LNVC; Status::no_such_lnvc if the slot is dead.
@@ -134,16 +175,34 @@ class Facility {
            Platform& platform)
       : arena_(arena), header_(header), platform_(&platform) {}
 
-  // Implementation helpers (facility.cpp / lnvc.cpp).
+  // Implementation helpers (facility.cpp / lnvc.cpp / pool.cpp).
   detail::LnvcDesc* table() const noexcept;
   detail::LnvcDesc* slot(LnvcId id) const noexcept;
   detail::LnvcDesc* find_locked(std::string_view name) const noexcept;
   Status open_common(ProcessId pid, std::string_view name, std::uint32_t kind,
                      LnvcId* out);
   Status close_common(ProcessId pid, LnvcId id, bool sender);
-  void destroy_lnvc(detail::LnvcDesc& d);
-  void free_message(detail::MsgHeader* m);
-  void reclaim(detail::LnvcDesc& d);
+  void destroy_lnvc(ProcessId pid, detail::LnvcDesc& d);
+  void free_message(ProcessId pid, detail::MsgHeader* m);
+  void reclaim(ProcessId pid, detail::LnvcDesc& d);
+
+  // Sharded block-pool allocator (pool.cpp).
+  detail::PoolShard* shards() const noexcept;
+  detail::ProcCache* caches() const noexcept;
+  [[nodiscard]] std::uint32_t home_shard(ProcessId pid) const noexcept;
+  void lock_shard(detail::PoolShard& s);
+  /// Pop a message header plus a `need`-block chain for `pid`, preferring
+  /// its magazine, then its home shard, then stealing from other shards
+  /// and raiding peer magazines.  Honors BlockPolicy on true exhaustion.
+  Status alloc_message(ProcessId pid, std::size_t need, shm::Offset* msg_off,
+                       shm::Offset* chain_head, shm::Offset* chain_tail);
+  /// One full acquisition sweep (magazine -> home shard -> steal -> raid);
+  /// extends the partial (msg, chain) in place, true when fully satisfied.
+  bool try_gather(ProcessId pid, std::size_t need, shm::Offset& msg,
+                  detail::GatherChain& chain);
+  /// Give a partial gather back to the home shard (starvation paths).
+  void return_gather(ProcessId pid, shm::Offset& msg,
+                     detail::GatherChain& chain);
   Status receive_impl(ProcessId pid, LnvcId id, void* buf, std::size_t cap,
                       std::size_t* out_len, bool blocking, bool* out_ready,
                       std::uint64_t timeout_ns = 0);

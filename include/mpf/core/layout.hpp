@@ -99,6 +99,57 @@ struct LnvcDesc {
   std::uint64_t total_bytes;  ///< lifetime stats
 };
 
+/// A caller-owned chain of blocks being assembled (or returned) by the
+/// sharded allocator, linked through the nodes' first words.
+struct GatherChain {
+  shm::Offset head = shm::kNullOffset;
+  shm::Offset tail = shm::kNullOffset;
+  std::size_t count = 0;
+};
+
+/// One shard of the block/message-header pool.  Each shard owns its free
+/// lists behind its own lock, so allocator traffic from processes homed on
+/// different shards never serializes.  Cache-line aligned so shard locks do
+/// not false-share.
+struct alignas(64) PoolShard {
+  sync::SpinLock lock;  ///< guards blocks + msgs (platform-mediated)
+  shm::FreeList blocks;
+  shm::FreeList msgs;
+  // Contention counters (surfaced through FacilityStats / mpf_inspect).
+  std::atomic<std::uint64_t> lock_acquisitions;
+  std::atomic<std::uint64_t> lock_wait_ns;  ///< time spent acquiring `lock`
+  std::atomic<std::uint64_t> steals;        ///< grabs by non-home processes
+  std::atomic<std::uint64_t> refills;       ///< cache refill batches served
+  std::atomic<std::uint64_t> flushes;       ///< cache overflow batches taken
+};
+
+/// Per-process allocator cache: a bounded magazine of blocks and message
+/// headers, refilled from and flushed to the process's home shard in
+/// batches.  A send/receive cycle that hits the magazine touches no shared
+/// shard lock at all.  Also carries the process's receive_any() rotation
+/// cursor.  One per process id, in the arena, so exhaustion sweeps (and
+/// fork()ed siblings) can reach every magazine.
+struct alignas(64) ProcCache {
+  sync::SpinLock lock;  ///< guards the chains below (platform-mediated)
+  shm::Offset block_head;
+  shm::Offset block_tail;
+  /// Counts are written under `lock` but atomically peeked lock-free by
+  /// exhaustion sweeps and stats readers.
+  std::atomic<std::uint32_t> block_count;
+  std::uint32_t block_cap;  ///< 0 = caching disabled for this facility
+  shm::Offset msg_head;
+  std::atomic<std::uint32_t> msg_count;
+  std::uint32_t msg_cap;
+  // Stats (written under `lock`, read lock-free).
+  std::atomic<std::uint64_t> hits;     ///< served entirely from the magazine
+  std::atomic<std::uint64_t> misses;   ///< had to visit a shard
+  std::atomic<std::uint64_t> flushes;  ///< frees redirected (magazine full)
+  std::atomic<std::uint64_t> raids;    ///< drained by an exhausted peer
+  /// receive_any() round-robin scan start (persisted per process so
+  /// repeated calls do not bias delivery toward the first listed LNVC).
+  std::atomic<std::uint32_t> any_cursor;
+};
+
 /// Root object of an MPF facility, at a fixed offset in the arena.
 struct FacilityHeader {
   std::uint32_t magic;
@@ -108,9 +159,18 @@ struct FacilityHeader {
   std::uint32_t block_policy;
   std::uint32_t reclaim_broadcast_only;
 
+  /// Number of pool shards (power of two) and the matching index mask.
+  std::uint32_t n_shards;
+  std::uint32_t shard_mask;
+
   sync::SpinLock registry_lock;  ///< guards name lookup + slot (de)alloc
-  sync::SpinLock blocks_lock;    ///< senders waiting for free blocks
+  /// Monitor mutex for true pool exhaustion: a sender that found every
+  /// shard and every magazine dry registers under this lock and sleeps on
+  /// blocks_cond; frees ripple it only while exhaustion_waiters > 0.
+  sync::SpinLock blocks_lock;
   sync::EventCount blocks_cond;
+  std::atomic<std::uint32_t> exhaustion_waiters;
+  std::atomic<std::uint64_t> exhaustion_waits;  ///< lifetime stat
   /// Facility-wide activity signal for receive_any(): senders ripple it
   /// only while someone is multi-waiting (activity_waiters > 0), so the
   /// common single-LNVC paths pay nothing for the feature.
@@ -118,11 +178,14 @@ struct FacilityHeader {
   sync::EventCount activity_cond;
   std::atomic<std::uint32_t> activity_waiters;
 
-  shm::FreeList block_list;  ///< Block nodes (sizeof(Block)+payload each)
-  shm::FreeList msg_list;    ///< MsgHeader nodes
-  shm::FreeList conn_list;   ///< Connection nodes
+  shm::FreeList conn_list;  ///< Connection nodes (global; open/close only)
 
+  shm::Offset shards;      ///< PoolShard[n_shards]
+  shm::Offset caches;      ///< ProcCache[max_processes]
   shm::Offset lnvc_table;  ///< LnvcDesc[max_lnvcs]
+
+  std::uint64_t blocks_total;  ///< blocks carved across all shards
+  std::uint64_t msgs_total;    ///< message headers carved across all shards
 
   std::atomic<std::uint64_t> sends;
   std::atomic<std::uint64_t> receives;

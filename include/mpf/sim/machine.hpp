@@ -37,6 +37,14 @@ struct MachineModel {
   /// Extra lock cost per process already waiting on it when acquired — a
   /// test-and-set lock's invalidation traffic grows with contention.
   double lock_contention_factor = 0.5;
+  /// A lock cell stays "hot" for this long after an acquisition: every
+  /// other processor that acquired it within the window still has the
+  /// line cached, and a new test-and-set must invalidate each copy over
+  /// the shared bus.  The per-acquisition cost therefore grows with the
+  /// number of distinct recent holders even when nobody is queued at the
+  /// instant of acquisition — the mechanism that makes one global
+  /// allocator lock expensive at 16 processes and a per-pair lock cheap.
+  double lock_hot_window_ns = 2'000'000;
   double wake_ns = 1'500'000;         ///< process wakeup (context switch)
   double check_ns = 400'000;          ///< check_receive() / predicate recheck
   double open_close_ns = 2'000'000;   ///< open_*/close_* descriptor work

@@ -33,6 +33,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mpf/sim/machine.hpp"
@@ -162,6 +163,9 @@ class Simulator {
   struct MutexState {
     Process* owner = nullptr;
     std::deque<Process*> waiters;
+    /// Acquisitions within the last lock_hot_window_ns: (time, process).
+    /// Drives the cache-line crowding term of the acquisition cost.
+    std::deque<std::pair<Time, Process*>> recent;
   };
   struct CondState {
     std::deque<Process*> waiters;

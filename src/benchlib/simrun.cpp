@@ -26,6 +26,13 @@ SimMetrics run_sim(const Config& config, int nprocs,
   metrics.page_faults = simulator.page_faults();
   metrics.peak_footprint = simulator.peak_footprint();
   metrics.context_switches = simulator.context_switches();
+  metrics.pool_shards = stats.pool_shards;
+  metrics.alloc_lock_wait_ns = stats.shard_lock_wait_ns;
+  metrics.alloc_lock_acquisitions = stats.shard_lock_acquisitions;
+  metrics.shard_steals = stats.shard_steals;
+  metrics.cache_hits = stats.cache_hits;
+  metrics.cache_misses = stats.cache_misses;
+  metrics.exhaustion_waits = stats.exhaustion_waits;
   return metrics;
 }
 

@@ -1,5 +1,6 @@
 #include "mpf/core/facility.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace mpf {
@@ -13,8 +14,31 @@ constexpr shm::Offset kRootOffset = (sizeof(shm::ArenaHeader) + 63) & ~63ull;
 
 constexpr std::size_t align8(std::size_t v) { return (v + 7) & ~std::size_t{7}; }
 
+/// Free-list node size for an object: 8-aligned and at least large enough
+/// for the list's segment metadata (FreeList::kMinNodeBytes).
+std::size_t node_bytes(std::size_t object_bytes) {
+  return std::max(align8(object_bytes), shm::FreeList::kMinNodeBytes);
+}
+
 std::size_t block_node_bytes(std::uint32_t payload) {
-  return align8(sizeof(detail::Block) + payload);
+  return node_bytes(sizeof(detail::Block) + payload);
+}
+
+std::uint32_t next_pow2(std::uint32_t v) {
+  std::uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Message headers one process may hold in its magazine.  Derived (not a
+/// Config knob): header pools are sized at blocks/4, so a few per process
+/// suffice; tiny pools disable header caching along with block caching.
+std::uint32_t derived_msg_cache_cap(const Config& c) {
+  if (c.cache_blocks == 0) return 0;
+  const std::size_t cap =
+      c.message_headers / (8 * static_cast<std::size_t>(c.max_processes));
+  if (cap < 2) return 0;
+  return static_cast<std::uint32_t>(std::min<std::size_t>(cap, 8));
 }
 
 }  // namespace
@@ -59,12 +83,34 @@ Config Config::resolved() const noexcept {
     c.connections = static_cast<std::size_t>(c.max_lnvcs) * 8 +
                     static_cast<std::size_t>(c.max_processes) * 8;
   }
+  if (c.pool_shards == 0) {
+    c.pool_shards = next_pow2(std::max<std::uint32_t>(1, c.max_processes / 4));
+  } else {
+    c.pool_shards = next_pow2(c.pool_shards);
+  }
+  c.pool_shards = std::min<std::uint32_t>(c.pool_shards, 256);
+  if (!c.per_process_cache) {
+    c.cache_blocks = 0;
+  } else if (c.cache_blocks == 0) {
+    // Bound hostage blocks: at most 1/8 of every process's fair share may
+    // sit in its magazine.  Pools too small to spare that get no caching,
+    // which keeps exhaustion tests (and genuinely tiny facilities) exact.
+    std::size_t cap = c.message_blocks /
+                      (8 * static_cast<std::size_t>(c.max_processes));
+    if (cap < 8) cap = 0;
+    c.cache_blocks = std::min<std::size_t>(cap, 128);
+  }
   if (c.arena_bytes == 0) {
     std::size_t bytes = 4096;  // arena + facility headers, slack
     bytes += static_cast<std::size_t>(c.max_lnvcs) * sizeof(detail::LnvcDesc);
     bytes += c.message_blocks * (block_node_bytes(c.block_payload) + 8);
-    bytes += c.message_headers * align8(sizeof(detail::MsgHeader));
-    bytes += c.connections * align8(sizeof(detail::Connection));
+    bytes += c.message_headers * node_bytes(sizeof(detail::MsgHeader));
+    bytes += c.connections * node_bytes(sizeof(detail::Connection));
+    bytes += static_cast<std::size_t>(c.pool_shards) * sizeof(detail::PoolShard);
+    bytes += static_cast<std::size_t>(c.max_processes) *
+             sizeof(detail::ProcCache);
+    // One 64-byte alignment gap per carve (two free lists per shard).
+    bytes += (2 * static_cast<std::size_t>(c.pool_shards) + 4) * 64;
     bytes += bytes / 4 + 65536;  // alignment waste + headroom
     c.arena_bytes = bytes;
   }
@@ -94,14 +140,40 @@ Facility Facility::create(const Config& config, shm::Region& region,
   hdr->block_payload = c.block_payload;
   hdr->block_policy = static_cast<std::uint32_t>(c.block_policy);
   hdr->reclaim_broadcast_only = c.reclaim_broadcast_only ? 1 : 0;
+  hdr->n_shards = c.pool_shards;
+  hdr->shard_mask = c.pool_shards - 1;
 
   hdr->lnvc_table = arena.make_array<detail::LnvcDesc>(c.max_lnvcs);
-  hdr->block_list.carve(arena, block_node_bytes(c.block_payload),
-                        c.message_blocks);
-  hdr->msg_list.carve(arena, align8(sizeof(detail::MsgHeader)),
-                      c.message_headers);
-  hdr->conn_list.carve(arena, align8(sizeof(detail::Connection)),
+  hdr->conn_list.carve(arena, node_bytes(sizeof(detail::Connection)),
                        c.connections);
+
+  // Split the block and message-header pools across the shards; the first
+  // (total % n) shards absorb the remainder.
+  hdr->shards = arena.make_array<detail::PoolShard>(c.pool_shards);
+  auto* sh = static_cast<detail::PoolShard*>(arena.raw(hdr->shards));
+  const std::uint32_t n = c.pool_shards;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::size_t blocks_i =
+        c.message_blocks / n + (i < c.message_blocks % n ? 1 : 0);
+    const std::size_t msgs_i =
+        c.message_headers / n + (i < c.message_headers % n ? 1 : 0);
+    sh[i].blocks.carve(arena, block_node_bytes(c.block_payload), blocks_i);
+    sh[i].msgs.carve(arena, node_bytes(sizeof(detail::MsgHeader)), msgs_i);
+  }
+  hdr->blocks_total = c.message_blocks;
+  hdr->msgs_total = c.message_headers;
+
+  // Per-process magazines (always allocated: the any_cursor lives here even
+  // when caching is off).
+  hdr->caches = arena.make_array<detail::ProcCache>(c.max_processes);
+  auto* pc = static_cast<detail::ProcCache*>(arena.raw(hdr->caches));
+  const std::uint32_t msg_cap = derived_msg_cache_cap(c);
+  for (std::uint32_t p = 0; p < c.max_processes; ++p) {
+    pc[p].block_cap = static_cast<std::uint32_t>(
+        std::min<std::size_t>(c.cache_blocks, UINT32_MAX));
+    pc[p].msg_cap = msg_cap;
+  }
+
   hdr->magic = detail::kFacilityMagic;  // published last
   return Facility(arena, hdr, platform);
 }
@@ -227,7 +299,7 @@ Status Facility::open_common(ProcessId pid, std::string_view name,
   }
   // An LNVC freshly created by a failed open must not linger.
   if (status != Status::ok && d->n_senders + d->n_fcfs + d->n_bcast == 0) {
-    destroy_lnvc(*d);
+    destroy_lnvc(pid, *d);
   }
   platform_->unlock(d->lock);
   platform_->unlock(header_->registry_lock);
@@ -298,9 +370,9 @@ Status Facility::close_common(ProcessId pid, LnvcId id, bool sender) {
   if (d->n_senders + d->n_fcfs + d->n_bcast == 0) {
     // Last connection gone: the LNVC is deleted and all unread messages
     // are discarded (paper §2).
-    destroy_lnvc(*d);
+    destroy_lnvc(pid, *d);
   } else {
-    reclaim(*d);
+    reclaim(pid, *d);
     // Receivers blocked on this LNVC may need to reconsider (e.g. the
     // closing process was expected to send).
     platform_->notify_all(d->cond);
@@ -325,12 +397,12 @@ Status Facility::close_receive(ProcessId pid, LnvcId id) {
   return close_common(pid, id, /*sender=*/false);
 }
 
-void Facility::destroy_lnvc(detail::LnvcDesc& d) {
+void Facility::destroy_lnvc(ProcessId pid, detail::LnvcDesc& d) {
   shm::Offset m_off = d.msg_head.off;
   while (m_off != shm::kNullOffset) {
     auto* m = static_cast<detail::MsgHeader*>(arena_.raw(m_off));
     const shm::Offset next = m->next_msg;
-    free_message(m);
+    free_message(pid, m);
     m_off = next;
   }
   d.msg_head = d.msg_tail = d.fcfs_head = shm::Ref<detail::MsgHeader>{};
@@ -412,8 +484,27 @@ FacilityStats Facility::stats() const {
   s.bytes_sent = header_->bytes_sent.load(std::memory_order_relaxed);
   s.bytes_delivered =
       header_->bytes_delivered.load(std::memory_order_relaxed);
-  s.blocks_free = header_->block_list.available();
-  s.blocks_total = header_->block_list.capacity();
+  s.blocks_total = header_->blocks_total;
+  s.pool_shards = header_->n_shards;
+  const detail::PoolShard* sh = shards();
+  for (std::uint32_t i = 0; i < header_->n_shards; ++i) {
+    s.blocks_free += sh[i].blocks.available();
+    s.shard_lock_acquisitions +=
+        sh[i].lock_acquisitions.load(std::memory_order_relaxed);
+    s.shard_lock_wait_ns += sh[i].lock_wait_ns.load(std::memory_order_relaxed);
+    s.shard_steals += sh[i].steals.load(std::memory_order_relaxed);
+  }
+  const detail::ProcCache* pc = caches();
+  for (std::uint32_t p = 0; p < header_->max_processes; ++p) {
+    s.blocks_cached += pc[p].block_count.load(std::memory_order_relaxed);
+    s.cache_hits += pc[p].hits.load(std::memory_order_relaxed);
+    s.cache_misses += pc[p].misses.load(std::memory_order_relaxed);
+    s.cache_flushes += pc[p].flushes.load(std::memory_order_relaxed);
+    s.cache_raids += pc[p].raids.load(std::memory_order_relaxed);
+  }
+  s.blocks_free += s.blocks_cached;  // magazine blocks are still free blocks
+  s.exhaustion_waits =
+      header_->exhaustion_waits.load(std::memory_order_relaxed);
   s.arena_used = arena_.used();
   return s;
 }

@@ -17,26 +17,7 @@ std::size_t blocks_for(std::size_t len, std::uint32_t payload) {
 
 }  // namespace
 
-void Facility::free_message(detail::MsgHeader* m) {
-  const std::size_t footprint =
-      sizeof(detail::MsgHeader) +
-      static_cast<std::size_t>(m->nblocks) *
-          (sizeof(detail::Block) + header_->block_payload);
-  // blocks_lock is the monitor mutex for pool-exhaustion waiting: pushing
-  // under it guarantees a sender is either still probing the pool (and will
-  // see these nodes) or already queued on blocks_cond (and gets notified).
-  platform_->lock(header_->blocks_lock);
-  if (m->nblocks > 0) {
-    header_->block_list.push_chain(arena_, m->first_block, m->last_block,
-                                   m->nblocks);
-  }
-  header_->msg_list.push(arena_, arena_.ref_of(m).off);
-  platform_->unlock(header_->blocks_lock);
-  platform_->on_buffer_free(footprint);
-  platform_->notify_all(header_->blocks_cond);
-}
-
-void Facility::reclaim(detail::LnvcDesc& d) {
+void Facility::reclaim(ProcessId pid, detail::LnvcDesc& d) {
   // Recycle from the front of the FIFO while the head message has been
   // FCFS-consumed, read by every BROADCAST receiver that claims it, and is
   // not being copied out right now.
@@ -49,7 +30,7 @@ void Facility::reclaim(detail::LnvcDesc& d) {
     }
     d.msg_head = shm::Ref<detail::MsgHeader>{m->next_msg};
     if (!d.msg_head) d.msg_tail = shm::Ref<detail::MsgHeader>{};
-    free_message(m);
+    free_message(pid, m);
   }
 }
 
@@ -75,40 +56,16 @@ Status Facility::send(ProcessId pid, LnvcId id, const void* data,
   }
   platform_->unlock(d->lock);
 
-  // Allocate a header plus the block chain.  All free-list traffic is
-  // funneled through blocks_lock so that the waiting discipline (when the
-  // pool runs dry) is a classic monitor and works on both platforms.
+  // Allocate a header plus the block chain from the sharded pool: own
+  // magazine first, then the home shard, stealing and raiding before the
+  // monitor-disciplined exhaustion wait (pool.cpp).
   const std::size_t need = blocks_for(len, header_->block_payload);
   shm::Offset msg_off = shm::kNullOffset;
   shm::Offset chain = shm::kNullOffset;
-  platform_->lock(header_->blocks_lock);
-  for (;;) {
-    std::size_t got = 0;
-    msg_off = header_->msg_list.pop(arena_);
-    if (msg_off != shm::kNullOffset) {
-      if (need == 0) break;
-      chain = header_->block_list.pop_chain(arena_, need, got);
-      if (got == need) break;
-      // Partial grab: return it and wait for receivers to recycle.
-      if (got > 0) {
-        shm::Offset tail = chain;
-        for (std::size_t i = 1; i < got; ++i) {
-          tail = *static_cast<shm::Offset*>(arena_.raw(tail));
-        }
-        header_->block_list.push_chain(arena_, chain, tail, got);
-        chain = shm::kNullOffset;
-      }
-      header_->msg_list.push(arena_, msg_off);
-      msg_off = shm::kNullOffset;
-    }
-    if (header_->block_policy ==
-        static_cast<std::uint32_t>(BlockPolicy::fail)) {
-      platform_->unlock(header_->blocks_lock);
-      return Status::out_of_blocks;
-    }
-    platform_->wait(header_->blocks_lock, header_->blocks_cond);
-  }
-  platform_->unlock(header_->blocks_lock);
+  shm::Offset chain_tail = shm::kNullOffset;
+  const Status alloc_status =
+      alloc_message(pid, need, &msg_off, &chain, &chain_tail);
+  if (alloc_status != Status::ok) return alloc_status;
 
   // Build the message outside any LNVC lock: copy the send buffer into the
   // block chain (paper §3.1).
@@ -116,10 +73,10 @@ Status Facility::send(ProcessId pid, LnvcId id, const void* data,
   m->length = static_cast<std::uint32_t>(len);
   m->nblocks = static_cast<std::uint32_t>(need);
   m->first_block = chain;
+  m->last_block = chain_tail;  // the allocator hands back the tail
   m->next_msg = shm::kNullOffset;
   const auto* src = static_cast<const std::byte*>(data);
   shm::Offset b_off = chain;
-  shm::Offset last = chain;
   std::size_t copied = 0;
   while (copied < len) {
     auto* b = static_cast<detail::Block*>(arena_.raw(b_off));
@@ -127,10 +84,8 @@ Status Facility::send(ProcessId pid, LnvcId id, const void* data,
         std::min<std::size_t>(header_->block_payload, len - copied);
     std::memcpy(b->data(), src + copied, chunk);
     copied += chunk;
-    last = b_off;
     b_off = b->next;
   }
-  m->last_block = need > 0 ? last : shm::kNullOffset;
   const std::size_t footprint =
       sizeof(detail::MsgHeader) +
       need * (sizeof(detail::Block) + header_->block_payload);
@@ -144,7 +99,7 @@ Status Facility::send(ProcessId pid, LnvcId id, const void* data,
       find_conn(*d, pid, /*sender=*/true) == nullptr) {
     platform_->unlock(d->lock);
     // The LNVC died (or our connection was closed) during the copy.
-    free_message(m);
+    free_message(pid, m);
     return Status::closed;
   }
   m->seq = d->seq_counter++;
@@ -184,7 +139,7 @@ Status Facility::send(ProcessId pid, LnvcId id, const void* data,
   // option) is dropped immediately rather than leaked.
   if (m->fcfs_consumed != 0 &&
       m->bcast_remaining.load(std::memory_order_relaxed) == 0) {
-    reclaim(*d);
+    reclaim(pid, *d);
   }
   platform_->unlock(d->lock);
 
@@ -212,7 +167,13 @@ Status Facility::receive_any(ProcessId pid, std::span<const LnvcId> ids,
     *out_index = 0;
     return receive(pid, ids[0], buf, cap, out_len);
   }
-  std::size_t start = 0;  // rotates so no listed LNVC starves
+  if (pid >= header_->max_processes) return Status::invalid_argument;
+  // The rotation cursor persists across calls (in this process's ProcCache
+  // slot), so a receiver draining several busy LNVCs round-robins between
+  // them instead of re-biasing toward the first listed one on every call.
+  std::atomic<std::uint32_t>& cursor = caches()[pid].any_cursor;
+  std::size_t start =
+      cursor.load(std::memory_order_relaxed) % ids.size();
   for (;;) {
     for (std::size_t k = 0; k < ids.size(); ++k) {
       const std::size_t i = (start + k) % ids.size();
@@ -223,6 +184,9 @@ Status Facility::receive_any(ProcessId pid, std::span<const LnvcId> ids,
       if (s != Status::ok && s != Status::truncated) return s;
       if (ready) {
         *out_index = i;
+        // Resume the next scan just past the circuit that delivered.
+        cursor.store(static_cast<std::uint32_t>((i + 1) % ids.size()),
+                     std::memory_order_relaxed);
         return s;
       }
     }
@@ -345,7 +309,7 @@ Status Facility::receive_impl(ProcessId pid, LnvcId id, void* buf,
   platform_->lock(d->lock);
   --m->pins;
   if (bcast) m->bcast_remaining.fetch_sub(1, std::memory_order_acq_rel);
-  reclaim(*d);
+  reclaim(pid, *d);
   platform_->unlock(d->lock);
 
   header_->receives.fetch_add(1, std::memory_order_relaxed);

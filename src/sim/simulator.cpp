@@ -238,12 +238,31 @@ void Simulator::mutex_lock(const void* cell) {
   if (trace_ != nullptr) {
     trace_->record(self->clock_, self->id_, TraceKind::lock_acquire, 0);
   }
-  // A TAS lock's acquisition cost grows with the crowd still spinning on
-  // it (cache-line invalidation traffic on the shared bus).
+  // A TAS lock's acquisition cost grows with the crowd hammering the
+  // cell: processes queued right now plus every other processor whose
+  // cache still holds the line because it acquired the lock within the
+  // hot window — each cached copy is invalidated over the shared bus.
+  const Time now_t = self->clock_;
+  const Time window = static_cast<Time>(model_.lock_hot_window_ns);
+  while (!m.recent.empty() && m.recent.front().first + window < now_t) {
+    m.recent.pop_front();
+  }
+  Process* seen[32];
+  std::size_t crowd = 0;
+  const auto note = [&](Process* p) {
+    if (p == self) return;
+    for (std::size_t i = 0; i < crowd; ++i) {
+      if (seen[i] == p) return;
+    }
+    if (crowd < 32) seen[crowd++] = p;
+  };
+  for (Process* w : m.waiters) note(w);
+  for (const auto& entry : m.recent) note(entry.second);
   const double contention =
-      1.0 + model_.lock_contention_factor *
-                static_cast<double>(m.waiters.size());
+      1.0 + model_.lock_contention_factor * static_cast<double>(crowd);
   self->clock_ += static_cast<Time>(model_.lock_ns * contention);
+  m.recent.emplace_back(now_t, self);
+  if (m.recent.size() > 64) m.recent.pop_front();
   self->state_ = Process::State::Runnable;
   reschedule(lk, self);
 }

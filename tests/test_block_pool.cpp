@@ -1,0 +1,207 @@
+// The sharded block-pool allocator: shard carving, magazine caching,
+// cross-shard stealing, and magazine raids under exhaustion.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "mpf/core/facility.hpp"
+#include "mpf/shm/region.hpp"
+
+namespace {
+
+using namespace mpf;
+
+TEST(BlockPool, ResolvedDerivesShardCountAndCacheBound) {
+  Config c;
+  c.max_processes = 32;
+  const Config r = c.resolved();
+  EXPECT_EQ(r.pool_shards, 8u);  // next pow2 of 32/4
+  EXPECT_GT(r.cache_blocks, 0u);
+  // Tiny pools disable caching so exhaustion semantics stay exact.
+  Config tiny;
+  tiny.max_processes = 4;
+  tiny.message_blocks = 8;
+  tiny.message_headers = 8;
+  const Config rt = tiny.resolved();
+  EXPECT_EQ(rt.pool_shards, 1u);
+  EXPECT_EQ(rt.cache_blocks, 0u);
+  // Explicit shard counts round up to a power of two.
+  Config odd;
+  odd.pool_shards = 3;
+  EXPECT_EQ(odd.resolved().pool_shards, 4u);
+}
+
+TEST(BlockPool, CarvingSplitsPoolsAcrossShards) {
+  Config c;
+  c.max_lnvcs = 4;
+  c.max_processes = 4;
+  c.pool_shards = 4;
+  c.message_blocks = 10;  // uneven: shards get 3,3,2,2
+  c.message_headers = 6;  // 2,2,1,1
+  c.per_process_cache = false;
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  EXPECT_EQ(f.pool_shards(), 4u);
+  const auto infos = f.pool_shard_infos();
+  ASSERT_EQ(infos.size(), 4u);
+  std::size_t blocks = 0, msgs = 0;
+  for (const auto& s : infos) {
+    blocks += s.free_blocks;
+    msgs += s.free_msgs;
+    EXPECT_EQ(s.free_blocks, s.block_capacity);
+  }
+  EXPECT_EQ(blocks, 10u);
+  EXPECT_EQ(msgs, 6u);
+  EXPECT_EQ(infos[0].block_capacity, 3u);
+  EXPECT_EQ(infos[3].block_capacity, 2u);
+  EXPECT_EQ(f.stats().blocks_free, 10u);
+  EXPECT_EQ(f.stats().blocks_total, 10u);
+}
+
+TEST(BlockPool, MagazineServesSteadyTrafficWithoutShardLocks) {
+  Config c;
+  c.max_lnvcs = 4;
+  c.max_processes = 4;
+  c.message_blocks = 512;
+  c.message_headers = 128;
+  c.cache_blocks = 16;  // explicit so the magazine is definitely on
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  LnvcId tx, rx;
+  ASSERT_EQ(f.open_send(0, "q", &tx), Status::ok);
+  ASSERT_EQ(f.open_receive(1, "q", Protocol::fcfs, &rx), Status::ok);
+  char buf[32] = {};
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(f.send(0, tx, buf, sizeof(buf)), Status::ok);
+    std::size_t len = 0;
+    ASSERT_EQ(f.receive(1, rx, buf, sizeof(buf), &len), Status::ok);
+  }
+  const FacilityStats s = f.stats();
+  // The sender's magazine (refilled in batches) must be serving the bulk
+  // of the traffic: far fewer shard visits than allocations.
+  EXPECT_GE(s.cache_hits, 300u);
+  EXPECT_LE(s.cache_misses, 200u);
+  EXPECT_GT(s.shard_lock_acquisitions, 0u);
+  EXPECT_LT(s.shard_lock_acquisitions, 1000u);
+  // Magazine contents still count as free blocks; nothing leaked.
+  EXPECT_EQ(s.blocks_free, 512u);
+  EXPECT_GT(s.blocks_cached, 0u);
+  const auto caches = f.proc_cache_infos();
+  ASSERT_FALSE(caches.empty());
+}
+
+TEST(BlockPool, DryShardStealsFromSiblings) {
+  Config c;
+  c.max_lnvcs = 4;
+  c.max_processes = 4;
+  c.pool_shards = 4;  // 4 blocks per shard
+  c.message_blocks = 16;
+  c.message_headers = 8;
+  c.per_process_cache = false;
+  c.block_policy = BlockPolicy::fail;
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  LnvcId tx, rx;
+  ASSERT_EQ(f.open_send(0, "q", &tx), Status::ok);
+  ASSERT_EQ(f.open_receive(1, "q", Protocol::fcfs, &rx), Status::ok);
+  // 12 blocks is three shards' worth: process 0's home shard alone cannot
+  // satisfy it, so the allocator must sweep siblings.
+  std::vector<char> big(120);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>(i * 7 + 1);
+  }
+  ASSERT_EQ(f.send(0, tx, big.data(), big.size()), Status::ok);
+  EXPECT_GT(f.stats().shard_steals, 0u);
+  std::vector<char> got(big.size());
+  std::size_t len = 0;
+  ASSERT_EQ(f.receive(1, rx, got.data(), got.size(), &len), Status::ok);
+  EXPECT_EQ(len, big.size());
+  EXPECT_EQ(std::memcmp(big.data(), got.data(), big.size()), 0);
+  // Every stolen block came back; none lost, none double-freed.
+  EXPECT_EQ(f.stats().blocks_free, 16u);
+}
+
+TEST(BlockPool, ExhaustedSenderRaidsPeerMagazines) {
+  Config c;
+  c.max_lnvcs = 4;
+  c.max_processes = 4;
+  c.pool_shards = 1;
+  c.message_blocks = 12;
+  c.message_headers = 8;
+  c.cache_blocks = 8;  // small pool, caching forced on
+  c.block_policy = BlockPolicy::fail;
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  LnvcId tx, rx;
+  ASSERT_EQ(f.open_send(0, "q", &tx), Status::ok);
+  ASSERT_EQ(f.open_receive(1, "q", Protocol::fcfs, &rx), Status::ok);
+  // Park blocks in process 1's magazine by having it free messages.
+  char buf[40] = {};
+  std::size_t len = 0;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(f.send(0, tx, buf, sizeof(buf)), Status::ok);
+    ASSERT_EQ(f.receive(1, rx, buf, sizeof(buf), &len), Status::ok);
+  }
+  const auto caches = f.proc_cache_infos();
+  bool parked = false;
+  for (const auto& pc : caches) parked = parked || pc.blocks > 0;
+  ASSERT_TRUE(parked);
+  // A 100-byte message needs 10 of the 12 blocks: the shard alone cannot
+  // supply them, so without raiding this send would fail.
+  LnvcId tx2;
+  ASSERT_EQ(f.open_send(2, "q", &tx2), Status::ok);
+  std::vector<char> big(100, 'x');
+  ASSERT_EQ(f.send(2, tx2, big.data(), big.size()), Status::ok);
+  EXPECT_GE(f.stats().cache_raids, 1u);
+  std::vector<char> got(big.size());
+  ASSERT_EQ(f.receive(1, rx, got.data(), got.size(), &len), Status::ok);
+  EXPECT_EQ(len, big.size());
+  EXPECT_EQ(got, big);
+  EXPECT_EQ(f.stats().blocks_free, 12u);
+}
+
+TEST(BlockPool, ConcurrentTrafficAcrossShardsStaysBalanced) {
+  Config c;
+  c.max_lnvcs = 8;
+  c.max_processes = 4;
+  c.pool_shards = 4;
+  c.message_blocks = 64;
+  c.message_headers = 32;
+  c.per_process_cache = false;
+  shm::HeapRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+  constexpr int kPairs = 2;
+  constexpr int kMsgs = 500;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kPairs; ++p) {
+    const std::string name = "ch" + std::to_string(p);
+    LnvcId tx, rx;
+    ASSERT_EQ(f.open_send(p, name, &tx), Status::ok);
+    ASSERT_EQ(f.open_receive(p + kPairs, name, Protocol::fcfs, &rx),
+              Status::ok);
+    threads.emplace_back([&f, tx, p] {
+      std::vector<char> msg(40, static_cast<char>('A' + p));
+      for (int i = 0; i < kMsgs; ++i) {
+        ASSERT_EQ(f.send(p, tx, msg.data(), msg.size()), Status::ok);
+      }
+    });
+    threads.emplace_back([&f, rx, p] {
+      std::vector<char> msg(40);
+      for (int i = 0; i < kMsgs; ++i) {
+        std::size_t len = 0;
+        ASSERT_EQ(f.receive(p + kPairs, rx, msg.data(), msg.size(), &len),
+                  Status::ok);
+        ASSERT_EQ(len, msg.size());
+        for (char ch : msg) ASSERT_EQ(ch, static_cast<char>('A' + p));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const FacilityStats s = f.stats();
+  EXPECT_EQ(s.blocks_free, 64u);
+  EXPECT_EQ(s.sends, static_cast<std::uint64_t>(kPairs) * kMsgs);
+}
+
+}  // namespace

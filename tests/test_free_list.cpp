@@ -21,14 +21,14 @@ struct FreeListFixture : ::testing::Test {
 };
 
 TEST_F(FreeListFixture, CarveMakesAllNodesAvailable) {
-  list.carve(arena, 24, 100);
+  list.carve(arena, 32, 100);
   EXPECT_EQ(list.available(), 100u);
   EXPECT_EQ(list.capacity(), 100u);
-  EXPECT_EQ(list.node_bytes(), 24u);
+  EXPECT_EQ(list.node_bytes(), 32u);
 }
 
 TEST_F(FreeListFixture, PopReturnsDistinctNodes) {
-  list.carve(arena, 24, 50);
+  list.carve(arena, 32, 50);
   std::set<Offset> seen;
   for (int i = 0; i < 50; ++i) {
     const Offset node = list.pop(arena);
@@ -40,7 +40,7 @@ TEST_F(FreeListFixture, PopReturnsDistinctNodes) {
 }
 
 TEST_F(FreeListFixture, PushRecycles) {
-  list.carve(arena, 24, 4);
+  list.carve(arena, 32, 4);
   const Offset a = list.pop(arena);
   (void)list.pop(arena);
   list.push(arena, a);
@@ -49,7 +49,7 @@ TEST_F(FreeListFixture, PushRecycles) {
 }
 
 TEST_F(FreeListFixture, PopChainDeliversExactlyRequested) {
-  list.carve(arena, 24, 32);
+  list.carve(arena, 32, 32);
   std::size_t got = 0;
   const Offset head = list.pop_chain(arena, 10, got);
   EXPECT_EQ(got, 10u);
@@ -69,7 +69,7 @@ TEST_F(FreeListFixture, PopChainDeliversExactlyRequested) {
 }
 
 TEST_F(FreeListFixture, PopChainPartialWhenShort) {
-  list.carve(arena, 24, 5);
+  list.carve(arena, 32, 5);
   std::size_t got = 0;
   const Offset head = list.pop_chain(arena, 10, got);
   EXPECT_EQ(got, 5u);
@@ -81,7 +81,7 @@ TEST_F(FreeListFixture, PopChainPartialWhenShort) {
 }
 
 TEST_F(FreeListFixture, PopChainZeroIsNoop) {
-  list.carve(arena, 24, 5);
+  list.carve(arena, 32, 5);
   std::size_t got = 77;
   EXPECT_EQ(list.pop_chain(arena, 0, got), kNullOffset);
   EXPECT_EQ(got, 0u);
@@ -90,11 +90,58 @@ TEST_F(FreeListFixture, PopChainZeroIsNoop) {
 
 TEST_F(FreeListFixture, NodeTooSmallThrows) {
   EXPECT_THROW(list.carve(arena, 4, 10), std::invalid_argument);
+  // Below the segment-metadata minimum (link word + {next, count, tail}).
+  EXPECT_THROW(list.carve(arena, 24, 10), std::invalid_argument);
+}
+
+TEST_F(FreeListFixture, PopChainReportsTail) {
+  list.carve(arena, 32, 16);
+  std::size_t got = 0;
+  Offset tail = kNullOffset;
+  const Offset head = list.pop_chain(arena, 6, got, &tail);
+  ASSERT_EQ(got, 6u);
+  ASSERT_NE(head, kNullOffset);
+  // The reported tail is the 6th node and is null-terminated: callers
+  // never have to re-walk the chain to find its end.
+  Offset cur = head;
+  for (int i = 1; i < 6; ++i) cur = *static_cast<Offset*>(arena.raw(cur));
+  EXPECT_EQ(cur, tail);
+  EXPECT_EQ(*static_cast<Offset*>(arena.raw(tail)), kNullOffset);
+  list.push_chain(arena, head, tail, 6);
+  EXPECT_EQ(list.available(), 16u);
+}
+
+TEST_F(FreeListFixture, WholeSegmentsRoundTripWithoutWalking) {
+  list.carve(arena, 32, 64);
+  // Push back chains of the same size senders ask for, then pop them
+  // again: each push_chain becomes one segment that pop_chain can take
+  // whole, so repeated traffic at a fixed message size is O(1) per op.
+  for (int round = 0; round < 100; ++round) {
+    std::size_t got = 0;
+    Offset tail = kNullOffset;
+    const Offset head = list.pop_chain(arena, 8, got, &tail);
+    ASSERT_EQ(got, 8u) << round;
+    list.push_chain(arena, head, tail, 8);
+  }
+  EXPECT_EQ(list.available(), 64u);
+  // Splitting a larger segment than requested still yields a valid chain.
+  std::size_t got = 0;
+  Offset tail = kNullOffset;
+  const Offset head = list.pop_chain(arena, 3, got, &tail);
+  ASSERT_EQ(got, 3u);
+  std::size_t count = 0;
+  for (Offset cur = head; cur != kNullOffset;
+       cur = *static_cast<Offset*>(arena.raw(cur))) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+  list.push_chain(arena, head, tail, 3);
+  EXPECT_EQ(list.available(), 64u);
 }
 
 TEST_F(FreeListFixture, ConcurrentPopPushKeepsInventory) {
   constexpr std::size_t kNodes = 256;
-  list.carve(arena, 24, kNodes);
+  list.carve(arena, 32, kNodes);
   constexpr int kThreads = 6;
   constexpr int kRounds = 2000;
   std::vector<std::thread> workers;

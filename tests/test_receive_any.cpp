@@ -187,4 +187,32 @@ TEST(ReceiveAnySim, WorksUnderTheSimulator) {
   for (const int v : {0, 1, 2, 100, 101, 102}) EXPECT_EQ(all.count(v), 1u);
 }
 
+TEST_F(ReceiveAnyTest, RotationCursorPersistsAcrossCallsForFairness) {
+  // Two equally busy circuits: the scan cursor is kept per process across
+  // receive_any calls, so deliveries must alternate instead of re-biasing
+  // toward the first listed LNVC on every call.
+  LnvcId a_tx, b_tx, a_rx, b_rx;
+  ASSERT_EQ(f.open_send(0, "a", &a_tx), Status::ok);
+  ASSERT_EQ(f.open_send(0, "b", &b_tx), Status::ok);
+  ASSERT_EQ(f.open_receive(1, "a", Protocol::fcfs, &a_rx), Status::ok);
+  ASSERT_EQ(f.open_receive(1, "b", Protocol::fcfs, &b_rx), Status::ok);
+  for (int i = 0; i < 3; ++i) {
+    int v = i;
+    ASSERT_EQ(f.send(0, a_tx, &v, sizeof(v)), Status::ok);
+    v = 100 + i;
+    ASSERT_EQ(f.send(0, b_tx, &v, sizeof(v)), Status::ok);
+  }
+  const LnvcId ids[] = {a_rx, b_rx};
+  std::vector<std::size_t> order;
+  for (int i = 0; i < 6; ++i) {
+    int v = 0;
+    std::size_t len = 0, index = 99;
+    ASSERT_EQ(f.receive_any(1, ids, &v, sizeof(v), &len, &index), Status::ok);
+    order.push_back(index);
+  }
+  const std::vector<std::size_t> want = {0, 1, 0, 1, 0, 1};
+  EXPECT_EQ(order, want);
+  // Each circuit's own FIFO order was preserved while alternating.
+}
+
 }  // namespace

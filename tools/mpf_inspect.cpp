@@ -32,6 +32,40 @@ void dump(const mpf::Facility& facility) {
       static_cast<unsigned long long>(stats.bytes_delivered));
   std::printf("pool: %zu/%zu blocks free, arena %zu B used\n",
               stats.blocks_free, stats.blocks_total, stats.arena_used);
+  std::printf(
+      "allocator: %u shards, %zu blocks in magazines, "
+      "%llu hits / %llu misses / %llu raids, %llu exhaustion waits\n",
+      stats.pool_shards, stats.blocks_cached,
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses),
+      static_cast<unsigned long long>(stats.cache_raids),
+      static_cast<unsigned long long>(stats.exhaustion_waits));
+
+  std::printf("%5s %10s %8s %12s %10s %8s %8s %8s\n", "shard", "blk_free",
+              "msg_free", "lock_acq", "wait_us", "steals", "refills",
+              "flushes");
+  for (const auto& s : facility.pool_shard_infos()) {
+    std::printf("%5u %6zu/%-3zu %8zu %12llu %10.1f %8llu %8llu %8llu\n",
+                s.index, s.free_blocks, s.block_capacity, s.free_msgs,
+                static_cast<unsigned long long>(s.lock_acquisitions),
+                static_cast<double>(s.lock_wait_ns) * 1e-3,
+                static_cast<unsigned long long>(s.steals),
+                static_cast<unsigned long long>(s.refills),
+                static_cast<unsigned long long>(s.flushes));
+  }
+  const auto caches = facility.proc_cache_infos();
+  if (!caches.empty()) {
+    std::printf("%5s %9s %5s %10s %10s %8s %8s\n", "pid", "magazine", "msgs",
+                "hits", "misses", "flushes", "raided");
+    for (const auto& c : caches) {
+      std::printf("%5u %5u/%-3u %5u %10llu %10llu %8llu %8llu\n", c.pid,
+                  c.blocks, c.block_cap, c.msgs,
+                  static_cast<unsigned long long>(c.hits),
+                  static_cast<unsigned long long>(c.misses),
+                  static_cast<unsigned long long>(c.flushes),
+                  static_cast<unsigned long long>(c.raids));
+    }
+  }
 
   const auto infos = facility.lnvc_infos();
   if (infos.empty()) {
