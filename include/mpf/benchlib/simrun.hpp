@@ -9,7 +9,9 @@
 #include <functional>
 
 #include "mpf/core/facility.hpp"
+#include "mpf/sim/fault.hpp"
 #include "mpf/sim/machine.hpp"
+#include "mpf/sim/trace.hpp"
 
 namespace mpf::benchlib {
 
@@ -45,5 +47,38 @@ SimMetrics run_sim(const Config& config, int nprocs,
                    const std::function<void(Facility, int)>& body,
                    const sim::MachineModel& model =
                        sim::MachineModel::balance21000());
+
+/// What a fault-injected run did and what recovery cost (DESIGN.md §8).
+struct ChaosMetrics {
+  SimMetrics base;
+  std::uint64_t kills = 0;  ///< injected deaths that actually fired
+  // Facility recovery counters after the run + final sweep.
+  std::uint64_t suspicions = 0;
+  std::uint64_t seizures = 0;
+  std::uint64_t false_suspicions = 0;
+  std::uint64_t reaps = 0;
+  std::uint64_t reaped_connections = 0;
+  std::uint64_t reclaimed_blocks = 0;
+  std::uint64_t peer_failures = 0;
+  std::uint64_t orphaned_receives = 0;
+  /// Block conservation after every dead process has been reaped:
+  /// free + cached + queued + journaled must equal the pool size.
+  BlockAudit audit;
+  bool blocks_conserved = false;
+  /// FNV-1a over every trace event; two runs of the same (workload, plan)
+  /// must produce the same hash — the determinism check is one compare.
+  std::uint64_t trace_hash = 0;
+};
+
+/// Like run_sim, but inject `plan` and finish with a recovery sweep: any
+/// process the plan killed that no survivor reaped in-run is reaped from
+/// the main thread, then the block audit runs.  A non-null `trace`
+/// captures the full event log (the hash is computed either way).
+ChaosMetrics run_chaos(const Config& config, int nprocs,
+                       const sim::FaultPlan& plan,
+                       const std::function<void(Facility, int)>& body,
+                       const sim::MachineModel& model =
+                           sim::MachineModel::balance21000(),
+                       sim::Trace* trace = nullptr);
 
 }  // namespace mpf::benchlib

@@ -34,4 +34,13 @@ void broadcast_receiver(Facility facility, int rank, int msgs, int nrecv);
 void random_worker(Facility facility, int rank, int nprocs, std::size_t len,
                    int msgs, std::uint64_t seed);
 
+/// Fault-injection workload (bench/chaos_recovery, tests/test_chaos): the
+/// fully-connected random pattern rewritten on the raw Status API so every
+/// failure outcome (peer_failed, lnvc_orphaned, closed, timed_out) is
+/// tolerated — survivors always run to completion no matter which peers an
+/// injected FaultPlan kills, and a killed worker simply unwinds
+/// mid-operation, leaving the abandoned state for recovery to repair.
+void chaos_worker(Facility facility, int rank, int nprocs, std::size_t len,
+                  int msgs, std::uint64_t seed);
+
 }  // namespace mpf::benchlib

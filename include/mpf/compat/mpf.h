@@ -42,6 +42,9 @@ extern "C" {
 #define MPF_ENOBLOCKS -7
 #define MPF_ETRUNC -8
 #define MPF_ECLOSED -9
+#define MPF_ETIMEDOUT -10
+#define MPF_EPEERFAILED -11 /* blocked call abandoned: peer process died */
+#define MPF_EORPHANED -12   /* receive on an LNVC whose last sender died */
 #define MPF_ENOTINIT -100
 
 /* Initialize the facility; sizes the shared region from the two maxima
@@ -61,6 +64,12 @@ int mpf_message_send(int process_id, int lnvc_id, const char* send_buffer,
 int mpf_message_receive(int process_id, int lnvc_id, char* receive_buffer,
                         int* buffer_length);
 int mpf_check_receive(int process_id, int lnvc_id);
+
+/* Recovery sweep for a dead participant (e.g. a fork()ed worker that was
+ * SIGKILLed): closes its connections, reclaims its blocks, and wakes any
+ * peer blocked on it.  `reaper_id` is the surviving process running the
+ * sweep.  Returns 0, or MPF_EINVAL if dead_id is out of range or alive. */
+int mpf_reap(int reaper_id, int dead_id);
 
 #ifdef __cplusplus
 }

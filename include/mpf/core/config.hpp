@@ -53,6 +53,14 @@ struct Config {
 
   BlockPolicy block_policy = BlockPolicy::wait;
 
+  /// Failure-suspicion threshold in nanoseconds (wall time natively,
+  /// virtual time under the simulator).  A waiter that has watched the
+  /// same holder sit on an arena lock for this long probes the holder's
+  /// liveness and seizes the lock if the holder is dead; a sender parked
+  /// on pool exhaustion re-checks receiver liveness at this period.
+  /// 0 disables suspicion entirely (locks may wedge if a holder dies).
+  std::uint64_t suspicion_ns = 100'000'000;  // 100 ms
+
   /// true (default, the paper's behaviour per its close_receive()
   /// discussion in §3.2): a message enqueued while BROADCAST receivers but
   /// no FCFS receivers are connected is reclaimed as soon as every

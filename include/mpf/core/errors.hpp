@@ -22,6 +22,8 @@ enum class Status : int {
   truncated,          ///< receive buffer smaller than the message
   closed,             ///< LNVC deleted while blocked on it
   timed_out,          ///< receive_for deadline expired
+  peer_failed,        ///< blocked op abandoned: the peer(s) it needed died
+  lnvc_orphaned,      ///< receive on a circuit whose last sender died
 };
 
 /// Human-readable name of a status code.

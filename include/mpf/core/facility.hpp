@@ -63,6 +63,15 @@ struct FacilityStats {
   std::uint64_t shard_lock_wait_ns = 0;  ///< allocator-path lock wait
   std::uint64_t shard_steals = 0;
   std::uint64_t exhaustion_waits = 0;
+  // Failure-recovery counters (see DESIGN.md §8).
+  std::uint64_t suspicions = 0;        ///< liveness probes fired by waiters
+  std::uint64_t seizures = 0;          ///< locks seized from dead holders
+  std::uint64_t false_suspicions = 0;  ///< probes that found the holder alive
+  std::uint64_t reaps = 0;             ///< recovery sweeps completed
+  std::uint64_t reaped_connections = 0;
+  std::uint64_t reclaimed_blocks = 0;  ///< blocks recovered from dead procs
+  std::uint64_t peer_failures = 0;     ///< blocked ops ended peer_failed
+  std::uint64_t orphaned_receives = 0;
 };
 
 /// Snapshot of one pool shard (allocator introspection).
@@ -88,6 +97,39 @@ struct ProcCacheInfo {
   std::uint64_t misses = 0;
   std::uint64_t flushes = 0;
   std::uint64_t raids = 0;
+};
+
+/// Where every block in the pool currently is.  `consistent()` is the
+/// conservation invariant the chaos suite checks after every injected kill:
+/// no block is lost and none is doubly owned.
+struct BlockAudit {
+  std::size_t blocks_total = 0;
+  std::size_t blocks_free = 0;      ///< in shard free lists
+  std::size_t blocks_cached = 0;    ///< in per-process magazines
+  std::size_t blocks_queued = 0;    ///< in messages linked into LNVC FIFOs
+  std::size_t blocks_journaled = 0;  ///< in dead/live processes' intent logs
+  [[nodiscard]] bool consistent() const noexcept {
+    return blocks_free + blocks_cached + blocks_queued + blocks_journaled ==
+           blocks_total;
+  }
+  /// Blocks in flight in live processes (gathered but not yet enqueued, or
+  /// being copied out).  Derived, may be 0 when the facility is quiescent.
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    const std::size_t parked = blocks_free + blocks_cached + blocks_queued;
+    return blocks_total > parked ? blocks_total - parked : 0;
+  }
+};
+
+/// One row of the mpf_inspect --orphans report: state attributable to a
+/// process that is (or may be) gone.
+struct OrphanInfo {
+  ProcessId pid = 0;
+  std::uint32_t os_pid = 0;
+  std::uint32_t state = 0;        ///< detail::ProcSlot::k* value
+  bool os_alive = true;           ///< kill(os_pid, 0) / platform verdict
+  std::uint32_t connections = 0;  ///< open connections held facility-wide
+  std::uint32_t magazine_blocks = 0;
+  std::uint32_t journal_op = 0;  ///< detail::JournalOp in the intent log
 };
 
 /// Cheap per-process handle to a facility living in a shared region.  Copy
@@ -144,6 +186,34 @@ class Facility {
                      std::size_t cap, std::size_t* out_len,
                      std::size_t* out_index);
 
+  // --- failure detection and recovery ----------------------------------
+  /// Record `pid`'s participation (OS pid natively).  Called implicitly by
+  /// every operation; exposed so supervisors can pre-register.
+  void register_process(ProcessId pid);
+  /// Mark `pid` dead without reaping it yet.  Used by external failure
+  /// detectors and tests; waiters suspecting `pid` reach the same state
+  /// through their liveness probe.
+  void declare_dead(ProcessId pid);
+  /// Liveness verdict for `pid`: ProcSlot state, then the platform (sim
+  /// kill ledger), then — for fork()ed participants — kill(os_pid, 0).
+  [[nodiscard]] bool process_alive(ProcessId pid) const;
+  /// Recovery sweep for a dead process: resolve its intent journal (roll
+  /// the half-done operation forward or back), close its connections with
+  /// the paper's last-connection semantics, return its magazine to the
+  /// shards, drop its unread broadcast cursors, repair waiter counters,
+  /// and wake blocked peers.  `reaper` is the process performing the sweep
+  /// (it tags the locks it takes).  Status::invalid_argument if `pid` is
+  /// out of range or still alive.
+  Status reap(ProcessId reaper, ProcessId pid);
+  /// Where every block is right now (chaos-suite conservation check).
+  /// Quiescent-consistent: taken with per-structure locks, not a global
+  /// freeze.
+  [[nodiscard]] BlockAudit block_audit() const;
+  /// Per-process orphan report (mpf_inspect --orphans): every registered
+  /// slot with its liveness verdict and attributable state.
+  [[nodiscard]] std::vector<OrphanInfo> orphan_infos() const;
+  [[nodiscard]] std::uint64_t suspicion_ns() const noexcept;
+
   // --- introspection ------------------------------------------------------
   /// Messages queued (not yet FCFS-consumed) on the LNVC; 0 if dead.
   [[nodiscard]] std::size_t queued(LnvcId id) const;
@@ -190,7 +260,7 @@ class Facility {
   detail::PoolShard* shards() const noexcept;
   detail::ProcCache* caches() const noexcept;
   [[nodiscard]] std::uint32_t home_shard(ProcessId pid) const noexcept;
-  void lock_shard(detail::PoolShard& s);
+  void lock_shard(detail::PoolShard& s, ProcessId pid);
   /// Pop a message header plus a `need`-block chain for `pid`, preferring
   /// its magazine, then its home shard, then stealing from other shards
   /// and raiding peer magazines.  Honors BlockPolicy on true exhaustion.
@@ -208,6 +278,53 @@ class Facility {
                       std::uint64_t timeout_ns = 0);
   detail::Connection* find_conn(detail::LnvcDesc& d, ProcessId pid,
                                 bool sender) const noexcept;
+
+  // Failure recovery (recovery.cpp).
+  static constexpr ProcessId kNoProcess = ~ProcessId{0};
+  detail::ProcSlot* procs() const noexcept;
+  detail::ProcSlot& pslot(ProcessId pid) const noexcept;
+  static bool probe_alive(void* ctx, std::uint32_t holder_tag);
+  [[nodiscard]] RobustOp make_robust(ProcessId pid) const;
+  /// Robust lock tagged with `pid`; returns the dead holder's ProcessId if
+  /// the lock had to be seized (caller repairs + reaps once safe), else
+  /// kNoProcess.
+  ProcessId alock(sync::SpinLock& cell, ProcessId pid);
+  /// Robust lock on an LNVC descriptor: on seizure additionally repairs
+  /// the descriptor's queue invariants before returning.
+  ProcessId alock_lnvc(detail::LnvcDesc& d, ProcessId pid);
+  /// Robust wait / timed wait (re-acquisition may seize; same contract).
+  ProcessId await(sync::SpinLock& m, sync::EventCount& c, ProcessId pid);
+  ProcessId await_for(sync::SpinLock& m, sync::EventCount& c, ProcessId pid,
+                      std::uint64_t timeout_ns, bool* notified);
+  /// Recompute (msg_tail, fcfs_head, n_queued) of a seized descriptor from
+  /// the msg_head walk; drops a half-linked journal message if found.
+  void repair_lnvc(detail::LnvcDesc& d);
+  /// Roll `pid`'s journaled half-done operation forward or back.  Called
+  /// by reap() with no locks held; takes what it needs robustly.
+  void resolve_journal(ProcessId reaper, detail::ProcSlot& ps, ProcessId pid);
+  /// Opportunistic reap after a seizure, once the seizing op holds no
+  /// locks.  No-op for kNoProcess.
+  void reap_if_dead(ProcessId reaper, ProcessId dead);
+  /// True when no live process holds a receive connection anywhere
+  /// (the exhaustion monitor's peer_failed condition).  `self` counts as
+  /// live.  Takes registry + descriptor locks; call with no locks held.
+  bool no_live_receiver(ProcessId self);
+  // Intent-journal arm/disarm (inline hot-path helpers).
+  void journal_gather(ProcessId pid, const detail::GatherChain& chain,
+                      shm::Offset msg);
+  void journal_enqueue(ProcessId pid, LnvcId id, std::uint32_t gen,
+                       shm::Offset msg, const detail::GatherChain& chain);
+  void journal_copy_out(ProcessId pid, LnvcId id, std::uint32_t gen,
+                        shm::Offset msg, bool bcast);
+  void journal_release_chains(ProcessId pid, detail::LnvcDesc& d,
+                              shm::Offset first_msg);
+  void journal_stage(ProcessId pid, std::uint32_t stage);
+  void journal_clear(ProcessId pid);
+  // Nested free_message record (see detail::ProcSlot::fm_stage).
+  void journal_free_arm(ProcessId pid, shm::Offset msg, shm::Offset head,
+                        shm::Offset tail, std::uint32_t count);
+  void journal_free_blocks_done(ProcessId pid);
+  void journal_free_clear(ProcessId pid);
 
   mutable shm::Arena arena_{};
   detail::FacilityHeader* header_ = nullptr;

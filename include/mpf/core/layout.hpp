@@ -26,7 +26,7 @@
 namespace mpf::detail {
 
 inline constexpr std::uint32_t kNameMax = 31;
-inline constexpr std::uint32_t kFacilityMagic = 0x4d504601;  // "MPF\x01"
+inline constexpr std::uint32_t kFacilityMagic = 0x4d504602;  // "MPF\x02"
 
 /// One message-payload block: a link word followed by `block_payload`
 /// bytes of data.  Node size in the free list is sizeof(Block) + payload.
@@ -88,6 +88,11 @@ struct LnvcDesc {
   std::uint32_t n_fcfs;
   std::uint32_t n_bcast;
   std::uint32_t n_queued;  ///< messages not yet FCFS-consumed
+  /// Set by reap() when the circuit's last sender died (as opposed to
+  /// closing); cleared by the next open_send.  A receiver blocked with
+  /// nothing deliverable and no senders then gets Status::lnvc_orphaned
+  /// instead of waiting for a sender that can never come back.
+  std::uint32_t last_sender_died;
 
   shm::Ref<MsgHeader> msg_head;   ///< oldest retained message
   shm::Ref<MsgHeader> msg_tail;   ///< newest message (senders append here)
@@ -150,6 +155,69 @@ struct alignas(64) ProcCache {
   std::atomic<std::uint32_t> any_cursor;
 };
 
+/// What a process was in the middle of when it (possibly) died.  A
+/// ProcSlot holds one *primary* record (these ops never nest in each
+/// other) plus one nested free-message record (fm_*): free_message() runs
+/// inside enqueue rollbacks, reclaim sweeps, and release_chains walks, so
+/// it journals separately.
+enum class JournalOp : std::uint32_t {
+  none = 0,
+  gather,          ///< assembling a block chain out of the shard pools
+  enqueue,         ///< built message in hand; stage 1 once linked into FIFO
+  copy_out,        ///< receiver pinned a message while copying out
+  release_chains,  ///< bulk-freeing every message of a dying LNVC
+};
+
+/// Per-process recovery slot: registration, OS identity, waiting-monitor
+/// membership, and the single-record intent journal recovery rolls forward
+/// or back.  Journal discipline: operands first, `op` last (the commit
+/// point, with release ordering); `op` cleared first when disarming.
+/// Cache-line aligned — each process writes only its own slot on hot paths.
+struct alignas(64) ProcSlot {
+  static constexpr std::uint32_t kFree = 0;
+  static constexpr std::uint32_t kLive = 1;
+  static constexpr std::uint32_t kDead = 2;    ///< declared, not yet reaped
+  static constexpr std::uint32_t kReaped = 3;  ///< recovery sweep finished
+
+  std::atomic<std::uint32_t> state;
+  std::uint32_t os_pid;  ///< native: getpid() at registration; sim: 0
+
+  std::atomic<std::uint32_t> op;  ///< JournalOp; the journal commit point
+  std::uint32_t stage;            ///< op-specific progress marker
+  std::uint32_t lnvc_id;          ///< target LNVC (enqueue/copy_out/release)
+  std::uint32_t lnvc_gen;         ///< generation guard for lnvc_id
+  shm::Offset chain_head;         ///< block-chain head (gather/enqueue)
+  shm::Offset chain_tail;         ///< block-chain tail
+  shm::Offset msg;  ///< MsgHeader operand (gather/enqueue/copy_out); for
+                    ///< release_chains: the walk cursor (next unfreed msg)
+  std::uint32_t chain_count;      ///< blocks in [chain_head, chain_tail]
+
+  /// Refill batch popped from the home shard but not yet inserted into the
+  /// magazine (the gather phase-2 handoff window).  Journaled separately
+  /// from the gather chain because both are in flight at once.
+  shm::Offset refill_head;
+  shm::Offset refill_tail;
+  std::uint32_t refill_count;
+  shm::Offset refill_msgs;        ///< header refill chain (linked head words)
+  std::uint32_t refill_msg_count;
+
+  /// Nested free_message record.  fm_stage is its commit point: 0 = off,
+  /// 1 = armed with blocks not yet pushed, 2 = armed with blocks disposed
+  /// (header still pending).  Armed/advanced only inside the critical
+  /// section that performs the corresponding push.
+  std::atomic<std::uint32_t> fm_stage;
+  shm::Offset fm_msg;   ///< the header being freed
+  shm::Offset fm_head;  ///< its block chain (valid while fm_stage == 1)
+  shm::Offset fm_tail;
+  std::uint32_t fm_count;
+
+  /// Monitor membership flags: set while this process is counted in
+  /// exhaustion_waiters / activity_waiters, so reap() can repair the
+  /// counters a death would leak.
+  std::atomic<std::uint32_t> in_exhaustion;
+  std::atomic<std::uint32_t> in_activity;
+};
+
 /// Root object of an MPF facility, at a fixed offset in the arena.
 struct FacilityHeader {
   std::uint32_t magic;
@@ -183,14 +251,29 @@ struct FacilityHeader {
   shm::Offset shards;      ///< PoolShard[n_shards]
   shm::Offset caches;      ///< ProcCache[max_processes]
   shm::Offset lnvc_table;  ///< LnvcDesc[max_lnvcs]
+  shm::Offset procs;       ///< ProcSlot[max_processes]
 
   std::uint64_t blocks_total;  ///< blocks carved across all shards
   std::uint64_t msgs_total;    ///< message headers carved across all shards
+
+  /// Failure-suspicion threshold (Config::suspicion_ns, shared so every
+  /// attacher uses the creator's value).
+  std::uint64_t suspicion_ns;
 
   std::atomic<std::uint64_t> sends;
   std::atomic<std::uint64_t> receives;
   std::atomic<std::uint64_t> bytes_sent;
   std::atomic<std::uint64_t> bytes_delivered;
+
+  // Recovery observability (FacilityStats / mpf_inspect).
+  std::atomic<std::uint64_t> suspicions;        ///< liveness probes fired
+  std::atomic<std::uint64_t> seizures;          ///< locks taken from the dead
+  std::atomic<std::uint64_t> false_suspicions;  ///< probe said "still alive"
+  std::atomic<std::uint64_t> reaps;             ///< reap() sweeps completed
+  std::atomic<std::uint64_t> reaped_connections;
+  std::atomic<std::uint64_t> reclaimed_blocks;  ///< blocks recovered by reap
+  std::atomic<std::uint64_t> peer_failures;     ///< ops ended peer_failed
+  std::atomic<std::uint64_t> orphaned_receives;  ///< ops ended lnvc_orphaned
 };
 
 }  // namespace mpf::detail

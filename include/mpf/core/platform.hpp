@@ -21,6 +21,25 @@
 
 namespace mpf {
 
+/// Parameters for robust (failure-suspecting) lock operations.  A waiter
+/// carries its owner tag, a liveness probe for whoever it finds holding the
+/// lock, and the suspicion threshold.  `seized` is an out-flag: the platform
+/// sets it when the acquisition went through seizure of a dead holder's
+/// lock, in which case the caller owns the lock but must treat the protected
+/// structure as possibly half-mutated and repair it before use.
+struct RobustOp {
+  std::uint32_t tag = sync::SpinLock::kAnonymous;
+  /// Returns true if the process behind `holder_tag` is still alive.
+  /// nullptr: never suspect (degenerates to a plain lock).
+  bool (*alive)(void* ctx, std::uint32_t holder_tag) = nullptr;
+  void* ctx = nullptr;
+  /// 0: never suspect.
+  std::uint64_t suspicion_ns = 0;
+  bool seized = false;
+  /// Holder tag the lock was seized from (valid when `seized`).
+  std::uint32_t seized_from = sync::SpinLock::kFree;
+};
+
 class Platform {
  public:
   virtual ~Platform() = default;
@@ -29,19 +48,68 @@ class Platform {
   virtual void lock(sync::SpinLock& cell) = 0;
   virtual void unlock(sync::SpinLock& cell) = 0;
 
+  /// Robust acquisition: spin tagged with `op.tag`; when the same
+  /// (holder, seq) pair has been observed past `op.suspicion_ns` and the
+  /// probe says that holder is dead, seize the lock (setting `op.seized`).
+  /// On return the caller holds the lock either way.  The base
+  /// implementation spins on real/virtual time and suits any platform
+  /// whose lock() spins on the cell itself; platforms that queue waiters
+  /// elsewhere (the simulator) override it.
+  virtual void lock_robust(sync::SpinLock& cell, RobustOp& op) {
+    sync::Backoff backoff;
+    std::uint32_t seen_tag = cell.holder_tag();
+    std::uint32_t seen_seq = cell.seq();
+    std::uint64_t deadline =
+        op.suspicion_ns ? now_ns() + op.suspicion_ns : 0;
+    for (;;) {
+      if (cell.try_lock_tagged(op.tag)) return;
+      const std::uint32_t tag = cell.holder_tag();
+      const std::uint32_t seq = cell.seq();
+      if (tag != seen_tag || seq != seen_seq) {
+        // Lock changed hands: whoever holds it now gets a fresh grace
+        // period.
+        seen_tag = tag;
+        seen_seq = seq;
+        if (op.suspicion_ns) deadline = now_ns() + op.suspicion_ns;
+      } else if (deadline != 0 && tag != sync::SpinLock::kFree &&
+                 now_ns() >= deadline) {
+        if (op.alive != nullptr && !op.alive(op.ctx, tag) &&
+            cell.seize(tag, op.tag)) {
+          op.seized = true;
+          op.seized_from = tag;
+          return;
+        }
+        // False suspicion or lost the seizure race: re-arm.
+        deadline = now_ns() + op.suspicion_ns;
+      }
+      backoff.pause();
+    }
+  }
+
   // --- condition waiting ------------------------------------------------
   /// Called with `mutex_cell` held; atomically releases it, sleeps until a
-  /// notify (spurious wakeups allowed), re-acquires, returns.
-  virtual void wait(sync::SpinLock& mutex_cell,
-                    sync::EventCount& cond_cell) = 0;
+  /// notify (spurious wakeups allowed), re-acquires, returns.  When `op`
+  /// is non-null the re-acquisition is robust (tagged + suspecting).
+  virtual void wait(sync::SpinLock& mutex_cell, sync::EventCount& cond_cell,
+                    RobustOp* op = nullptr) = 0;
   /// Timed variant: give up after `timeout_ns` (virtual or wall time per
   /// platform); returns false on timeout.  Same locking contract as
   /// wait().  Spurious true returns are allowed; callers re-check their
   /// predicate and their own deadline.
   virtual bool wait_for(sync::SpinLock& mutex_cell,
-                        sync::EventCount& cond_cell,
-                        std::uint64_t timeout_ns) = 0;
+                        sync::EventCount& cond_cell, std::uint64_t timeout_ns,
+                        RobustOp* op = nullptr) = 0;
   virtual void notify_all(sync::EventCount& cond_cell) = 0;
+
+  // --- liveness ---------------------------------------------------------
+  /// Platform-level liveness of an MPF ProcessId.  The default says
+  /// everyone is alive; the simulator consults its kill ledger.  (For
+  /// fork()ed native processes, OS-pid liveness is layered on top by the
+  /// Facility, which knows each participant's recorded os_pid.)
+  [[nodiscard]] virtual bool is_alive(std::uint32_t pid) const {
+    (void)pid;
+    return true;
+  }
 
   // --- cost-model hooks (no-ops natively) -------------------------------
   virtual void charge_send_fixed() {}
@@ -80,19 +148,19 @@ class NativePlatform final : public Platform {
   void lock(sync::SpinLock& cell) override { cell.lock(); }
   void unlock(sync::SpinLock& cell) override { cell.unlock(); }
 
-  void wait(sync::SpinLock& mutex_cell,
-            sync::EventCount& cond_cell) override {
+  void wait(sync::SpinLock& mutex_cell, sync::EventCount& cond_cell,
+            RobustOp* op = nullptr) override {
     const auto ticket = cond_cell.prepare_wait();
     mutex_cell.unlock();
     // Bounded wait between predicate re-checks: even a missed notify (a
     // state change published between our snapshot and unlock) costs at
     // most one bounded poll round, after which the caller re-checks.
     cond_cell.wait_rounds(ticket, 512);
-    cell_relock(mutex_cell);
+    cell_relock(mutex_cell, op);
   }
 
   bool wait_for(sync::SpinLock& mutex_cell, sync::EventCount& cond_cell,
-                std::uint64_t timeout_ns) override {
+                std::uint64_t timeout_ns, RobustOp* op = nullptr) override {
     const auto ticket = cond_cell.prepare_wait();
     const std::uint64_t deadline = now_ns() + timeout_ns;
     mutex_cell.unlock();
@@ -100,7 +168,7 @@ class NativePlatform final : public Platform {
     while (!(notified = cond_cell.wait_rounds(ticket, 64))) {
       if (now_ns() >= deadline) break;
     }
-    mutex_cell.lock();
+    cell_relock(mutex_cell, op);
     return notified;
   }
 
@@ -122,7 +190,13 @@ class NativePlatform final : public Platform {
   }
 
  private:
-  static void cell_relock(sync::SpinLock& cell) { cell.lock(); }
+  void cell_relock(sync::SpinLock& cell, RobustOp* op) {
+    if (op != nullptr) {
+      lock_robust(cell, *op);
+    } else {
+      cell.lock();
+    }
+  }
 };
 
 /// Shared stateless NativePlatform instance.

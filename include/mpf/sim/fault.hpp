@@ -1,0 +1,47 @@
+// Deterministic fault injection for the discrete-event simulator.
+//
+// A FaultPlan is a list of scripted failures applied before run(): kill a
+// process at a virtual time, at its k-th lock acquisition, or at its n-th
+// send; or pause it (freeze its clock forward) across a window.  Faults
+// fire only at sim points — the same places the conductor may switch
+// processes — so a plan replays bit-identically for a given seed: same
+// kills, same seizure times, same trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mpf::sim {
+
+struct FaultAction {
+  enum class Kind : std::uint32_t {
+    kill_at_time,      ///< die at the first sim point at/after `at_ns`
+    kill_at_lock_acq,  ///< die just after the `count`-th lock acquisition
+                       ///  (i.e. inside that critical section)
+    kill_at_send,      ///< die entering the `count`-th send
+    pause,             ///< jump the clock from `at_ns` to `resume_at_ns`
+  };
+  Kind kind = Kind::kill_at_time;
+  int process = 0;
+  std::uint64_t at_ns = 0;         ///< kill_at_time / pause trigger
+  std::uint64_t count = 0;         ///< kill_at_lock_acq / kill_at_send
+  std::uint64_t resume_at_ns = 0;  ///< pause resume point
+};
+
+/// A scripted set of failures.  At most one kill and one pause per process
+/// take effect (the last action listed for a process wins).
+struct FaultPlan {
+  std::vector<FaultAction> actions;
+
+  /// Seed-derived random plan (SplitMix64): between 1 and `max_kills`
+  /// distinct victims from [first_victim, nprocs), each killed by a
+  /// randomly chosen trigger within `horizon_ns`.  At least one process
+  /// always survives.  The same (seed, nprocs, max_kills, horizon_ns,
+  /// first_victim) tuple yields the same plan on every platform.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed, int nprocs,
+                                        int max_kills,
+                                        std::uint64_t horizon_ns,
+                                        int first_victim = 0);
+};
+
+}  // namespace mpf::sim

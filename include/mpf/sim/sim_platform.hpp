@@ -19,10 +19,13 @@ class SimPlatform final : public Platform {
 
   void lock(sync::SpinLock& cell) override;
   void unlock(sync::SpinLock& cell) override;
-  void wait(sync::SpinLock& mutex_cell, sync::EventCount& cond_cell) override;
+  void lock_robust(sync::SpinLock& cell, RobustOp& op) override;
+  void wait(sync::SpinLock& mutex_cell, sync::EventCount& cond_cell,
+            RobustOp* op = nullptr) override;
   bool wait_for(sync::SpinLock& mutex_cell, sync::EventCount& cond_cell,
-                std::uint64_t timeout_ns) override;
+                std::uint64_t timeout_ns, RobustOp* op = nullptr) override;
   void notify_all(sync::EventCount& cond_cell) override;
+  [[nodiscard]] bool is_alive(std::uint32_t pid) const override;
 
   void charge_send_fixed() override;
   void charge_recv_fixed() override;

@@ -22,6 +22,7 @@
 //   * a paging model driven by the live message-buffer footprint.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <exception>
@@ -36,6 +37,8 @@
 #include <utility>
 #include <vector>
 
+#include "mpf/core/platform.hpp"
+#include "mpf/sim/fault.hpp"
 #include "mpf/sim/machine.hpp"
 #include "mpf/sim/trace.hpp"
 
@@ -52,6 +55,12 @@ class DeadlockError : public std::runtime_error {
   explicit DeadlockError(const std::string& what)
       : std::runtime_error(what) {}
 };
+
+/// Thrown into a process body when an injected kill fires; caught by the
+/// simulator's thread runner (never escapes run()).  The unwind abandons
+/// whatever the process was doing — locks stay held, journals stay armed —
+/// which is exactly the crash the recovery machinery must repair.
+struct ProcessKilled {};
 
 /// A simulated process.  Instances are owned by the Simulator; user code
 /// touches them only via Simulator::current().
@@ -77,6 +86,28 @@ class Process {
   std::thread thread_;
   std::condition_variable cv_;
   bool abort_requested_ = false;
+
+  // --- fault injection (see fault.hpp) ---------------------------------
+  bool killed_ = false;   ///< an injected kill fired
+  Time death_time_ = 0;   ///< virtual time of the kill
+  /// Lock-free mirror of killed_ for liveness probes from other threads
+  /// (and from post-run audit code outside the conductor's mutex).
+  std::atomic<bool> dead_flag_{false};
+  bool kill_pending_ = false;  ///< die at the next sim point
+  bool kill_at_armed_ = false;
+  Time kill_at_ = 0;
+  bool kill_on_lock_armed_ = false;
+  std::uint64_t kill_on_lock_n_ = 0;
+  std::uint64_t lock_acq_count_ = 0;
+  bool kill_on_send_armed_ = false;
+  std::uint64_t kill_on_send_n_ = 0;
+  std::uint64_t send_count_ = 0;
+  bool pause_armed_ = false;
+  Time pause_at_ = 0;
+  Time pause_resume_at_ = 0;
+  /// Set while blocked in a robust acquisition: a dying owner wakes these
+  /// waiters so they can suspect and seize.
+  bool robust_waiting_ = false;
 };
 
 class Simulator {
@@ -116,15 +147,34 @@ class Simulator {
   // ---- virtual mutexes (keyed by shared lock-cell address) ------------
   void mutex_lock(const void* cell);
   void mutex_unlock(const void* cell);
+  /// Robust acquisition: when the virtual owner has been killed, the
+  /// waiter seizes after op.suspicion_ns of virtual time (firing op.alive
+  /// for the facility's accounting) and op.seized is set.
+  void mutex_lock_robust(const void* cell, RobustOp& op);
 
   // ---- virtual condition queues (keyed by cond-cell address) ----------
   /// Atomically release `mutex_cell`, sleep until notified, re-acquire.
-  void cond_wait(const void* mutex_cell, const void* cond_cell);
+  /// A non-null `op` makes the re-acquisition robust.
+  void cond_wait(const void* mutex_cell, const void* cond_cell,
+                 RobustOp* op = nullptr);
   /// Like cond_wait but wakes after `timeout_ns` of virtual time if no
   /// notify arrives first; returns false on timeout.
   bool cond_wait_for(const void* mutex_cell, const void* cond_cell,
-                     std::uint64_t timeout_ns);
+                     std::uint64_t timeout_ns, RobustOp* op = nullptr);
   void cond_notify_all(const void* cond_cell);
+
+  // ---- fault injection -------------------------------------------------
+  /// Install a fault plan; applied when run() starts.  Faults fire only at
+  /// sim points, so a given (workload, plan) replays bit-identically.
+  void set_fault_plan(FaultPlan plan) { plan_ = std::move(plan); }
+  /// False once an injected kill has fired for `pid` (valid during and
+  /// after run(); processes that finish normally stay "alive").
+  [[nodiscard]] bool process_alive(int pid) const noexcept;
+  /// Injected kills that have fired so far.
+  [[nodiscard]] std::uint64_t kills() const noexcept { return kills_; }
+  /// Counts one send entry against the current process's fault triggers
+  /// (called by SimPlatform::charge_send_fixed before charging).
+  void count_send() noexcept;
 
   // ---- modeled hardware ------------------------------------------------
   /// Charge a memory copy of `bytes` chained through `nblocks` message
@@ -177,15 +227,30 @@ class Simulator {
   void thread_main(Process* self);
   /// With mu_ held: pick the minimum-clock runnable process and transfer
   /// control to it; if `self` is that process, simply continue.  `self` may
-  /// be Runnable (yield), Blocked (wait) or Done (exit).
+  /// be Runnable (yield), Blocked (wait) or Done (exit).  Checks `self`'s
+  /// fault triggers on entry and on resume (may throw ProcessKilled).
   void reschedule(std::unique_lock<std::mutex>& lk, Process* self);
   [[nodiscard]] Process* pick_next() const noexcept;
-  /// Promote timed-blocked processes whose deadline precedes every
-  /// runnable process (they time out and become runnable).
-  void promote_timeouts() noexcept;
+  /// Promote blocked processes whose next event (timed-sleep deadline or
+  /// scheduled kill) precedes every runnable process.
+  void promote_events() noexcept;
   void wake(Process* p, Time at_least) noexcept;
   void trigger_abort(std::unique_lock<std::mutex>& lk);
   [[nodiscard]] Process* current_checked() const;
+  /// Fire any due pause/kill for `self` (mu_ held; throws ProcessKilled).
+  void check_faults(Process* self);
+  /// Mark `self` dead at its current clock, wake robust waiters on locks
+  /// it holds, drop it from wait queues, and throw ProcessKilled.
+  [[noreturn]] void kill_now(Process* self);
+  void remove_from_wait_queues(Process* p) noexcept;
+  /// Shared tail of every acquisition: contention cost + fault counting.
+  void finish_lock_acquire(std::unique_lock<std::mutex>& lk, Process* self,
+                           MutexState& m);
+  /// Seize `m` from its killed owner for `self` (robust paths).
+  void seize_dead_owner(Process* self, MutexState& m, RobustOp& op);
+  /// Re-acquire `mutex_cell` after a condition sleep (robust iff op).
+  void reacquire_after_wait(std::unique_lock<std::mutex>& lk, Process* self,
+                            const void* mutex_cell, RobustOp* op);
 
   MachineModel model_;
   std::vector<std::unique_ptr<Process>> procs_;
@@ -208,6 +273,9 @@ class Simulator {
   std::uint64_t faults_ = 0;
   std::uint64_t switches_ = 0;
   Trace* trace_ = nullptr;
+
+  FaultPlan plan_;
+  std::uint64_t kills_ = 0;
 };
 
 }  // namespace mpf::sim

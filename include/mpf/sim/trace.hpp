@@ -24,6 +24,8 @@ enum class TraceKind : std::uint8_t {
   copy,         ///< charged a modeled copy (detail = bytes)
   fault,        ///< paging charge applied (detail = pages)
   done,         ///< process finished
+  fault_injected,  ///< injected failure fired (detail: 1 = kill, 2 = pause)
+  recovery,        ///< lock seized from a dead holder (detail = its id)
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind) noexcept;

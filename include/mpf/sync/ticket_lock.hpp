@@ -4,40 +4,84 @@
 // (bench/native_micro).  Grants strictly in arrival order, which trades a
 // little uncontended speed for fairness under the many-FCFS-receiver
 // workloads of Figure 4.
+//
+// Like SpinLock, the lock records its holder's tag and an acquisition
+// sequence number so a waiter can attribute a wedged lock to a dead
+// process.  Seizure transfers the dead holder's grant to the seizer
+// *without* consuming a ticket: the seizer steps into the dead holder's
+// position and its eventual unlock() serves the next queued ticket as
+// usual, so queued waiters are unaffected.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
 #include "mpf/sync/backoff.hpp"
+#include "mpf/sync/spinlock.hpp"
 
 namespace mpf::sync {
 
 /// Process-shared FIFO lock; zero-initialised state is "unlocked".
 class TicketLock {
  public:
+  static constexpr std::uint32_t kFree = SpinLock::kFree;
+  static constexpr std::uint32_t kAnonymous = SpinLock::kAnonymous;
+
   TicketLock() noexcept = default;
   TicketLock(const TicketLock&) = delete;
   TicketLock& operator=(const TicketLock&) = delete;
 
-  void lock() noexcept {
+  void lock() noexcept { lock_tagged(kAnonymous); }
+
+  void lock_tagged(std::uint32_t tag) noexcept {
     const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
     Backoff backoff;
     while (serving_.load(std::memory_order_acquire) != my) backoff.pause();
+    holder_.store(tag, std::memory_order_relaxed);
+    seq_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  [[nodiscard]] bool try_lock() noexcept {
+  [[nodiscard]] bool try_lock() noexcept { return try_lock_tagged(kAnonymous); }
+
+  [[nodiscard]] bool try_lock_tagged(std::uint32_t tag) noexcept {
     std::uint32_t cur = serving_.load(std::memory_order_acquire);
     // Only succeed when no one is queued: attempt to take ticket `cur`
     // if next_ still equals cur.
-    return next_.compare_exchange_strong(cur, cur + 1,
-                                         std::memory_order_acquire,
-                                         std::memory_order_relaxed);
+    if (next_.compare_exchange_strong(cur, cur + 1, std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      holder_.store(tag, std::memory_order_relaxed);
+      seq_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
   }
 
   void unlock() noexcept {
+    holder_.store(kFree, std::memory_order_relaxed);
     serving_.store(serving_.load(std::memory_order_relaxed) + 1,
                    std::memory_order_release);
+  }
+
+  /// Assume a suspected-dead holder's grant.  The caller must NOT hold a
+  /// ticket of its own; on success it owns the lock in the dead holder's
+  /// queue position and unlocks normally.
+  [[nodiscard]] bool seize(std::uint32_t expected_tag,
+                           std::uint32_t new_tag) noexcept {
+    if (holder_.compare_exchange_strong(expected_tag, new_tag,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      seq_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::uint32_t holder_tag() const noexcept {
+    return holder_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint32_t seq() const noexcept {
+    return seq_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] bool is_locked() const noexcept {
@@ -48,8 +92,11 @@ class TicketLock {
  private:
   std::atomic<std::uint32_t> next_{0};
   std::atomic<std::uint32_t> serving_{0};
+  std::atomic<std::uint32_t> holder_{0};
+  std::atomic<std::uint32_t> seq_{0};
 };
 
-static_assert(sizeof(TicketLock) == 8, "TicketLock must stay two shm words");
+static_assert(sizeof(TicketLock) == 16,
+              "TicketLock must stay four shm words (tickets + tag + seq)");
 
 }  // namespace mpf::sync

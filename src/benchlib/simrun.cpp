@@ -36,4 +36,98 @@ SimMetrics run_sim(const Config& config, int nprocs,
   return metrics;
 }
 
+namespace {
+
+SimMetrics collect_sim(const sim::Simulator& simulator,
+                       const FacilityStats& stats) {
+  SimMetrics m;
+  m.seconds = static_cast<double>(simulator.elapsed()) * 1e-9;
+  m.bytes_sent = stats.bytes_sent;
+  m.bytes_delivered = stats.bytes_delivered;
+  m.sends = stats.sends;
+  m.receives = stats.receives;
+  m.page_faults = simulator.page_faults();
+  m.peak_footprint = simulator.peak_footprint();
+  m.context_switches = simulator.context_switches();
+  m.pool_shards = stats.pool_shards;
+  m.alloc_lock_wait_ns = stats.shard_lock_wait_ns;
+  m.alloc_lock_acquisitions = stats.shard_lock_acquisitions;
+  m.shard_steals = stats.shard_steals;
+  m.cache_hits = stats.cache_hits;
+  m.cache_misses = stats.cache_misses;
+  m.exhaustion_waits = stats.exhaustion_waits;
+  return m;
+}
+
+std::uint64_t hash_trace(const sim::Trace& trace) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const sim::TraceEvent& e : trace.events()) {
+    mix(e.time_ns);
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.process)));
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(e.detail);
+  }
+  return h;
+}
+
+}  // namespace
+
+ChaosMetrics run_chaos(const Config& config, int nprocs,
+                       const sim::FaultPlan& plan,
+                       const std::function<void(Facility, int)>& body,
+                       const sim::MachineModel& model, sim::Trace* trace) {
+  sim::Simulator simulator(model);
+  sim::Trace local_trace;
+  sim::Trace& t = trace != nullptr ? *trace : local_trace;
+  t.clear();
+  simulator.set_trace(&t);
+  simulator.set_fault_plan(plan);
+  sim::SimPlatform platform(simulator);
+  shm::HeapRegion region(config.derived_arena_bytes());
+  Facility facility = Facility::create(config, region, platform);
+  simulator.spawn_group(nprocs, [&](int rank) { body(facility, rank); });
+  simulator.run();
+
+  // Final sweep from the main thread: survivors usually reap in-run via
+  // their suspicion probes, but a kill can land after every survivor has
+  // finished.  reap() is idempotent, so sweeping every dead pid is safe.
+  ProcessId survivor = 0;
+  for (int p = 0; p < nprocs; ++p) {
+    if (simulator.process_alive(p)) {
+      survivor = static_cast<ProcessId>(p);
+      break;
+    }
+  }
+  for (int p = 0; p < nprocs; ++p) {
+    if (!simulator.process_alive(p)) {
+      facility.declare_dead(static_cast<ProcessId>(p));
+      (void)facility.reap(survivor, static_cast<ProcessId>(p));
+    }
+  }
+
+  const FacilityStats stats = facility.stats();
+  ChaosMetrics metrics;
+  metrics.base = collect_sim(simulator, stats);
+  metrics.kills = simulator.kills();
+  metrics.suspicions = stats.suspicions;
+  metrics.seizures = stats.seizures;
+  metrics.false_suspicions = stats.false_suspicions;
+  metrics.reaps = stats.reaps;
+  metrics.reaped_connections = stats.reaped_connections;
+  metrics.reclaimed_blocks = stats.reclaimed_blocks;
+  metrics.peer_failures = stats.peer_failures;
+  metrics.orphaned_receives = stats.orphaned_receives;
+  metrics.audit = facility.block_audit();
+  metrics.blocks_conserved = metrics.audit.consistent();
+  metrics.trace_hash = hash_trace(t);
+  simulator.set_trace(nullptr);
+  return metrics;
+}
+
 }  // namespace mpf::benchlib

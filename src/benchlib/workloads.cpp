@@ -96,4 +96,58 @@ void random_worker(Facility facility, int rank, int nprocs, std::size_t len,
   }
 }
 
+void chaos_worker(Facility facility, int rank, int nprocs, std::size_t len,
+                  int msgs, std::uint64_t seed) {
+  const auto pid = static_cast<ProcessId>(rank);
+  LnvcId own = kInvalidLnvc;
+  if (facility.open_receive(pid, "chaos." + std::to_string(rank),
+                            Protocol::fcfs, &own) != Status::ok) {
+    return;
+  }
+  std::vector<LnvcId> peers;
+  std::vector<char> up;  // a failed send writes the peer off
+  for (int p = 0; p < nprocs; ++p) {
+    if (p == rank) continue;
+    LnvcId id = kInvalidLnvc;
+    if (facility.open_send(pid, "chaos." + std::to_string(p), &id) ==
+        Status::ok) {
+      peers.push_back(id);
+      up.push_back(1);
+    }
+  }
+
+  rt::SplitMix64 rng(seed * 1000003 + rank);
+  std::vector<std::byte> out(len, std::byte{0x5a});
+  std::vector<std::byte> in(1 << 12);
+  const auto drain = [&] {
+    for (;;) {
+      std::size_t got = 0;
+      bool ready = false;
+      const Status s = facility.try_receive(pid, own, in.data(), in.size(),
+                                            &got, &ready);
+      if ((s != Status::ok && s != Status::truncated) || !ready) break;
+    }
+  };
+  for (int i = 0; i < msgs; ++i) {
+    if (!peers.empty()) {
+      const std::size_t k = rng.below(peers.size());
+      if (up[k] != 0) {
+        const Status s = facility.send(pid, peers[k], out.data(), len);
+        if (s != Status::ok) up[k] = 0;
+      }
+    }
+    drain();
+  }
+  // Tail: give in-flight traffic a bounded window to arrive, exercising
+  // the timed blocking path under failures.
+  std::size_t got = 0;
+  for (int i = 0; i < 4; ++i) {
+    const Status s = facility.receive_for(pid, own, in.data(), in.size(),
+                                          &got, 2'000'000);
+    if (s != Status::ok && s != Status::truncated) break;
+  }
+  for (const LnvcId id : peers) (void)facility.close_send(pid, id);
+  (void)facility.close_receive(pid, own);
+}
+
 }  // namespace mpf::benchlib

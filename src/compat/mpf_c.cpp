@@ -123,6 +123,14 @@ int mpf_message_receive(int process_id, int lnvc_id, char* receive_buffer,
   return status_code(s);
 }
 
+int mpf_reap(int reaper_id, int dead_id) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (reaper_id < 0 || dead_id < 0) return MPF_EINVAL;
+  return status_code(f->reap(static_cast<mpf::ProcessId>(reaper_id),
+                             static_cast<mpf::ProcessId>(dead_id)));
+}
+
 int mpf_check_receive(int process_id, int lnvc_id) {
   mpf::Facility* f = facility();
   if (f == nullptr) return MPF_ENOTINIT;

@@ -61,6 +61,8 @@ const char* to_string(Status s) noexcept {
     case Status::truncated: return "message truncated";
     case Status::closed: return "LNVC closed";
     case Status::timed_out: return "timed out";
+    case Status::peer_failed: return "peer process failed";
+    case Status::lnvc_orphaned: return "LNVC orphaned (last sender died)";
   }
   return "unknown status";
 }
@@ -109,6 +111,8 @@ Config Config::resolved() const noexcept {
     bytes += static_cast<std::size_t>(c.pool_shards) * sizeof(detail::PoolShard);
     bytes += static_cast<std::size_t>(c.max_processes) *
              sizeof(detail::ProcCache);
+    bytes += static_cast<std::size_t>(c.max_processes) *
+             sizeof(detail::ProcSlot);
     // One 64-byte alignment gap per carve (two free lists per shard).
     bytes += (2 * static_cast<std::size_t>(c.pool_shards) + 4) * 64;
     bytes += bytes / 4 + 65536;  // alignment waste + headroom
@@ -174,6 +178,9 @@ Facility Facility::create(const Config& config, shm::Region& region,
     pc[p].msg_cap = msg_cap;
   }
 
+  hdr->procs = arena.make_array<detail::ProcSlot>(c.max_processes);
+  hdr->suspicion_ns = c.suspicion_ns;
+
   hdr->magic = detail::kFacilityMagic;  // published last
   return Facility(arena, hdr, platform);
 }
@@ -232,7 +239,8 @@ Status Facility::open_common(ProcessId pid, std::string_view name,
     return Status::invalid_argument;
   }
   platform_->charge_open_close();
-  platform_->lock(header_->registry_lock);
+  register_process(pid);
+  ProcessId dead = alock(header_->registry_lock, pid);
   detail::LnvcDesc* d = find_locked(name);
   if (d == nullptr) {
     // Create the LNVC in a free slot (paper: "If lnvc_name did not
@@ -246,21 +254,25 @@ Status Facility::open_common(ProcessId pid, std::string_view name,
     }
     if (d == nullptr) {
       platform_->unlock(header_->registry_lock);
+      reap_if_dead(pid, dead);
       return Status::table_full;
     }
-    platform_->lock(d->lock);
-    d->in_use = 1;
+    const ProcessId dead2 = alock_lnvc(*d, pid);
+    if (dead == kNoProcess) dead = dead2;
     ++d->generation;
     std::memset(d->name, 0, sizeof(d->name));
     std::memcpy(d->name, name.data(), name.size());
     d->n_senders = d->n_fcfs = d->n_bcast = d->n_queued = 0;
+    d->last_sender_died = 0;
     d->msg_head = d->msg_tail = d->fcfs_head = shm::Ref<detail::MsgHeader>{};
     d->connections = shm::Ref<detail::Connection>{};
     d->seq_counter = 0;
     d->total_msgs = 0;
     d->total_bytes = 0;
+    d->in_use = 1;  // commit point: a death above leaves the slot free
   } else {
-    platform_->lock(d->lock);
+    const ProcessId dead2 = alock_lnvc(*d, pid);
+    if (dead == kNoProcess) dead = dead2;
   }
 
   // Enforce the paper's footnote 3: one process may not mix FCFS and
@@ -289,6 +301,8 @@ Status Facility::open_common(ProcessId pid, std::string_view name,
       d->connections = shm::Ref<detail::Connection>{conn_off};
       if (sender) {
         ++d->n_senders;
+        // A live sender supersedes the orphan verdict from a dead one.
+        d->last_sender_died = 0;
       } else if (kind == static_cast<std::uint32_t>(Protocol::fcfs)) {
         ++d->n_fcfs;
       } else {
@@ -303,6 +317,7 @@ Status Facility::open_common(ProcessId pid, std::string_view name,
   }
   platform_->unlock(d->lock);
   platform_->unlock(header_->registry_lock);
+  reap_if_dead(pid, dead);
   return status;
 }
 
@@ -323,11 +338,16 @@ Status Facility::close_common(ProcessId pid, LnvcId id, bool sender) {
   if (d == nullptr) return Status::invalid_argument;
   if (pid >= header_->max_processes) return Status::invalid_argument;
   platform_->charge_open_close();
-  platform_->lock(header_->registry_lock);
-  platform_->lock(d->lock);
+  register_process(pid);
+  ProcessId dead = alock(header_->registry_lock, pid);
+  {
+    const ProcessId dead2 = alock_lnvc(*d, pid);
+    if (dead == kNoProcess) dead = dead2;
+  }
   if (d->in_use == 0) {
     platform_->unlock(d->lock);
     platform_->unlock(header_->registry_lock);
+    reap_if_dead(pid, dead);
     return Status::no_such_lnvc;
   }
   // Find and unlink the connection.
@@ -344,6 +364,7 @@ Status Facility::close_common(ProcessId pid, LnvcId id, bool sender) {
   if (conn == nullptr) {
     platform_->unlock(d->lock);
     platform_->unlock(header_->registry_lock);
+    reap_if_dead(pid, dead);
     return Status::not_connected;
   }
   if (conn->is_bcast()) {
@@ -382,10 +403,11 @@ Status Facility::close_common(ProcessId pid, LnvcId id, bool sender) {
   // Multi-waiters (receive_any) must reconsider after a close/destroy;
   // rippled outside the LNVC/registry locks to keep lock order acyclic.
   if (header_->activity_waiters.load(std::memory_order_acquire) > 0) {
-    platform_->lock(header_->activity_lock);
+    alock(header_->activity_lock, pid);
     platform_->unlock(header_->activity_lock);
     platform_->notify_all(header_->activity_cond);
   }
+  reap_if_dead(pid, dead);
   return Status::ok;
 }
 
@@ -399,17 +421,26 @@ Status Facility::close_receive(ProcessId pid, LnvcId id) {
 
 void Facility::destroy_lnvc(ProcessId pid, detail::LnvcDesc& d) {
   shm::Offset m_off = d.msg_head.off;
-  while (m_off != shm::kNullOffset) {
-    auto* m = static_cast<detail::MsgHeader*>(arena_.raw(m_off));
-    const shm::Offset next = m->next_msg;
-    free_message(pid, m);
-    m_off = next;
-  }
+  // Journal the retained FIFO, then detach it and kill the slot with no
+  // intervening platform call: at every subsequent suspension point the
+  // slot is already free and the walk's exact progress is in the journal,
+  // so a death mid-walk leaves the reaper a finishable cursor.
+  if (m_off != shm::kNullOffset) journal_release_chains(pid, d, m_off);
   d.msg_head = d.msg_tail = d.fcfs_head = shm::Ref<detail::MsgHeader>{};
   d.n_queued = 0;
   d.in_use = 0;
   std::memset(d.name, 0, sizeof(d.name));
   ++d.generation;
+  while (m_off != shm::kNullOffset) {
+    auto* m = static_cast<detail::MsgHeader*>(arena_.raw(m_off));
+    const shm::Offset next = m->next_msg;
+    // Advance the journal cursor past the message before freeing it (same
+    // span: free_message arms its own nested record for the current one).
+    pslot(pid).msg = next;
+    free_message(pid, m);
+    m_off = next;
+  }
+  journal_clear(pid);
   // Anyone blocked with a stale handle must wake and observe the death.
   platform_->notify_all(d.cond);
 }
@@ -505,6 +536,18 @@ FacilityStats Facility::stats() const {
   s.blocks_free += s.blocks_cached;  // magazine blocks are still free blocks
   s.exhaustion_waits =
       header_->exhaustion_waits.load(std::memory_order_relaxed);
+  s.suspicions = header_->suspicions.load(std::memory_order_relaxed);
+  s.seizures = header_->seizures.load(std::memory_order_relaxed);
+  s.false_suspicions =
+      header_->false_suspicions.load(std::memory_order_relaxed);
+  s.reaps = header_->reaps.load(std::memory_order_relaxed);
+  s.reaped_connections =
+      header_->reaped_connections.load(std::memory_order_relaxed);
+  s.reclaimed_blocks =
+      header_->reclaimed_blocks.load(std::memory_order_relaxed);
+  s.peer_failures = header_->peer_failures.load(std::memory_order_relaxed);
+  s.orphaned_receives =
+      header_->orphaned_receives.load(std::memory_order_relaxed);
   s.arena_used = arena_.used();
   return s;
 }

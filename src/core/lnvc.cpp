@@ -1,5 +1,11 @@
 // Message transfer over LNVCs: send, receive, check, and the
 // reference-counted reclamation that keeps the FIFO bounded.
+//
+// Crash-tolerance discipline (see recovery.cpp for the reasoning): every
+// descriptor lock is taken robustly (alock_lnvc), every block of the
+// message's journey is covered by an intent-journal record, and every
+// public entry point drains pending reaps (reap_if_dead) on its way out,
+// once no facility lock is held.
 #include <cstring>
 
 #include "mpf/core/facility.hpp"
@@ -44,28 +50,35 @@ Status Facility::send(ProcessId pid, LnvcId id, const void* data,
   platform_->charge_send_fixed();
 
   // Validate the connection before paying for allocation and copy-in.
-  platform_->lock(d->lock);
+  alock_lnvc(*d, pid);
   if (d->in_use == 0) {
     platform_->unlock(d->lock);
+    reap_if_dead(pid, kNoProcess);
     return Status::no_such_lnvc;
   }
   const std::uint32_t generation = d->generation;
   if (find_conn(*d, pid, /*sender=*/true) == nullptr) {
     platform_->unlock(d->lock);
+    reap_if_dead(pid, kNoProcess);
     return Status::not_connected;
   }
   platform_->unlock(d->lock);
 
   // Allocate a header plus the block chain from the sharded pool: own
   // magazine first, then the home shard, stealing and raiding before the
-  // monitor-disciplined exhaustion wait (pool.cpp).
+  // monitor-disciplined exhaustion wait (pool.cpp).  On success the gather
+  // journal record stays armed — the nodes are in our hands until the
+  // enqueue record supersedes it below.
   const std::size_t need = blocks_for(len, header_->block_payload);
   shm::Offset msg_off = shm::kNullOffset;
   shm::Offset chain = shm::kNullOffset;
   shm::Offset chain_tail = shm::kNullOffset;
   const Status alloc_status =
       alloc_message(pid, need, &msg_off, &chain, &chain_tail);
-  if (alloc_status != Status::ok) return alloc_status;
+  if (alloc_status != Status::ok) {
+    reap_if_dead(pid, kNoProcess);
+    return alloc_status;
+  }
 
   // Build the message outside any LNVC lock: copy the send buffer into the
   // block chain (paper §3.1).
@@ -93,13 +106,24 @@ Status Facility::send(ProcessId pid, LnvcId id, const void* data,
   platform_->charge_copy(len, need);
   platform_->touch(len);
 
-  // Enqueue under the LNVC lock.
-  platform_->lock(d->lock);
+  // Swap the gather record for an enqueue record (same operands, so a
+  // death on either side of the store resolves identically), then link
+  // under the LNVC lock.
+  detail::GatherChain gc;
+  gc.head = chain;
+  gc.tail = chain_tail;
+  gc.count = need;
+  journal_enqueue(pid, id, generation, msg_off, gc);
+  alock_lnvc(*d, pid);
   if (d->in_use == 0 || d->generation != generation ||
       find_conn(*d, pid, /*sender=*/true) == nullptr) {
     platform_->unlock(d->lock);
-    // The LNVC died (or our connection was closed) during the copy.
+    // The LNVC died (or our connection was closed) during the copy.  The
+    // stage-0 enqueue record hands off to free_message's own record in
+    // the same inter-sim-point span.
+    journal_clear(pid);
     free_message(pid, m);
+    reap_if_dead(pid, kNoProcess);
     return Status::closed;
   }
   m->seq = d->seq_counter++;
@@ -133,6 +157,9 @@ Status Facility::send(ProcessId pid, LnvcId id, const void* data,
     }
     c_off = conn->next;
   }
+  // Linked: mark the record stage 1 in the same inter-sim-point span as
+  // the link itself, so a reaper never rolls back a reachable message.
+  journal_stage(pid, 1);
   ++d->total_msgs;
   d->total_bytes += len;
   // A message nobody will ever deliver (no receivers under the reclaim
@@ -142,6 +169,7 @@ Status Facility::send(ProcessId pid, LnvcId id, const void* data,
     reclaim(pid, *d);
   }
   platform_->unlock(d->lock);
+  journal_clear(pid);
 
   header_->sends.fetch_add(1, std::memory_order_relaxed);
   header_->bytes_sent.fetch_add(len, std::memory_order_relaxed);
@@ -150,10 +178,11 @@ Status Facility::send(ProcessId pid, LnvcId id, const void* data,
     // A multi-waiter may have scanned this LNVC before our enqueue; the
     // empty lock/unlock orders us against its check-then-sleep, so the
     // notify cannot be lost (monitor discipline for receive_any).
-    platform_->lock(header_->activity_lock);
+    alock(header_->activity_lock, pid);
     platform_->unlock(header_->activity_lock);
     platform_->notify_all(header_->activity_cond);
   }
+  reap_if_dead(pid, kNoProcess);
   return Status::ok;
 }
 
@@ -191,9 +220,34 @@ Status Facility::receive_any(ProcessId pid, std::span<const LnvcId> ids,
       }
     }
     start = (start + 1) % ids.size();
+    // If every listed circuit has lost its last sender to a failure, no
+    // message can ever arrive: blocking would hang forever.  One live or
+    // cleanly-closed circuit keeps the wait legitimate.
+    bool all_orphaned = true;
+    for (std::size_t i = 0; i < ids.size() && all_orphaned; ++i) {
+      detail::LnvcDesc* d = slot(ids[i]);
+      if (d == nullptr) {
+        all_orphaned = false;
+        break;
+      }
+      alock_lnvc(*d, pid);
+      const bool orphaned =
+          d->in_use != 0 && find_conn(*d, pid, /*sender=*/false) != nullptr &&
+          d->n_senders == 0 && d->last_sender_died != 0;
+      platform_->unlock(d->lock);
+      if (!orphaned) all_orphaned = false;
+    }
+    if (all_orphaned) {
+      header_->orphaned_receives.fetch_add(1, std::memory_order_relaxed);
+      reap_if_dead(pid, kNoProcess);
+      return Status::lnvc_orphaned;
+    }
     // Nothing ready anywhere: sleep on the facility-wide activity signal.
+    // Counter before flag: if we die in between, the stale registration
+    // only costs spurious ripples until the reap repairs it.
     header_->activity_waiters.fetch_add(1, std::memory_order_acq_rel);
-    platform_->lock(header_->activity_lock);
+    pslot(pid).in_activity.store(1, std::memory_order_release);
+    alock(header_->activity_lock, pid);
     // Re-probe under the waiter registration: a send that happened after
     // the scan above has either been seen here or will notify us.
     bool ready = false;
@@ -204,14 +258,18 @@ Status Facility::receive_any(ProcessId pid, std::span<const LnvcId> ids,
     }
     if (probe != Status::ok) {
       platform_->unlock(header_->activity_lock);
+      pslot(pid).in_activity.store(0, std::memory_order_release);
       header_->activity_waiters.fetch_sub(1, std::memory_order_acq_rel);
+      reap_if_dead(pid, kNoProcess);
       return probe;
     }
     if (!ready) {
-      platform_->wait(header_->activity_lock, header_->activity_cond);
+      await(header_->activity_lock, header_->activity_cond, pid);
     }
     platform_->unlock(header_->activity_lock);
+    pslot(pid).in_activity.store(0, std::memory_order_release);
     header_->activity_waiters.fetch_sub(1, std::memory_order_acq_rel);
+    reap_if_dead(pid, kNoProcess);
   }
 }
 
@@ -230,19 +288,24 @@ Status Facility::receive_impl(ProcessId pid, LnvcId id, void* buf,
   const std::uint64_t deadline =
       timeout_ns > 0 ? platform_->now_ns() + timeout_ns : 0;
 
-  platform_->lock(d->lock);
+  alock_lnvc(*d, pid);
   if (d->in_use == 0) {
     platform_->unlock(d->lock);
+    reap_if_dead(pid, kNoProcess);
     return Status::no_such_lnvc;
   }
   const std::uint32_t generation = d->generation;
   detail::MsgHeader* m = nullptr;
   bool bcast = false;
+  bool waited = false;
   for (;;) {
     detail::Connection* conn = find_conn(*d, pid, /*sender=*/false);
     if (conn == nullptr) {
       platform_->unlock(d->lock);
-      return Status::not_connected;
+      reap_if_dead(pid, kNoProcess);
+      // A connection that existed when we blocked and is gone now was
+      // closed under us; report that as closed, not a caller error.
+      return waited ? Status::closed : Status::not_connected;
     }
     if (conn->is_fcfs()) {
       if (d->fcfs_head) {
@@ -263,29 +326,81 @@ Status Facility::receive_impl(ProcessId pid, LnvcId id, void* buf,
     if (m != nullptr) break;
     if (!blocking) {
       platform_->unlock(d->lock);
+      reap_if_dead(pid, kNoProcess);
       return Status::ok;  // *out_ready stays false
     }
+    if (d->n_senders == 0 && d->last_sender_died != 0) {
+      // Nothing deliverable, no sender left, and the last one died rather
+      // than closing: nobody will ever send here again.
+      platform_->unlock(d->lock);
+      header_->orphaned_receives.fetch_add(1, std::memory_order_relaxed);
+      reap_if_dead(pid, kNoProcess);
+      return Status::lnvc_orphaned;
+    }
+    waited = true;
     if (timeout_ns > 0) {
       const std::uint64_t now = platform_->now_ns();
-      if (now >= deadline ||
-          (!platform_->wait_for(d->lock, d->cond, deadline - now) &&
-           platform_->now_ns() >= deadline)) {
+      if (now >= deadline) {
         platform_->unlock(d->lock);
+        reap_if_dead(pid, kNoProcess);
+        return Status::timed_out;
+      }
+      bool notified = false;
+      const ProcessId dead =
+          await_for(d->lock, d->cond, pid, deadline - now, &notified);
+      if (dead != kNoProcess) repair_lnvc(*d);
+      if (!notified && platform_->now_ns() >= deadline) {
+        platform_->unlock(d->lock);
+        reap_if_dead(pid, kNoProcess);
         return Status::timed_out;
       }
     } else {
-      platform_->wait(d->lock, d->cond);
+      const std::uint64_t suspicion = header_->suspicion_ns;
+      if (suspicion == 0) {
+        const ProcessId dead = await(d->lock, d->cond, pid);
+        if (dead != kNoProcess) repair_lnvc(*d);
+      } else {
+        // Bound the sleep by the suspicion threshold so a receiver blocked
+        // on a dead sender self-heals: an un-notified timeout probes the
+        // sender connections and reaps the first dead peer itself rather
+        // than waiting for an external reaper to notice.
+        bool notified = false;
+        const ProcessId dead =
+            await_for(d->lock, d->cond, pid, suspicion, &notified);
+        if (dead != kNoProcess) repair_lnvc(*d);
+        if (!notified) {
+          ProcessId suspect = kNoProcess;
+          shm::Offset c_off = d->connections.off;
+          while (c_off != shm::kNullOffset) {
+            auto* sc = static_cast<detail::Connection*>(arena_.raw(c_off));
+            if (sc->is_sender() && !process_alive(sc->process_id)) {
+              suspect = sc->process_id;
+              break;
+            }
+            c_off = sc->next;
+          }
+          if (suspect != kNoProcess) {
+            platform_->unlock(d->lock);
+            reap_if_dead(pid, suspect);
+            alock_lnvc(*d, pid);
+            // Loop re-checks the orphan condition with the repaired state.
+          }
+        }
+      }
     }
     platform_->charge_check();
     if (d->in_use == 0 || d->generation != generation) {
       platform_->unlock(d->lock);
+      reap_if_dead(pid, kNoProcess);
       return Status::closed;
     }
   }
   // Pin the message so reclaim leaves it alone, then copy outside the lock
   // — this is what lets BROADCAST receivers copy concurrently (the paper's
-  // explanation of Figure 5's scaling).
+  // explanation of Figure 5's scaling).  The copy-out record covers the
+  // pin (and the BROADCAST claim) while we hold no lock.
   ++m->pins;
+  journal_copy_out(pid, id, generation, arena_.ref_of(m).off, bcast);
   platform_->unlock(d->lock);
 
   const std::size_t want = std::min<std::size_t>(m->length, cap);
@@ -306,14 +421,20 @@ Status Facility::receive_impl(ProcessId pid, LnvcId id, void* buf,
   *out_len = copied;
   if (out_ready != nullptr) *out_ready = true;
 
-  platform_->lock(d->lock);
-  --m->pins;
-  if (bcast) m->bcast_remaining.fetch_sub(1, std::memory_order_acq_rel);
-  reclaim(pid, *d);
+  alock_lnvc(*d, pid);
+  if (d->in_use != 0 && d->generation == generation) {
+    --m->pins;
+    if (bcast) m->bcast_remaining.fetch_sub(1, std::memory_order_acq_rel);
+    journal_clear(pid);
+    reclaim(pid, *d);
+  } else {
+    journal_clear(pid);
+  }
   platform_->unlock(d->lock);
 
   header_->receives.fetch_add(1, std::memory_order_relaxed);
   header_->bytes_delivered.fetch_add(copied, std::memory_order_relaxed);
+  reap_if_dead(pid, kNoProcess);
   return status;
 }
 
@@ -351,7 +472,7 @@ Status Facility::check(ProcessId pid, LnvcId id, bool* out) {
   }
   *out = false;
   platform_->charge_check();
-  platform_->lock(d->lock);
+  alock_lnvc(*d, pid);
   if (d->in_use == 0) {
     platform_->unlock(d->lock);
     return Status::no_such_lnvc;
@@ -369,6 +490,10 @@ Status Facility::check(ProcessId pid, LnvcId id, bool* out) {
     *out = conn->bcast_head != shm::kNullOffset;
   }
   platform_->unlock(d->lock);
+  // No reap_if_dead here: receive_any calls check() while it holds the
+  // activity monitor, and a reap retakes that monitor to repair waiter
+  // counts — draining now would self-deadlock.  Any pid noted by a
+  // seizure above drains at the caller's next operation boundary.
   return Status::ok;
 }
 

@@ -1,0 +1,727 @@
+// Process-failure detection and recovery.
+//
+// The paper's MPF assumes cooperating processes never die inside the
+// facility; on a real multiprocessor (and in the fault-injecting
+// simulator) they do.  This file adds the three mechanisms DESIGN.md §8
+// describes:
+//
+//   * robust locks: every facility lock is acquired tagged with the
+//     owner's ProcessId (alock / alock_lnvc / await); a waiter stuck past
+//     the suspicion threshold probes the holder's liveness and seizes the
+//     lock from a dead holder, repairing the protected structure;
+//   * an intent journal: each process records what it is in the middle of
+//     (ProcSlot) so a reaper can roll the half-done operation forward or
+//     back without losing a block;
+//   * reap(): the recovery sweep that resolves a dead process's journal,
+//     closes its connections with the paper's last-connection semantics,
+//     returns its magazine, drops its broadcast claims, repairs waiter
+//     counters, and wakes blocked peers.
+//
+// Crash-atomicity reasoning: under the simulator, kills land only at
+// platform calls (sim points), so every run of plain stores between two
+// platform calls is atomic with respect to injected deaths.  The journal
+// discipline below therefore colocates each record mutation in the same
+// inter-sim-point span as the structural mutation it describes.  Natively
+// (SIGKILL) the same discipline makes the windows a handful of
+// instructions wide — best-effort, as for any robust-mutex design.
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "mpf/core/facility.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define MPF_HAVE_KILL 1
+#else
+#define MPF_HAVE_KILL 0
+#endif
+
+namespace mpf {
+
+namespace {
+
+/// Dead pids noticed while holding locks (seizures deep inside an
+/// operation cannot reap on the spot: the seizer's own journal is armed
+/// and reap() needs to take locks of its own).  Drained by reap_if_dead()
+/// at operation boundaries.  Per-thread, so concurrent facility users do
+/// not serialize on a shared pending set.
+constexpr unsigned kMaxPendingDead = 8;
+thread_local ProcessId tl_pending_dead[kMaxPendingDead];
+thread_local unsigned tl_n_pending_dead = 0;
+
+void note_pending_dead(ProcessId pid) {
+  for (unsigned i = 0; i < tl_n_pending_dead; ++i) {
+    if (tl_pending_dead[i] == pid) return;
+  }
+  // On overflow the pid is dropped; the next waiter to suspect it will
+  // note it again.
+  if (tl_n_pending_dead < kMaxPendingDead) {
+    tl_pending_dead[tl_n_pending_dead++] = pid;
+  }
+}
+
+[[nodiscard]] std::uint32_t our_os_pid() noexcept {
+#if MPF_HAVE_KILL
+  return static_cast<std::uint32_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+detail::ProcSlot* Facility::procs() const noexcept {
+  return static_cast<detail::ProcSlot*>(arena_.raw(header_->procs));
+}
+
+detail::ProcSlot& Facility::pslot(ProcessId pid) const noexcept {
+  return procs()[pid];
+}
+
+void Facility::register_process(ProcessId pid) {
+  if (pid >= header_->max_processes) return;
+  detail::ProcSlot& ps = pslot(pid);
+  if (ps.state.load(std::memory_order_acquire) == detail::ProcSlot::kLive) {
+    return;
+  }
+  for (;;) {
+    std::uint32_t st = ps.state.load(std::memory_order_acquire);
+    if (st == detail::ProcSlot::kLive || st == detail::ProcSlot::kDead) {
+      // kDead with the process clearly executing means a false declaration
+      // is in flight; the probe path re-checks liveness, so leave it to
+      // reap() to sort out rather than fight the state machine here.
+      return;
+    }
+    ps.os_pid = our_os_pid();
+    if (ps.state.compare_exchange_weak(st, detail::ProcSlot::kLive,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return;
+    }
+  }
+}
+
+void Facility::declare_dead(ProcessId pid) {
+  if (pid >= header_->max_processes) return;
+  detail::ProcSlot& ps = pslot(pid);
+  std::uint32_t st = ps.state.load(std::memory_order_acquire);
+  while (st == detail::ProcSlot::kLive) {
+    if (ps.state.compare_exchange_weak(st, detail::ProcSlot::kDead,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return;
+    }
+  }
+}
+
+bool Facility::process_alive(ProcessId pid) const {
+  if (pid >= header_->max_processes) return false;
+  const detail::ProcSlot& ps = pslot(pid);
+  const std::uint32_t st = ps.state.load(std::memory_order_acquire);
+  if (st == detail::ProcSlot::kDead || st == detail::ProcSlot::kReaped) {
+    return false;
+  }
+  if (!platform_->is_alive(pid)) return false;
+#if MPF_HAVE_KILL
+  // fork()ed participants: a recorded OS pid that no longer exists is a
+  // dead process.  Same-process participants (threads) share our pid, so
+  // this never fires for them.
+  if (st == detail::ProcSlot::kLive && ps.os_pid != 0 &&
+      ps.os_pid != our_os_pid()) {
+    if (::kill(static_cast<pid_t>(ps.os_pid), 0) != 0 && errno == ESRCH) {
+      return false;
+    }
+  }
+#endif
+  return true;
+}
+
+bool Facility::probe_alive(void* ctx, std::uint32_t holder_tag) {
+  auto* f = static_cast<Facility*>(ctx);
+  f->header_->suspicions.fetch_add(1, std::memory_order_relaxed);
+  if (holder_tag < 2) {
+    // Anonymous holders (introspection paths, setup code) are never
+    // seized: we cannot name a process to verify.
+    f->header_->false_suspicions.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  const ProcessId holder = sync::SpinLock::pid_of(holder_tag);
+  if (f->process_alive(holder)) {
+    f->header_->false_suspicions.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  f->declare_dead(holder);
+  return false;
+}
+
+RobustOp Facility::make_robust(ProcessId pid) const {
+  RobustOp op;
+  op.tag = sync::SpinLock::tag_for(pid);
+  op.alive = &Facility::probe_alive;
+  op.ctx = const_cast<Facility*>(this);
+  op.suspicion_ns = header_->suspicion_ns;
+  return op;
+}
+
+ProcessId Facility::alock(sync::SpinLock& cell, ProcessId pid) {
+  RobustOp op = make_robust(pid);
+  platform_->lock_robust(cell, op);
+  if (!op.seized) return kNoProcess;
+  header_->seizures.fetch_add(1, std::memory_order_relaxed);
+  const ProcessId dead = sync::SpinLock::pid_of(op.seized_from);
+  note_pending_dead(dead);
+  return dead;
+}
+
+ProcessId Facility::alock_lnvc(detail::LnvcDesc& d, ProcessId pid) {
+  const ProcessId dead = alock(d.lock, pid);
+  if (dead != kNoProcess) repair_lnvc(d);
+  return dead;
+}
+
+ProcessId Facility::await(sync::SpinLock& m, sync::EventCount& c,
+                          ProcessId pid) {
+  RobustOp op = make_robust(pid);
+  platform_->wait(m, c, &op);
+  if (!op.seized) return kNoProcess;
+  header_->seizures.fetch_add(1, std::memory_order_relaxed);
+  const ProcessId dead = sync::SpinLock::pid_of(op.seized_from);
+  note_pending_dead(dead);
+  return dead;
+}
+
+ProcessId Facility::await_for(sync::SpinLock& m, sync::EventCount& c,
+                              ProcessId pid, std::uint64_t timeout_ns,
+                              bool* notified) {
+  RobustOp op = make_robust(pid);
+  const bool n = platform_->wait_for(m, c, timeout_ns, &op);
+  if (notified != nullptr) *notified = n;
+  if (!op.seized) return kNoProcess;
+  header_->seizures.fetch_add(1, std::memory_order_relaxed);
+  const ProcessId dead = sync::SpinLock::pid_of(op.seized_from);
+  note_pending_dead(dead);
+  return dead;
+}
+
+void Facility::repair_lnvc(detail::LnvcDesc& d) {
+  // The holder died somewhere inside its critical section.  Every queue
+  // mutation keeps msg_head and the per-message links authoritative (a
+  // half-linked tail message is reachable from the head before the tail
+  // pointer moves), so recomputing the derived fields from a head walk
+  // restores the invariants whatever the interruption point.
+  if (d.in_use == 0) return;
+  shm::Offset off = d.msg_head.off;
+  shm::Offset last = shm::kNullOffset;
+  shm::Offset first_unconsumed = shm::kNullOffset;
+  std::uint32_t unconsumed = 0;
+  while (off != shm::kNullOffset) {
+    const auto* m = static_cast<const detail::MsgHeader*>(arena_.raw(off));
+    if (m->fcfs_consumed == 0) {
+      if (first_unconsumed == shm::kNullOffset) first_unconsumed = off;
+      ++unconsumed;
+    }
+    last = off;
+    off = m->next_msg;
+  }
+  d.msg_tail = shm::Ref<detail::MsgHeader>{last};
+  d.fcfs_head = shm::Ref<detail::MsgHeader>{first_unconsumed};
+  d.n_queued = unconsumed;
+}
+
+void Facility::resolve_journal(ProcessId reaper, detail::ProcSlot& ps,
+                               ProcessId pid) {
+  detail::PoolShard& home = shards()[home_shard(pid)];
+
+  // Nested free_message record first: its message was already detached
+  // from every other structure (including a release_chains cursor, which
+  // advances past a message before freeing it).
+  const std::uint32_t fm = ps.fm_stage.load(std::memory_order_acquire);
+  if (fm != 0) {
+    if (fm == 1 && ps.fm_count > 0) {
+      home.blocks.push_chain(arena_, ps.fm_head, ps.fm_tail, ps.fm_count);
+      header_->reclaimed_blocks.fetch_add(ps.fm_count,
+                                          std::memory_order_relaxed);
+    }
+    home.msgs.push(arena_, ps.fm_msg);
+    ps.fm_stage.store(0, std::memory_order_release);
+    ps.fm_msg = ps.fm_head = ps.fm_tail = shm::kNullOffset;
+    ps.fm_count = 0;
+  }
+
+  const auto op =
+      static_cast<detail::JournalOp>(ps.op.load(std::memory_order_acquire));
+  switch (op) {
+    case detail::JournalOp::none:
+      break;
+
+    case detail::JournalOp::gather: {
+      // Roll back: every gathered (and refill-parked) node returns to the
+      // dead process's home shard.
+      std::uint64_t blocks = 0;
+      if (ps.chain_count > 0) {
+        home.blocks.push_chain(arena_, ps.chain_head, ps.chain_tail,
+                               ps.chain_count);
+        blocks += ps.chain_count;
+      }
+      if (ps.msg != shm::kNullOffset) home.msgs.push(arena_, ps.msg);
+      if (ps.refill_count > 0) {
+        home.blocks.push_chain(arena_, ps.refill_head, ps.refill_tail,
+                               ps.refill_count);
+        blocks += ps.refill_count;
+      }
+      while (ps.refill_msgs != shm::kNullOffset) {
+        const shm::Offset next =
+            *static_cast<shm::Offset*>(arena_.raw(ps.refill_msgs));
+        home.msgs.push(arena_, ps.refill_msgs);
+        ps.refill_msgs = next;
+      }
+      if (blocks > 0) {
+        header_->reclaimed_blocks.fetch_add(blocks,
+                                            std::memory_order_relaxed);
+      }
+      break;
+    }
+
+    case detail::JournalOp::enqueue: {
+      if (ps.stage == 0) {
+        // Died before linking the message into the FIFO: the built message
+        // is unreachable, so its blocks and header roll back.
+        if (ps.chain_count > 0) {
+          home.blocks.push_chain(arena_, ps.chain_head, ps.chain_tail,
+                                 ps.chain_count);
+          header_->reclaimed_blocks.fetch_add(ps.chain_count,
+                                              std::memory_order_relaxed);
+        }
+        home.msgs.push(arena_, ps.msg);
+      }
+      // Stage 1: linked — the message was delivered to the FIFO; the next
+      // locker's repair_lnvc() already made the queue well-formed.
+      break;
+    }
+
+    case detail::JournalOp::copy_out: {
+      detail::LnvcDesc* d = slot(static_cast<LnvcId>(ps.lnvc_id));
+      if (d != nullptr) {
+        const ProcessId dd = alock_lnvc(*d, reaper);
+        (void)dd;
+        if (d->in_use != 0 && d->generation == ps.lnvc_gen) {
+          // Release the dead receiver's pin (and BROADCAST claim) if the
+          // message is still in the FIFO, then let reclamation advance.
+          shm::Offset off = d->msg_head.off;
+          while (off != shm::kNullOffset && off != ps.msg) {
+            off = static_cast<detail::MsgHeader*>(arena_.raw(off))->next_msg;
+          }
+          if (off == ps.msg && off != shm::kNullOffset) {
+            auto* m = static_cast<detail::MsgHeader*>(arena_.raw(off));
+            if (m->pins > 0) --m->pins;
+            if (ps.stage == 1) {
+              m->bcast_remaining.fetch_sub(1, std::memory_order_acq_rel);
+            }
+            reclaim(reaper, *d);
+          }
+        }
+        platform_->unlock(d->lock);
+      }
+      break;
+    }
+
+    case detail::JournalOp::release_chains: {
+      // Finish the dead process's destroy walk from its cursor.  The chain
+      // was detached from the LNVC slot before the walk began, so nobody
+      // else can reach these messages.
+      shm::Offset off = ps.msg;
+      std::uint64_t blocks = 0;
+      while (off != shm::kNullOffset) {
+        auto* m = static_cast<detail::MsgHeader*>(arena_.raw(off));
+        const shm::Offset next = m->next_msg;
+        if (m->nblocks > 0) {
+          home.blocks.push_chain(arena_, m->first_block, m->last_block,
+                                 m->nblocks);
+          blocks += m->nblocks;
+        }
+        home.msgs.push(arena_, off);
+        off = next;
+        ps.msg = next;
+      }
+      if (blocks > 0) {
+        header_->reclaimed_blocks.fetch_add(blocks,
+                                            std::memory_order_relaxed);
+      }
+      break;
+    }
+  }
+  ps.op.store(static_cast<std::uint32_t>(detail::JournalOp::none),
+              std::memory_order_release);
+  ps.stage = 0;
+  ps.chain_head = ps.chain_tail = ps.msg = shm::kNullOffset;
+  ps.chain_count = 0;
+  ps.refill_head = ps.refill_tail = ps.refill_msgs = shm::kNullOffset;
+  ps.refill_count = ps.refill_msg_count = 0;
+}
+
+Status Facility::reap(ProcessId reaper, ProcessId pid) {
+  if (pid >= header_->max_processes || reaper >= header_->max_processes ||
+      reaper == pid) {
+    return Status::invalid_argument;
+  }
+  register_process(reaper);
+  detail::ProcSlot& ps = pslot(pid);
+  std::uint32_t st = ps.state.load(std::memory_order_acquire);
+  if (st == detail::ProcSlot::kFree || st == detail::ProcSlot::kReaped) {
+    return Status::ok;  // never participated, or already swept
+  }
+  if (st == detail::ProcSlot::kLive) {
+    if (process_alive(pid)) return Status::invalid_argument;
+    declare_dead(pid);
+  }
+  // Claim: exactly one reaper performs the sweep.
+  std::uint32_t expected = detail::ProcSlot::kDead;
+  if (!ps.state.compare_exchange_strong(expected, detail::ProcSlot::kReaped,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+    return Status::ok;  // lost the race; the winner finishes
+  }
+
+  // 1. Roll the half-done operation forward or back.
+  resolve_journal(reaper, ps, pid);
+
+  // 2. Close every connection the dead process held, with the paper's
+  //    last-connection-destroys semantics.
+  std::uint64_t closed = 0;
+  ProcessId dd = alock(header_->registry_lock, reaper);
+  (void)dd;
+  detail::LnvcDesc* t = table();
+  for (std::uint32_t i = 0; i < header_->max_lnvcs; ++i) {
+    detail::LnvcDesc& d = t[i];
+    alock_lnvc(d, reaper);
+    if (d.in_use == 0) {
+      platform_->unlock(d.lock);
+      continue;
+    }
+    bool removed = false;
+    shm::Offset* link = &d.connections.off;
+    while (*link != shm::kNullOffset) {
+      auto* conn = static_cast<detail::Connection*>(arena_.raw(*link));
+      if (conn->process_id != pid) {
+        link = &conn->next;
+        continue;
+      }
+      if (conn->is_bcast()) {
+        // Unread claims of the dead receiver release, as if it had closed.
+        shm::Offset m_off = conn->bcast_head;
+        while (m_off != shm::kNullOffset) {
+          auto* m = static_cast<detail::MsgHeader*>(arena_.raw(m_off));
+          m->bcast_remaining.fetch_sub(1, std::memory_order_acq_rel);
+          m_off = m->next_msg;
+        }
+        --d.n_bcast;
+      } else if (conn->is_fcfs()) {
+        --d.n_fcfs;
+      } else {
+        --d.n_senders;
+        if (d.n_senders == 0) d.last_sender_died = 1;
+      }
+      const shm::Offset conn_off = *link;
+      *link = conn->next;
+      header_->conn_list.push(arena_, conn_off);
+      removed = true;
+      ++closed;
+    }
+    if (removed) {
+      if (d.n_senders + d.n_fcfs + d.n_bcast == 0) {
+        destroy_lnvc(reaper, d);
+      } else {
+        reclaim(reaper, d);
+        // Blocked receivers must reconsider: their sender may be gone
+        // (lnvc_orphaned) or a released claim may have freed a message.
+        platform_->notify_all(d.cond);
+      }
+    }
+    platform_->unlock(d.lock);
+  }
+  platform_->unlock(header_->registry_lock);
+  if (closed > 0) {
+    header_->reaped_connections.fetch_add(closed, std::memory_order_relaxed);
+  }
+
+  // 3. Return the dead process's magazine to its home shard.
+  detail::ProcCache& cache = caches()[pid];
+  alock(cache.lock, reaper);
+  shm::Offset bh = cache.block_head;
+  shm::Offset bt = cache.block_tail;
+  const std::uint32_t bn = cache.block_count.load(std::memory_order_relaxed);
+  cache.block_head = cache.block_tail = shm::kNullOffset;
+  cache.block_count.store(0, std::memory_order_relaxed);
+  shm::Offset mh = cache.msg_head;
+  cache.msg_head = shm::kNullOffset;
+  cache.msg_count.store(0, std::memory_order_relaxed);
+  platform_->unlock(cache.lock);
+  detail::PoolShard& home = shards()[home_shard(pid)];
+  if (bn > 0) {
+    home.blocks.push_chain(arena_, bh, bt, bn);
+    header_->reclaimed_blocks.fetch_add(bn, std::memory_order_relaxed);
+  }
+  while (mh != shm::kNullOffset) {
+    const shm::Offset next = *static_cast<shm::Offset*>(arena_.raw(mh));
+    home.msgs.push(arena_, mh);
+    mh = next;
+  }
+
+  // 4. Repair monitor membership the death leaked, then wake everyone who
+  //    might have been waiting on the dead process.
+  if (ps.in_exhaustion.exchange(0, std::memory_order_acq_rel) != 0) {
+    header_->exhaustion_waiters.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  if (ps.in_activity.exchange(0, std::memory_order_acq_rel) != 0) {
+    header_->activity_waiters.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  alock(header_->blocks_lock, reaper);
+  platform_->unlock(header_->blocks_lock);
+  platform_->notify_all(header_->blocks_cond);
+  alock(header_->activity_lock, reaper);
+  platform_->unlock(header_->activity_lock);
+  platform_->notify_all(header_->activity_cond);
+
+  header_->reaps.fetch_add(1, std::memory_order_relaxed);
+  return Status::ok;
+}
+
+void Facility::reap_if_dead(ProcessId reaper, ProcessId dead) {
+  if (dead != kNoProcess) note_pending_dead(dead);
+  // Reaping may itself seize locks from further dead processes (noted into
+  // the pending set), so drain until quiet.  Termination: each pid is
+  // reaped at most once (the kReaped state machine).
+  while (tl_n_pending_dead > 0) {
+    const ProcessId victim = tl_pending_dead[--tl_n_pending_dead];
+    if (victim != reaper) reap(reaper, victim);
+  }
+}
+
+bool Facility::no_live_receiver(ProcessId self) {
+  detail::LnvcDesc* t = table();
+  for (std::uint32_t i = 0; i < header_->max_lnvcs; ++i) {
+    detail::LnvcDesc& d = t[i];
+    alock_lnvc(d, self);
+    bool found = false;
+    if (d.in_use != 0) {
+      shm::Offset off = d.connections.off;
+      while (off != shm::kNullOffset) {
+        const auto* conn =
+            static_cast<const detail::Connection*>(arena_.raw(off));
+        if (!conn->is_sender() &&
+            (conn->process_id == self || process_alive(conn->process_id))) {
+          found = true;
+          break;
+        }
+        off = conn->next;
+      }
+    }
+    platform_->unlock(d.lock);
+    if (found) return false;
+  }
+  return true;
+}
+
+BlockAudit Facility::block_audit() const {
+  auto* self = const_cast<Facility*>(this);
+  BlockAudit a;
+  a.blocks_total = header_->blocks_total;
+  const detail::PoolShard* sh = shards();
+  for (std::uint32_t i = 0; i < header_->n_shards; ++i) {
+    a.blocks_free += sh[i].blocks.available();
+  }
+  const detail::ProcCache* pc = caches();
+  for (std::uint32_t p = 0; p < header_->max_processes; ++p) {
+    a.blocks_cached += pc[p].block_count.load(std::memory_order_relaxed);
+  }
+  detail::LnvcDesc* t = table();
+  for (std::uint32_t i = 0; i < header_->max_lnvcs; ++i) {
+    detail::LnvcDesc& d = t[i];
+    self->platform_->lock(d.lock);
+    if (d.in_use != 0) {
+      shm::Offset off = d.msg_head.off;
+      while (off != shm::kNullOffset) {
+        const auto* m =
+            static_cast<const detail::MsgHeader*>(arena_.raw(off));
+        a.blocks_queued += m->nblocks;
+        off = m->next_msg;
+      }
+    }
+    self->platform_->unlock(d.lock);
+  }
+  for (std::uint32_t p = 0; p < header_->max_processes; ++p) {
+    const detail::ProcSlot& ps = pslot(p);
+    if (ps.fm_stage.load(std::memory_order_acquire) == 1) {
+      a.blocks_journaled += ps.fm_count;
+    }
+    switch (static_cast<detail::JournalOp>(
+        ps.op.load(std::memory_order_acquire))) {
+      case detail::JournalOp::none:
+        break;
+      case detail::JournalOp::gather:
+        a.blocks_journaled += ps.chain_count + ps.refill_count;
+        break;
+      case detail::JournalOp::enqueue:
+        // Stage 1 means the message is linked and counted as queued.
+        if (ps.stage == 0) a.blocks_journaled += ps.chain_count;
+        break;
+      case detail::JournalOp::copy_out:
+        break;  // the pinned message is still in its FIFO (queued)
+      case detail::JournalOp::release_chains: {
+        shm::Offset off = ps.msg;
+        while (off != shm::kNullOffset) {
+          const auto* m =
+              static_cast<const detail::MsgHeader*>(arena_.raw(off));
+          a.blocks_journaled += m->nblocks;
+          off = m->next_msg;
+        }
+        break;
+      }
+    }
+  }
+  return a;
+}
+
+std::vector<OrphanInfo> Facility::orphan_infos() const {
+  auto* self = const_cast<Facility*>(this);
+  std::vector<OrphanInfo> infos;
+  const std::uint32_t n = header_->max_processes;
+  std::vector<std::uint32_t> conns(n, 0);
+  detail::LnvcDesc* t = table();
+  for (std::uint32_t i = 0; i < header_->max_lnvcs; ++i) {
+    detail::LnvcDesc& d = t[i];
+    self->platform_->lock(d.lock);
+    if (d.in_use != 0) {
+      shm::Offset off = d.connections.off;
+      while (off != shm::kNullOffset) {
+        const auto* conn =
+            static_cast<const detail::Connection*>(arena_.raw(off));
+        if (conn->process_id < n) ++conns[conn->process_id];
+        off = conn->next;
+      }
+    }
+    self->platform_->unlock(d.lock);
+  }
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const detail::ProcSlot& ps = pslot(p);
+    const std::uint32_t st = ps.state.load(std::memory_order_acquire);
+    if (st == detail::ProcSlot::kFree && conns[p] == 0) continue;
+    OrphanInfo o;
+    o.pid = p;
+    o.os_pid = ps.os_pid;
+    o.state = st;
+    o.os_alive = process_alive(p);
+    o.connections = conns[p];
+    o.magazine_blocks =
+        caches()[p].block_count.load(std::memory_order_relaxed);
+    o.journal_op = ps.op.load(std::memory_order_acquire);
+    infos.push_back(o);
+  }
+  return infos;
+}
+
+std::uint64_t Facility::suspicion_ns() const noexcept {
+  return header_->suspicion_ns;
+}
+
+// --- intent-journal arm/disarm helpers ---------------------------------
+//
+// Discipline: operand fields first, the commit point (`op` / `fm_stage`)
+// last with release ordering; the commit point is cleared first when
+// disarming.  Callers place each helper in the same inter-sim-point span
+// as the mutation it describes.
+
+void Facility::journal_gather(ProcessId pid, const detail::GatherChain& chain,
+                              shm::Offset msg) {
+  detail::ProcSlot& ps = pslot(pid);
+  ps.chain_head = chain.head;
+  ps.chain_tail = chain.tail;
+  ps.chain_count = static_cast<std::uint32_t>(chain.count);
+  ps.msg = msg;
+  ps.refill_head = ps.refill_tail = ps.refill_msgs = shm::kNullOffset;
+  ps.refill_count = ps.refill_msg_count = 0;
+  ps.stage = 0;
+  ps.op.store(static_cast<std::uint32_t>(detail::JournalOp::gather),
+              std::memory_order_release);
+}
+
+void Facility::journal_enqueue(ProcessId pid, LnvcId id, std::uint32_t gen,
+                               shm::Offset msg,
+                               const detail::GatherChain& chain) {
+  detail::ProcSlot& ps = pslot(pid);
+  ps.lnvc_id = static_cast<std::uint32_t>(id);
+  ps.lnvc_gen = gen;
+  ps.msg = msg;
+  ps.chain_head = chain.head;
+  ps.chain_tail = chain.tail;
+  ps.chain_count = static_cast<std::uint32_t>(chain.count);
+  ps.stage = 0;
+  ps.op.store(static_cast<std::uint32_t>(detail::JournalOp::enqueue),
+              std::memory_order_release);
+}
+
+void Facility::journal_copy_out(ProcessId pid, LnvcId id, std::uint32_t gen,
+                                shm::Offset msg, bool bcast) {
+  detail::ProcSlot& ps = pslot(pid);
+  ps.lnvc_id = static_cast<std::uint32_t>(id);
+  ps.lnvc_gen = gen;
+  ps.msg = msg;
+  ps.chain_head = ps.chain_tail = shm::kNullOffset;
+  ps.chain_count = 0;
+  ps.stage = bcast ? 1 : 0;
+  ps.op.store(static_cast<std::uint32_t>(detail::JournalOp::copy_out),
+              std::memory_order_release);
+}
+
+void Facility::journal_release_chains(ProcessId pid, detail::LnvcDesc& d,
+                                      shm::Offset first_msg) {
+  detail::ProcSlot& ps = pslot(pid);
+  ps.lnvc_id = static_cast<std::uint32_t>(&d - table());
+  ps.lnvc_gen = d.generation;
+  ps.msg = first_msg;  // the walk cursor
+  ps.chain_head = ps.chain_tail = shm::kNullOffset;
+  ps.chain_count = 0;
+  ps.stage = 0;
+  ps.op.store(static_cast<std::uint32_t>(detail::JournalOp::release_chains),
+              std::memory_order_release);
+}
+
+void Facility::journal_stage(ProcessId pid, std::uint32_t stage) {
+  pslot(pid).stage = stage;
+}
+
+void Facility::journal_clear(ProcessId pid) {
+  detail::ProcSlot& ps = pslot(pid);
+  ps.op.store(static_cast<std::uint32_t>(detail::JournalOp::none),
+              std::memory_order_release);
+  ps.stage = 0;
+  ps.chain_head = ps.chain_tail = ps.msg = shm::kNullOffset;
+  ps.chain_count = 0;
+  ps.refill_head = ps.refill_tail = ps.refill_msgs = shm::kNullOffset;
+  ps.refill_count = ps.refill_msg_count = 0;
+}
+
+void Facility::journal_free_arm(ProcessId pid, shm::Offset msg,
+                                shm::Offset head, shm::Offset tail,
+                                std::uint32_t count) {
+  detail::ProcSlot& ps = pslot(pid);
+  ps.fm_msg = msg;
+  ps.fm_head = head;
+  ps.fm_tail = tail;
+  ps.fm_count = count;
+  ps.fm_stage.store(count > 0 ? 1 : 2, std::memory_order_release);
+}
+
+void Facility::journal_free_blocks_done(ProcessId pid) {
+  pslot(pid).fm_stage.store(2, std::memory_order_release);
+}
+
+void Facility::journal_free_clear(ProcessId pid) {
+  detail::ProcSlot& ps = pslot(pid);
+  ps.fm_stage.store(0, std::memory_order_release);
+  ps.fm_msg = ps.fm_head = ps.fm_tail = shm::kNullOffset;
+  ps.fm_count = 0;
+}
+
+}  // namespace mpf

@@ -1,0 +1,64 @@
+#include "mpf/sim/fault.hpp"
+
+#include <algorithm>
+
+namespace mpf::sim {
+
+namespace {
+
+/// SplitMix64: tiny, well-mixed, and identical on every platform — the
+/// whole point of a seeded plan is bit-identical replay.
+struct SplitMix64 {
+  std::uint64_t state;
+  explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+};
+
+}  // namespace
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int nprocs, int max_kills,
+                            std::uint64_t horizon_ns, int first_victim) {
+  FaultPlan plan;
+  if (nprocs <= 0 || max_kills <= 0 || first_victim >= nprocs) return plan;
+  SplitMix64 rng(seed);
+
+  std::vector<int> pool;
+  for (int p = std::max(first_victim, 0); p < nprocs; ++p) pool.push_back(p);
+  // Keep at least one survivor overall.
+  int cap = static_cast<int>(pool.size());
+  if (first_victim <= 0) cap -= 1;
+  const int kills = std::min<int>(
+      cap, 1 + static_cast<int>(rng.next() % static_cast<std::uint64_t>(
+                                    max_kills)));
+  for (int i = 0; i < kills; ++i) {
+    // Partial Fisher-Yates: pick the i-th distinct victim.
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next() % (pool.size() - i));
+    std::swap(pool[i], pool[j]);
+    FaultAction a;
+    a.process = pool[i];
+    switch (rng.next() % 3) {
+      case 0:
+        a.kind = FaultAction::Kind::kill_at_time;
+        a.at_ns = horizon_ns > 0 ? rng.next() % horizon_ns : 0;
+        break;
+      case 1:
+        a.kind = FaultAction::Kind::kill_at_lock_acq;
+        a.count = 1 + rng.next() % 16;
+        break;
+      default:
+        a.kind = FaultAction::Kind::kill_at_send;
+        a.count = 1 + rng.next() % 8;
+        break;
+    }
+    plan.actions.push_back(a);
+  }
+  return plan;
+}
+
+}  // namespace mpf::sim

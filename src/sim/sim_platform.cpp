@@ -18,8 +18,18 @@ void SimPlatform::unlock(sync::SpinLock& cell) {
   sim_->mutex_unlock(&cell);
 }
 
+void SimPlatform::lock_robust(sync::SpinLock& cell, RobustOp& op) {
+  if (Simulator::current() == nullptr) {
+    // Pre-run setup / post-run audit: the real cell was never locked by
+    // simulated processes, so the base robust spin acquires immediately.
+    Platform::lock_robust(cell, op);
+    return;
+  }
+  sim_->mutex_lock_robust(&cell, op);
+}
+
 void SimPlatform::wait(sync::SpinLock& mutex_cell,
-                       sync::EventCount& cond_cell) {
+                       sync::EventCount& cond_cell, RobustOp* op) {
   if (Simulator::current() == nullptr) {
     // Setup code should never block; emulate the native bounded poll.
     const auto ticket = cond_cell.prepare_wait();
@@ -28,12 +38,12 @@ void SimPlatform::wait(sync::SpinLock& mutex_cell,
     mutex_cell.lock();
     return;
   }
-  sim_->cond_wait(&mutex_cell, &cond_cell);
+  sim_->cond_wait(&mutex_cell, &cond_cell, op);
 }
 
 bool SimPlatform::wait_for(sync::SpinLock& mutex_cell,
                            sync::EventCount& cond_cell,
-                           std::uint64_t timeout_ns) {
+                           std::uint64_t timeout_ns, RobustOp* op) {
   if (Simulator::current() == nullptr) {
     const auto ticket = cond_cell.prepare_wait();
     mutex_cell.unlock();
@@ -41,7 +51,11 @@ bool SimPlatform::wait_for(sync::SpinLock& mutex_cell,
     mutex_cell.lock();
     return notified;
   }
-  return sim_->cond_wait_for(&mutex_cell, &cond_cell, timeout_ns);
+  return sim_->cond_wait_for(&mutex_cell, &cond_cell, timeout_ns, op);
+}
+
+bool SimPlatform::is_alive(std::uint32_t pid) const {
+  return sim_->process_alive(static_cast<int>(pid));
 }
 
 void SimPlatform::notify_all(sync::EventCount& cond_cell) {
@@ -53,6 +67,7 @@ void SimPlatform::notify_all(sync::EventCount& cond_cell) {
 }
 
 void SimPlatform::charge_send_fixed() {
+  sim_->count_send();  // fault trigger: kill at the n-th send entry
   sim_->advance(sim_->model().send_fixed_ns);
 }
 void SimPlatform::charge_recv_fixed() {

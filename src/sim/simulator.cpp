@@ -69,30 +69,121 @@ void Simulator::trigger_abort(std::unique_lock<std::mutex>&) {
   }
 }
 
-void Simulator::promote_timeouts() noexcept {
-  for (;;) {
-    Process* runnable = pick_next();
-    Process* timed = nullptr;
-    for (const auto& p : procs_) {
-      if (p->state_ == Process::State::Blocked && p->timed_ &&
-          (timed == nullptr || p->wake_at_ < timed->wake_at_ ||
-           (p->wake_at_ == timed->wake_at_ && p->id_ < timed->id_))) {
-        timed = p.get();
+void Simulator::remove_from_wait_queues(Process* p) noexcept {
+  for (auto& entry : conds_) {
+    auto& q = entry.second.waiters;
+    q.erase(std::remove(q.begin(), q.end(), p), q.end());
+  }
+  for (auto& entry : mutexes_) {
+    auto& q = entry.second.waiters;
+    q.erase(std::remove(q.begin(), q.end(), p), q.end());
+  }
+  p->timed_ = false;
+  p->timed_out_ = false;
+  p->waiting_cond_ = nullptr;
+}
+
+void Simulator::kill_now(Process* self) {
+  self->kill_pending_ = false;
+  self->kill_at_armed_ = false;
+  self->kill_on_lock_armed_ = false;
+  self->kill_on_send_armed_ = false;
+  self->killed_ = true;
+  self->death_time_ = self->clock_;
+  self->dead_flag_.store(true, std::memory_order_release);
+  ++kills_;
+  if (trace_ != nullptr) {
+    trace_->record(self->clock_, self->id_, TraceKind::fault_injected, 1);
+  }
+  // A kill can land while this process sits in a wait queue (promoted from
+  // Blocked, or dying at the sim point that was about to block).
+  remove_from_wait_queues(self);
+  // Robust waiters on locks the corpse holds must get a chance to suspect
+  // and seize; plain waiters stay queued (they would hang, exactly like a
+  // non-robust lock whose owner crashed).  Wake order does not matter —
+  // the conductor still runs min-(clock, id) first — so iterating the
+  // unordered map here cannot perturb determinism.
+  for (auto& entry : mutexes_) {
+    MutexState& m = entry.second;
+    if (m.owner != self) continue;
+    for (auto it = m.waiters.begin(); it != m.waiters.end();) {
+      Process* w = *it;
+      if (w->robust_waiting_ && w->state_ == Process::State::Blocked) {
+        it = m.waiters.erase(it);
+        wake(w, self->clock_);
+      } else {
+        ++it;
       }
     }
-    if (timed == nullptr) return;
-    if (runnable != nullptr && runnable->clock_ <= timed->wake_at_) return;
+  }
+  throw ProcessKilled{};
+}
+
+void Simulator::check_faults(Process* self) {
+  if (self->killed_) return;
+  if (self->pause_armed_ && self->clock_ >= self->pause_at_) {
+    self->pause_armed_ = false;
+    if (trace_ != nullptr) {
+      trace_->record(self->clock_, self->id_, TraceKind::fault_injected, 2);
+    }
+    if (self->pause_resume_at_ > self->clock_) {
+      self->clock_ = self->pause_resume_at_;
+    }
+  }
+  if (self->kill_pending_ ||
+      (self->kill_at_armed_ && self->clock_ >= self->kill_at_)) {
+    kill_now(self);
+  }
+}
+
+void Simulator::promote_events() noexcept {
+  for (;;) {
+    Process* runnable = pick_next();
+    Process* best = nullptr;
+    Time best_at = 0;
+    bool best_is_kill = false;
+    for (const auto& p : procs_) {
+      if (p->state_ != Process::State::Blocked) continue;
+      if (p->timed_ &&
+          (best == nullptr || p->wake_at_ < best_at ||
+           (p->wake_at_ == best_at && p->id_ < best->id_))) {
+        best = p.get();
+        best_at = p->wake_at_;
+        best_is_kill = false;
+      }
+      if (p->kill_at_armed_) {
+        // A blocked victim cannot reach a sim point; the conductor must
+        // deliver its scheduled death as a timed event.
+        const Time at = std::max(p->clock_, p->kill_at_);
+        if (best == nullptr || at < best_at ||
+            (at == best_at && p->id_ < best->id_)) {
+          best = p.get();
+          best_at = at;
+          best_is_kill = true;
+        }
+      }
+    }
+    if (best == nullptr) return;
+    if (runnable != nullptr && runnable->clock_ <= best_at) return;
+    if (best_is_kill) {
+      // Promote the victim with its death pending; it dies on resume.
+      remove_from_wait_queues(best);
+      best->clock_ = best_at;
+      best->kill_pending_ = true;
+      best->state_ = Process::State::Runnable;
+      continue;
+    }
     // The earliest possible event is this deadline: the sleeper times out.
-    auto it = conds_.find(timed->waiting_cond_);
+    auto it = conds_.find(best->waiting_cond_);
     if (it != conds_.end()) {
       auto& q = it->second.waiters;
-      q.erase(std::remove(q.begin(), q.end(), timed), q.end());
+      q.erase(std::remove(q.begin(), q.end(), best), q.end());
     }
-    timed->clock_ = timed->wake_at_;
-    timed->timed_ = false;
-    timed->timed_out_ = true;
-    timed->waiting_cond_ = nullptr;
-    timed->state_ = Process::State::Runnable;
+    best->clock_ = best->wake_at_;
+    best->timed_ = false;
+    best->timed_out_ = true;
+    best->waiting_cond_ = nullptr;
+    best->state_ = Process::State::Runnable;
   }
 }
 
@@ -100,7 +191,10 @@ void Simulator::reschedule(std::unique_lock<std::mutex>& lk, Process* self) {
   if (aborting_ && self->state_ != Process::State::Done) {
     throw AbortProcess{};
   }
-  promote_timeouts();
+  // Every sim point funnels through here, so this is where injected
+  // faults land for a running process (kills may throw ProcessKilled).
+  if (self->state_ != Process::State::Done) check_faults(self);
+  promote_events();
   Process* next = pick_next();
   if (next == self) {
     self->state_ = Process::State::Running;
@@ -129,6 +223,9 @@ void Simulator::reschedule(std::unique_lock<std::mutex>& lk, Process* self) {
     self->cv_.wait(lk);
   }
   if (aborting_) throw AbortProcess{};
+  // A kill promoted from Blocked (or armed while we slept) fires before
+  // control returns to the process body.
+  check_faults(self);
 }
 
 void Simulator::thread_main(Process* self) {
@@ -143,6 +240,10 @@ void Simulator::thread_main(Process* self) {
   if (!self->abort_requested_) {
     try {
       self->body_();
+    } catch (const ProcessKilled&) {
+      // An injected kill: the process ends here, mid-operation, leaving
+      // its locks and journal exactly as they were.  Not an error — the
+      // simulation continues and recovery takes over.
     } catch (const AbortProcess&) {
       // teardown in progress; fall through
     } catch (...) {
@@ -152,7 +253,7 @@ void Simulator::thread_main(Process* self) {
     }
   }
   std::unique_lock<std::mutex> lk(mu_);
-  if (trace_ != nullptr) {
+  if (trace_ != nullptr && !self->killed_) {
     trace_->record(self->clock_, self->id_, TraceKind::done, 0);
   }
   self->state_ = Process::State::Done;
@@ -178,6 +279,36 @@ void Simulator::run() {
     started_ = true;
     live_ = static_cast<int>(procs_.size());
     for (const auto& p : procs_) p->state_ = Process::State::Runnable;
+    // Arm the fault plan (last action per process and kind wins).
+    for (const FaultAction& a : plan_.actions) {
+      if (a.process < 0 ||
+          a.process >= static_cast<int>(procs_.size())) {
+        continue;
+      }
+      Process* p = procs_[static_cast<std::size_t>(a.process)].get();
+      switch (a.kind) {
+        case FaultAction::Kind::kill_at_time:
+          p->kill_at_armed_ = true;
+          p->kill_at_ = a.at_ns;
+          p->kill_on_lock_armed_ = p->kill_on_send_armed_ = false;
+          break;
+        case FaultAction::Kind::kill_at_lock_acq:
+          p->kill_on_lock_armed_ = true;
+          p->kill_on_lock_n_ = a.count;
+          p->kill_at_armed_ = p->kill_on_send_armed_ = false;
+          break;
+        case FaultAction::Kind::kill_at_send:
+          p->kill_on_send_armed_ = true;
+          p->kill_on_send_n_ = a.count;
+          p->kill_at_armed_ = p->kill_on_lock_armed_ = false;
+          break;
+        case FaultAction::Kind::pause:
+          p->pause_armed_ = true;
+          p->pause_at_ = a.at_ns;
+          p->pause_resume_at_ = a.resume_at_ns;
+          break;
+      }
+    }
   }
   for (const auto& p : procs_) {
     p->thread_ = std::thread([this, proc = p.get()] { thread_main(proc); });
@@ -219,22 +350,8 @@ Time Simulator::now() const noexcept {
   return self != nullptr ? self->clock_ : 0;
 }
 
-void Simulator::mutex_lock(const void* cell) {
-  Process* self = current_checked();
-  if (self == nullptr) return;  // single-threaded setup: no contention
-  std::unique_lock<std::mutex> lk(mu_);
-  MutexState& m = mutexes_[cell];
-  if (m.owner == nullptr) {
-    m.owner = self;
-  } else {
-    if (trace_ != nullptr) {
-      trace_->record(self->clock_, self->id_, TraceKind::lock_wait, 0);
-    }
-    m.waiters.push_back(self);
-    self->state_ = Process::State::Blocked;
-    reschedule(lk, self);  // resumes once unlock() transfers ownership to us
-    assert(m.owner == self);
-  }
+void Simulator::finish_lock_acquire(std::unique_lock<std::mutex>& lk,
+                                    Process* self, MutexState& m) {
   if (trace_ != nullptr) {
     trace_->record(self->clock_, self->id_, TraceKind::lock_acquire, 0);
   }
@@ -263,8 +380,93 @@ void Simulator::mutex_lock(const void* cell) {
   self->clock_ += static_cast<Time>(model_.lock_ns * contention);
   m.recent.emplace_back(now_t, self);
   if (m.recent.size() > 64) m.recent.pop_front();
+  // Fault trigger: the k-th acquisition arms a pending kill, so the death
+  // lands at the very next sim point — inside this critical section, with
+  // the lock held.  (Every acquisition counts, including condition-wait
+  // re-acquisitions.)
+  if (self->kill_on_lock_armed_ &&
+      ++self->lock_acq_count_ == self->kill_on_lock_n_) {
+    self->kill_on_lock_armed_ = false;
+    self->kill_pending_ = true;
+  }
   self->state_ = Process::State::Runnable;
   reschedule(lk, self);
+}
+
+void Simulator::seize_dead_owner(Process* self, MutexState& m, RobustOp& op) {
+  // The waiter cannot distinguish a dead holder from a slow one until the
+  // suspicion threshold elapses past the death.
+  const Time base = std::max(self->clock_, m.owner->death_time_);
+  self->clock_ = base + op.suspicion_ns;
+  const auto tag =
+      sync::SpinLock::tag_for(static_cast<std::uint32_t>(m.owner->id_));
+  if (op.alive != nullptr) {
+    // Fire the facility's probe for its accounting (suspicions counter,
+    // declare_dead); a killed sim process never comes back, so the
+    // verdict is always "dead".
+    (void)op.alive(op.ctx, tag);
+  }
+  op.seized = true;
+  op.seized_from = tag;
+  if (trace_ != nullptr) {
+    trace_->record(self->clock_, self->id_, TraceKind::recovery,
+                   static_cast<std::uint64_t>(m.owner->id_));
+  }
+  m.owner = self;
+}
+
+void Simulator::mutex_lock(const void* cell) {
+  Process* self = current_checked();
+  if (self == nullptr) return;  // single-threaded setup: no contention
+  std::unique_lock<std::mutex> lk(mu_);
+  MutexState& m = mutexes_[cell];
+  if (m.owner == nullptr) {
+    m.owner = self;
+  } else {
+    if (trace_ != nullptr) {
+      trace_->record(self->clock_, self->id_, TraceKind::lock_wait, 0);
+    }
+    m.waiters.push_back(self);
+    self->state_ = Process::State::Blocked;
+    reschedule(lk, self);  // resumes once unlock() transfers ownership to us
+    assert(m.owner == self);
+  }
+  finish_lock_acquire(lk, self, m);
+}
+
+void Simulator::mutex_lock_robust(const void* cell, RobustOp& op) {
+  Process* self = current_checked();
+  if (self == nullptr) {
+    // Pre-run setup / post-run audit outside the conductor: real cells
+    // were never locked during the simulation, so a plain robust spin on
+    // the (free) cell succeeds immediately.
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  MutexState& m = mutexes_[cell];
+  const bool suspecting = op.suspicion_ns > 0;
+  for (;;) {
+    if (m.owner == nullptr) {
+      m.owner = self;
+      break;
+    }
+    if (m.owner->killed_ && suspecting) {
+      seize_dead_owner(self, m, op);
+      break;
+    }
+    if (trace_ != nullptr) {
+      trace_->record(self->clock_, self->id_, TraceKind::lock_wait, 0);
+    }
+    self->robust_waiting_ = suspecting;
+    m.waiters.push_back(self);
+    self->state_ = Process::State::Blocked;
+    reschedule(lk, self);
+    self->robust_waiting_ = false;
+    // Either unlock() handed the lock to us, or the owner died and
+    // kill_now woke us to suspect: loop and look again.
+    if (m.owner == self) break;
+  }
+  finish_lock_acquire(lk, self, m);
 }
 
 void Simulator::mutex_unlock(const void* cell) {
@@ -288,7 +490,34 @@ void Simulator::mutex_unlock(const void* cell) {
   reschedule(lk, self);
 }
 
-void Simulator::cond_wait(const void* mutex_cell, const void* cond_cell) {
+void Simulator::reacquire_after_wait(std::unique_lock<std::mutex>& lk,
+                                     Process* self, const void* mutex_cell,
+                                     RobustOp* op) {
+  MutexState& m = mutexes_[mutex_cell];
+  const bool suspecting = op != nullptr && op->suspicion_ns > 0;
+  for (;;) {
+    if (m.owner == nullptr) {
+      m.owner = self;
+      break;
+    }
+    if (m.owner == self) break;
+    if (m.owner->killed_ && suspecting) {
+      seize_dead_owner(self, m, *op);
+      break;
+    }
+    self->robust_waiting_ = suspecting;
+    m.waiters.push_back(self);
+    self->state_ = Process::State::Blocked;
+    reschedule(lk, self);
+    self->robust_waiting_ = false;
+  }
+  self->clock_ += static_cast<Time>(model_.lock_ns);
+  self->state_ = Process::State::Runnable;
+  reschedule(lk, self);
+}
+
+void Simulator::cond_wait(const void* mutex_cell, const void* cond_cell,
+                          RobustOp* op) {
   Process* self = current_checked();
   if (self == nullptr) return;
   std::unique_lock<std::mutex> lk(mu_);
@@ -315,22 +544,11 @@ void Simulator::cond_wait(const void* mutex_cell, const void* cond_cell) {
   if (trace_ != nullptr) {
     trace_->record(self->clock_, self->id_, TraceKind::cond_wake, 0);
   }
-  MutexState& m2 = mutexes_[mutex_cell];
-  if (m2.owner == nullptr) {
-    m2.owner = self;
-  } else {
-    m2.waiters.push_back(self);
-    self->state_ = Process::State::Blocked;
-    reschedule(lk, self);
-    assert(m2.owner == self);
-  }
-  self->clock_ += static_cast<Time>(model_.lock_ns);
-  self->state_ = Process::State::Runnable;
-  reschedule(lk, self);
+  reacquire_after_wait(lk, self, mutex_cell, op);
 }
 
 bool Simulator::cond_wait_for(const void* mutex_cell, const void* cond_cell,
-                              std::uint64_t timeout_ns) {
+                              std::uint64_t timeout_ns, RobustOp* op) {
   Process* self = current_checked();
   if (self == nullptr) return true;
   std::unique_lock<std::mutex> lk(mu_);
@@ -363,18 +581,7 @@ bool Simulator::cond_wait_for(const void* mutex_cell, const void* cond_cell,
     trace_->record(self->clock_, self->id_, TraceKind::cond_wake,
                    notified ? 1 : 0);
   }
-  MutexState& m2 = mutexes_[mutex_cell];
-  if (m2.owner == nullptr) {
-    m2.owner = self;
-  } else {
-    m2.waiters.push_back(self);
-    self->state_ = Process::State::Blocked;
-    reschedule(lk, self);
-    assert(m2.owner == self);
-  }
-  self->clock_ += static_cast<Time>(model_.lock_ns);
-  self->state_ = Process::State::Runnable;
-  reschedule(lk, self);
+  reacquire_after_wait(lk, self, mutex_cell, op);
   return notified;
 }
 
@@ -437,6 +644,23 @@ void Simulator::charge_touch(std::uint64_t bytes) {
   }
   self->state_ = Process::State::Runnable;
   reschedule(lk, self);
+}
+
+bool Simulator::process_alive(int pid) const noexcept {
+  if (pid < 0 || pid >= static_cast<int>(procs_.size())) return true;
+  return !procs_[static_cast<std::size_t>(pid)]->dead_flag_.load(
+      std::memory_order_acquire);
+}
+
+void Simulator::count_send() noexcept {
+  Process* self = current_checked();
+  if (self == nullptr) return;
+  if (self->kill_on_send_armed_ &&
+      ++self->send_count_ == self->kill_on_send_n_) {
+    self->kill_on_send_armed_ = false;
+    // Fires at the next sim point — the fixed-cost charge at send entry.
+    self->kill_pending_ = true;
+  }
 }
 
 void Simulator::footprint_alloc(std::uint64_t bytes) noexcept {

@@ -16,6 +16,8 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::copy: return "copy";
     case TraceKind::fault: return "fault";
     case TraceKind::done: return "done";
+    case TraceKind::fault_injected: return "fault_injected";
+    case TraceKind::recovery: return "recovery";
   }
   return "unknown";
 }

@@ -4,6 +4,9 @@
 #include <cstring>
 #include <string>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "mpf/compat/mpf.h"
 
 namespace {
@@ -103,6 +106,46 @@ TEST_F(CApi, CloseSemantics) {
   EXPECT_EQ(mpf_close_send(0, tx), 0);
   EXPECT_EQ(mpf_close_send(0, tx), MPF_ENOLNVC);
   EXPECT_EQ(mpf_message_send(0, tx, "a", 1), MPF_ENOLNVC);
+}
+
+TEST(CApiRecovery, ReapRequiresInit) {
+  EXPECT_EQ(mpf_reap(0, 1), MPF_ENOTINIT);
+}
+
+TEST_F(CApi, ReapValidatesArguments) {
+  EXPECT_EQ(mpf_reap(-1, 0), MPF_EINVAL);
+  EXPECT_EQ(mpf_reap(0, -1), MPF_EINVAL);
+  EXPECT_EQ(mpf_reap(0, 99), MPF_EINVAL);
+  // A live participant cannot be reaped.
+  ASSERT_GE(mpf_open_send(1, "conv"), 0);
+  EXPECT_EQ(mpf_reap(0, 1), MPF_EINVAL);
+}
+
+// The facility lives in an anonymous shared mapping, so a fork()ed worker
+// is exactly the paper's process model.  Kill the only sender mid-use and
+// reap it from the survivor: its connection must close, and a subsequent
+// receive must report the circuit orphaned instead of blocking forever.
+TEST_F(CApi, ReapDeadForkedSenderOrphansCircuit) {
+  const int rx = mpf_open_receive(0, "conv", MPF_FCFS);
+  ASSERT_GE(rx, 0);
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Worker process 2: connect, send once, die without closing.
+    if (mpf_open_send(2, "conv") < 0) _exit(1);
+    if (mpf_message_send(2, rx, "last words", 10) != 0) _exit(2);
+    _exit(0);
+  }
+  char buf[16] = {};
+  int len = sizeof(buf);
+  ASSERT_EQ(mpf_message_receive(0, rx, buf, &len), 0);
+  EXPECT_EQ(std::string(buf, static_cast<size_t>(len)), "last words");
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  ASSERT_EQ(mpf_reap(0, 2), 0);
+  EXPECT_EQ(mpf_reap(0, 2), 0);  // idempotent: already swept
+  len = sizeof(buf);
+  EXPECT_EQ(mpf_message_receive(0, rx, buf, &len), MPF_EORPHANED);
 }
 
 TEST_F(CApi, ZeroLengthMessages) {

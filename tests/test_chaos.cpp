@@ -1,0 +1,146 @@
+// Chaos property suite: for any seed-derived fault plan, (1) after the
+// final recovery sweep every block is accounted for — free + cached +
+// queued + journaled == total — and (2) replaying the same (workload,
+// plan) produces a bit-identical simulator trace.  Surviving blocked
+// calls must return (the simulation completing at all proves no survivor
+// hung; a wedged waiter would raise DeadlockError or time the test out).
+#include <gtest/gtest.h>
+
+#include "mpf/benchlib/simrun.hpp"
+#include "mpf/benchlib/workloads.hpp"
+#include "mpf/sim/fault.hpp"
+
+namespace {
+
+using namespace mpf;
+using namespace mpf::benchlib;
+
+constexpr int kProcs = 8;
+constexpr int kMsgs = 60;
+constexpr std::size_t kLen = 48;
+
+Config chaos_config() {
+  Config c;
+  c.max_lnvcs = 16;
+  c.max_processes = 8;
+  c.block_payload = 10;
+  c.message_blocks = 2048;
+  c.suspicion_ns = 1'000'000;  // 1 ms of virtual time
+  return c;
+}
+
+ChaosMetrics run_seed(std::uint64_t seed) {
+  const sim::FaultPlan plan = sim::FaultPlan::random(
+      seed, kProcs, /*max_kills=*/3, /*horizon_ns=*/20'000'000);
+  return run_chaos(chaos_config(), kProcs, plan, [&](Facility f, int rank) {
+    chaos_worker(f, rank, kProcs, kLen, kMsgs, seed);
+  });
+}
+
+TEST(Chaos, BlocksConservedAfterEveryKill) {
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const ChaosMetrics m = run_seed(seed);
+    EXPECT_GE(m.kills, 1u) << "seed " << seed << ": plan injected nothing";
+    EXPECT_TRUE(m.blocks_conserved)
+        << "seed " << seed << ": free=" << m.audit.blocks_free
+        << " cached=" << m.audit.blocks_cached
+        << " queued=" << m.audit.blocks_queued
+        << " journaled=" << m.audit.blocks_journaled
+        << " total=" << m.audit.blocks_total;
+    // Deaths are swept in-run by a suspecting survivor or by the final
+    // sweep.  reaps can lag kills when a victim died before its first
+    // facility operation ever registered it (nothing to sweep).
+    EXPECT_LE(m.reaps, m.kills) << "seed " << seed;
+  }
+}
+
+TEST(Chaos, SameSeedReplaysBitIdentically) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::Trace first;
+    const sim::FaultPlan plan = sim::FaultPlan::random(
+        seed, kProcs, /*max_kills=*/3, /*horizon_ns=*/20'000'000);
+    const auto body = [&](Facility f, int rank) {
+      chaos_worker(f, rank, kProcs, kLen, kMsgs, seed);
+    };
+    const ChaosMetrics a = run_chaos(chaos_config(), kProcs, plan, body,
+                                     sim::MachineModel::balance21000(),
+                                     &first);
+    sim::Trace second;
+    const ChaosMetrics b = run_chaos(chaos_config(), kProcs, plan, body,
+                                     sim::MachineModel::balance21000(),
+                                     &second);
+    ASSERT_EQ(a.trace_hash, b.trace_hash) << "seed " << seed;
+    ASSERT_EQ(first.size(), second.size()) << "seed " << seed;
+    // Hash agreement is the cheap check; compare a sample of raw events so
+    // a hash collision can't hide a divergence.
+    const std::size_t stride =
+        first.size() > 1000 ? first.size() / 1000 : 1;
+    for (std::size_t i = 0; i < first.size(); i += stride) {
+      const sim::TraceEvent& x = first.events()[i];
+      const sim::TraceEvent& y = second.events()[i];
+      ASSERT_EQ(x.time_ns, y.time_ns) << "seed " << seed << " event " << i;
+      ASSERT_EQ(x.process, y.process) << "seed " << seed << " event " << i;
+      ASSERT_EQ(static_cast<int>(x.kind), static_cast<int>(y.kind))
+          << "seed " << seed << " event " << i;
+      ASSERT_EQ(x.detail, y.detail) << "seed " << seed << " event " << i;
+    }
+  }
+}
+
+TEST(Chaos, DistinctSeedsProduceDistinctPlans) {
+  const sim::FaultPlan a = sim::FaultPlan::random(1, kProcs, 3, 20'000'000);
+  const sim::FaultPlan b = sim::FaultPlan::random(2, kProcs, 3, 20'000'000);
+  ASSERT_FALSE(a.actions.empty());
+  ASSERT_FALSE(b.actions.empty());
+  bool differ = a.actions.size() != b.actions.size();
+  for (std::size_t i = 0; !differ && i < a.actions.size(); ++i) {
+    differ = a.actions[i].process != b.actions[i].process ||
+             a.actions[i].kind != b.actions[i].kind ||
+             a.actions[i].at_ns != b.actions[i].at_ns ||
+             a.actions[i].count != b.actions[i].count;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Chaos, PlanAlwaysLeavesASurvivor) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const sim::FaultPlan plan =
+        sim::FaultPlan::random(seed, kProcs, /*max_kills=*/kProcs,
+                               /*horizon_ns=*/20'000'000);
+    EXPECT_LT(plan.actions.size(), static_cast<std::size_t>(kProcs))
+        << "seed " << seed;
+    // Victims are distinct.
+    for (std::size_t i = 0; i < plan.actions.size(); ++i) {
+      for (std::size_t j = i + 1; j < plan.actions.size(); ++j) {
+        EXPECT_NE(plan.actions[i].process, plan.actions[j].process)
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Chaos, PauseInjectionDelaysWithoutKilling) {
+  // A pause is a clock jump, not a death: the workload completes, nothing
+  // needs recovery, and the paused process finishes later than it would
+  // have unpaused.
+  Config c = chaos_config();
+  sim::FaultPlan plan;
+  sim::FaultAction pause;
+  pause.kind = sim::FaultAction::Kind::pause;
+  pause.process = 0;
+  pause.at_ns = 10'000;
+  pause.resume_at_ns = 5'000'000;
+  plan.actions.push_back(pause);
+
+  const auto body = [&](Facility f, int rank) {
+    chaos_worker(f, rank, 2, kLen, 10, 99);
+  };
+  const ChaosMetrics paused = run_chaos(c, 2, plan, body);
+  const ChaosMetrics clean = run_chaos(c, 2, sim::FaultPlan{}, body);
+  EXPECT_EQ(paused.kills, 0u);
+  EXPECT_EQ(paused.reaps, 0u);
+  EXPECT_TRUE(paused.blocks_conserved);
+  EXPECT_GT(paused.base.seconds, clean.base.seconds);
+}
+
+}  // namespace

@@ -3,6 +3,7 @@
 // mapping and a named POSIX segment attached at a different address.
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -108,6 +109,62 @@ TEST(Fork, PreloadedBacklogConsumedByForkedPool) {
     got.insert(v);
   }
   for (int j = 0; j < kJobs; ++j) EXPECT_EQ(got.count(j * j), 1u) << j;
+}
+
+TEST(Fork, SigkilledChildIsReapedAndBlocksRecovered) {
+  // The crash the recovery subsystem exists for: a worker process dies by
+  // SIGKILL at an arbitrary instruction — possibly mid-send, holding
+  // arena locks and pool blocks — and a survivor sweeps up after it.
+  Config c = fork_config();
+  c.suspicion_ns = 20'000'000;  // 20 ms: keep native seizure waits short
+  shm::AnonSharedRegion region(c.derived_arena_bytes());
+  Facility f = Facility::create(c, region);
+
+  LnvcId rx = kInvalidLnvc;
+  ASSERT_EQ(f.open_receive(0, "victim.out", Protocol::fcfs, &rx),
+            Status::ok);
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    LnvcId tx = kInvalidLnvc;
+    if (f.open_send(1, "victim.out", &tx) != Status::ok) _exit(40);
+    char payload[64] = {};
+    for (unsigned i = 0;; ++i) {  // send until SIGKILLed
+      if (f.send(1, tx, payload, sizeof(payload)) != Status::ok) _exit(41);
+    }
+  }
+  // Let the child get deep into traffic, then kill it at a random point.
+  char buf[64];
+  std::size_t len = 0;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(f.receive(0, rx, buf, sizeof(buf), &len), Status::ok);
+  }
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+  // The OS pid probe now reports the child dead; reap it.
+  EXPECT_FALSE(f.process_alive(1));
+  ASSERT_EQ(f.reap(0, 1), Status::ok);
+
+  // Drain whatever the child had fully linked before dying, then the
+  // orphaned-circuit verdict; no call may hang.
+  Status s = Status::ok;
+  for (int i = 0; i < 100000 && s == Status::ok; ++i) {
+    s = f.receive(0, rx, buf, sizeof(buf), &len);
+  }
+  EXPECT_EQ(s, Status::lnvc_orphaned);
+
+  // Conservation: everything the dead child held — magazine, in-flight
+  // chains, journaled blocks — is back in circulation.
+  const BlockAudit audit = f.block_audit();
+  EXPECT_TRUE(audit.consistent());
+  EXPECT_EQ(audit.in_flight(), 0u);
+  const FacilityStats stats = f.stats();
+  EXPECT_GE(stats.reaps, 1u);
+  EXPECT_GE(stats.reaped_connections, 1u);
 }
 
 TEST(Fork, PosixShmAttachAtDifferentAddress) {

@@ -40,6 +40,18 @@ void dump(const mpf::Facility& facility) {
       static_cast<unsigned long long>(stats.cache_misses),
       static_cast<unsigned long long>(stats.cache_raids),
       static_cast<unsigned long long>(stats.exhaustion_waits));
+  std::printf(
+      "recovery: %llu suspicions (%llu false), %llu seizures, %llu reaps "
+      "(%llu connections, %llu blocks), %llu peer failures, %llu orphaned "
+      "receives\n",
+      static_cast<unsigned long long>(stats.suspicions),
+      static_cast<unsigned long long>(stats.false_suspicions),
+      static_cast<unsigned long long>(stats.seizures),
+      static_cast<unsigned long long>(stats.reaps),
+      static_cast<unsigned long long>(stats.reaped_connections),
+      static_cast<unsigned long long>(stats.reclaimed_blocks),
+      static_cast<unsigned long long>(stats.peer_failures),
+      static_cast<unsigned long long>(stats.orphaned_receives));
 
   std::printf("%5s %10s %8s %12s %10s %8s %8s %8s\n", "shard", "blk_free",
               "msg_free", "lock_acq", "wait_us", "steals", "refills",
@@ -83,26 +95,84 @@ void dump(const mpf::Facility& facility) {
   }
 }
 
+const char* slot_state_name(std::uint32_t st) {
+  switch (st) {
+    case mpf::detail::ProcSlot::kFree: return "free";
+    case mpf::detail::ProcSlot::kLive: return "live";
+    case mpf::detail::ProcSlot::kDead: return "dead";
+    case mpf::detail::ProcSlot::kReaped: return "reaped";
+    default: return "?";
+  }
+}
+
+void dump_orphans(const mpf::Facility& facility) {
+  const auto orphans = facility.orphan_infos();
+  if (orphans.empty()) {
+    std::printf("no registered processes\n");
+    return;
+  }
+  std::printf("%5s %8s %7s %9s %6s %9s %8s\n", "pid", "os_pid", "state",
+              "os_alive", "conns", "magazine", "journal");
+  for (const auto& o : orphans) {
+    std::printf("%5u %8u %7s %9s %6u %9u %8u\n", o.pid, o.os_pid,
+                slot_state_name(o.state), o.os_alive ? "yes" : "NO",
+                o.connections, o.magazine_blocks, o.journal_op);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s /shm-segment-name [--watch seconds]\n"
+                 "usage: %s /shm-segment-name [--watch seconds] [--orphans] "
+                 "[--reap pid]\n"
                  "Inspect a live MPF facility in a POSIX shared-memory "
-                 "segment.\n",
+                 "segment.\n"
+                 "  --orphans    report per-process liveness and orphaned "
+                 "state\n"
+                 "  --reap pid   run the recovery sweep for a dead "
+                 "participant\n",
                  argv[0]);
     return 2;
   }
   double watch = 0;
-  if (argc >= 4 && std::strcmp(argv[2], "--watch") == 0) {
-    watch = std::atof(argv[3]);
+  bool orphans = false;
+  int reap_pid = -1;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--watch") == 0 && i + 1 < argc) {
+      watch = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--orphans") == 0) {
+      orphans = true;
+    } else if (std::strcmp(argv[i], "--reap") == 0 && i + 1 < argc) {
+      reap_pid = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "mpf_inspect: unknown option %s\n", argv[i]);
+      return 2;
+    }
   }
   try {
     auto region = mpf::shm::PosixShmRegion::attach(argv[1]);
     mpf::Facility facility = mpf::Facility::attach(*region);
+    if (reap_pid >= 0) {
+      // The inspector acts as the highest process slot so its lock tags
+      // never collide with a real participant's.
+      const mpf::ProcessId reaper = facility.max_processes() - 1;
+      const mpf::Status s =
+          facility.reap(reaper, static_cast<mpf::ProcessId>(reap_pid));
+      if (s != mpf::Status::ok) {
+        std::fprintf(stderr, "mpf_inspect: reap %d: %s\n", reap_pid,
+                     mpf::to_string(s));
+        return 1;
+      }
+      std::printf("reaped process %d\n", reap_pid);
+    }
     for (;;) {
-      dump(facility);
+      if (orphans) {
+        dump_orphans(facility);
+      } else {
+        dump(facility);
+      }
       if (watch <= 0) break;
       std::printf("---\n");
       std::fflush(stdout);
