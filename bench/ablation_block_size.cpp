@@ -35,7 +35,7 @@ double loopback_throughput(std::size_t len, std::uint32_t payload) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Figure fig;
   fig.id = "Ablation A1";
   fig.title = "Block size";
@@ -48,6 +48,5 @@ int main() {
       fig.add(label, payload, loopback_throughput(len, payload));
     }
   }
-  print_figure(std::cout, fig);
-  return 0;
+  return emit_figure(argc, argv, std::cout, fig);
 }

@@ -46,7 +46,7 @@ double broadcast_throughput(double bus_mb_per_s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Figure fig;
   fig.id = "Ablation A3";
   fig.title = "Bus bandwidth derating";
@@ -56,6 +56,5 @@ int main() {
   for (const double mbps : {80.0, 8.0, 2.0, 1.0, 0.5, 0.25}) {
     fig.add("bcast 16 recv", mbps, broadcast_throughput(mbps));
   }
-  print_figure(std::cout, fig);
-  return 0;
+  return emit_figure(argc, argv, std::cout, fig);
 }

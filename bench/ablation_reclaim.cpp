@@ -37,7 +37,7 @@ SimMetrics broadcast_run(bool eager_reclaim, int msgs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Figure footprint;
   footprint.id = "Ablation A4a";
   footprint.title = "Reclaim policy";
@@ -59,6 +59,5 @@ int main() {
     }
   }
   print_figure(std::cout, footprint);
-  print_figure(std::cout, rate);
-  return 0;
+  return emit_figure(argc, argv, std::cout, rate);
 }

@@ -89,7 +89,7 @@ void print_shard_detail(std::uint32_t shards) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Figure wait;
   wait.id = "Ablation A5a";
   wait.title = "Sharded block pool";
@@ -113,7 +113,7 @@ int main() {
     rate.add("cache on", shards, mc.delivered_throughput());
   }
   print_figure(std::cout, wait);
-  print_figure(std::cout, rate);
+  const int rc = emit_figure(argc, argv, std::cout, rate);
 
   // Control: a single process's loop-back must not get slower when the
   // pool is split (it only ever touches its home shard / magazine).
@@ -151,5 +151,5 @@ int main() {
 
   print_shard_detail(1);
   print_shard_detail(4);
-  return 0;
+  return rc;
 }

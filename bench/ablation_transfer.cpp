@@ -1,25 +1,30 @@
-// Ablation: the paper's §5 future-work transfer modes.
+// Ablation: transfer policies through the transport seam.
 //
 // "To support synchronous message passing, copying of data from a sending
 // buffer to a linked message buffer and then to the receiving buffer is
 // unnecessary; direct data transfer is possible.  Furthermore, if only
 // one-to-one communication is implemented, all locking associated with
-// message handling is removed."
+// message handling is removed."  (paper §5)
 //
-// Three one-to-one transports move the same message stream between two
-// simulated Balance processes:
-//   lnvc       - the general MPF path (2 copies through 10-byte blocks),
-//   rendezvous - synchronous direct transfer (1 copy, no blocks),
-//   channel    - lock-free SPSC ring (1 copy each side, contiguous).
+// Every policy drives the same two-process ping-pong through the Transport
+// interface, so the receive path sits on the critical path of every round
+// trip and its cost is what the figure measures:
+//   lnvc-copy   - the general MPF path: 10-byte block chains, copy-out,
+//   lnvc-view   - same chains, zero-copy receive_view/release_view; the
+//                 echo gathers straight from the pinned spans (send_v),
+//   lnvc-slab   - contiguous slab extents above Config::slab_threshold,
+//                 still copy-out (one bulk transfer, no chain walk),
+//   lnvc-slab-view - slabs + views: no chain walk, no copy-out,
+//   rendezvous  - synchronous direct transfer (1 copy, no blocks),
+//   channel     - lock-free SPSC ring (1 copy each side, contiguous).
+#include <cstddef>
 #include <iostream>
 #include <vector>
 
 #include "mpf/benchlib/figure.hpp"
 #include "mpf/benchlib/simrun.hpp"
-#include "mpf/core/channel.hpp"
-#include "mpf/core/ports.hpp"
-#include "mpf/core/rendezvous.hpp"
-#include "mpf/shm/region.hpp"
+#include "mpf/core/errors.hpp"
+#include "mpf/core/transport.hpp"
 #include "mpf/sim/sim_platform.hpp"
 
 namespace {
@@ -27,81 +32,124 @@ namespace {
 using namespace mpf;
 using namespace mpf::benchlib;
 
-constexpr int kMsgs = 60;
+constexpr int kRounds = 40;
 
-double lnvc_throughput(std::size_t len) {
+/// One ping-pong round trip per iteration; the echo side either copies out
+/// and re-sends, or gathers the reply straight from a pinned view.
+void pingpong_origin(Transport& t, std::size_t len, bool use_view) {
+  std::vector<std::byte> buf(len, std::byte{1});
+  for (int i = 0; i < kRounds; ++i) {
+    throw_if_error(t.send(buf.data(), buf.size()), "pingpong");
+    if (use_view) {
+      MsgView v;
+      throw_if_error(t.receive_view(&v), "pingpong");
+      throw_if_error(t.release_view(&v), "pingpong");
+    } else {
+      RecvResult r;
+      throw_if_error(t.receive(buf.data(), buf.size(), &r), "pingpong");
+    }
+  }
+}
+
+void pingpong_echo(Transport& t, std::size_t len, bool use_view) {
+  std::vector<std::byte> buf(len);
+  for (int i = 0; i < kRounds; ++i) {
+    if (use_view) {
+      MsgView v;
+      throw_if_error(t.receive_view(&v), "pingpong");
+      throw_if_error(t.send_v(v.spans), "pingpong");  // gather from the pinned message
+      throw_if_error(t.release_view(&v), "pingpong");
+    } else {
+      RecvResult r;
+      throw_if_error(t.receive(buf.data(), buf.size(), &r), "pingpong");
+      throw_if_error(t.send(buf.data(), r.length), "pingpong");
+    }
+  }
+}
+
+double lnvc_pingpong(std::size_t len, bool use_view, bool use_slab) {
   Config c;
   c.max_lnvcs = 8;
   c.max_processes = 4;
   c.block_payload = 10;
   c.message_blocks = 16384;
+  if (use_slab) c.slab_threshold = 256;
   const SimMetrics m = run_sim(c, 2, [&](Facility f, int rank) {
-    Participant self(f, static_cast<ProcessId>(rank));
-    std::vector<std::byte> buf(len, std::byte{1});
+    const auto pid = static_cast<ProcessId>(rank);
+    LnvcId ping = 0;
+    LnvcId pong = 0;
     if (rank == 0) {
-      SendPort tx = self.open_send("one2one");
-      for (int i = 0; i < kMsgs; ++i) tx.send(buf);
+      throw_if_error(f.open_send(pid, "ping", &ping), "open");
+      throw_if_error(f.open_receive(pid, "pong", Protocol::fcfs, &pong), "open");
+      LnvcTransport t(f, pid, /*tx=*/ping, /*rx=*/pong);
+      pingpong_origin(t, len, use_view);
     } else {
-      ReceivePort rx = self.open_receive("one2one", Protocol::fcfs);
-      for (int i = 0; i < kMsgs; ++i) (void)rx.receive(buf);
+      throw_if_error(f.open_receive(pid, "ping", Protocol::fcfs, &ping), "open");
+      throw_if_error(f.open_send(pid, "pong", &pong), "open");
+      LnvcTransport t(f, pid, /*tx=*/pong, /*rx=*/ping);
+      pingpong_echo(t, len, use_view);
     }
   });
-  return static_cast<double>(len) * kMsgs / m.seconds;
+  return 2.0 * static_cast<double>(len) * kRounds / m.seconds;
 }
 
-double rendezvous_throughput(std::size_t len) {
+double rendezvous_pingpong(std::size_t len) {
   sim::Simulator simulator;
   sim::SimPlatform platform(simulator);
-  RendezvousCell cell;
-  std::vector<std::byte> out(len, std::byte{1});
+  RendezvousCell ping;
+  RendezvousCell pong;
   simulator.spawn([&] {
-    Rendezvous r(cell, platform);
-    for (int i = 0; i < kMsgs; ++i) r.send(out);
+    RendezvousTransport t(Rendezvous(ping, platform),
+                          Rendezvous(pong, platform));
+    pingpong_origin(t, len, /*use_view=*/false);
   });
   simulator.spawn([&] {
-    Rendezvous r(cell, platform);
-    std::vector<std::byte> in(len);
-    for (int i = 0; i < kMsgs; ++i) (void)r.receive(in);
+    RendezvousTransport t(Rendezvous(pong, platform),
+                          Rendezvous(ping, platform));
+    pingpong_echo(t, len, /*use_view=*/false);
   });
   simulator.run();
-  return static_cast<double>(len) * kMsgs /
+  return 2.0 * static_cast<double>(len) * kRounds /
          (static_cast<double>(simulator.elapsed()) * 1e-9);
 }
 
-double channel_throughput(std::size_t len) {
+double channel_pingpong(std::size_t len) {
   sim::Simulator simulator;
   sim::SimPlatform platform(simulator);
-  std::vector<std::byte> memory(Channel::footprint(1 << 16));
-  Channel producer_side =
-      Channel::create(memory.data(), 1 << 16, platform);
-  std::vector<std::byte> out(len, std::byte{1});
+  std::vector<std::byte> ping_mem(Channel::footprint(1 << 16));
+  std::vector<std::byte> pong_mem(Channel::footprint(1 << 16));
+  Channel ping = Channel::create(ping_mem.data(), 1 << 16, platform);
+  Channel pong = Channel::create(pong_mem.data(), 1 << 16, platform);
   simulator.spawn([&] {
-    for (int i = 0; i < kMsgs; ++i) (void)producer_side.send(out);
+    ChannelTransport t(ping, pong);
+    pingpong_origin(t, len, /*use_view=*/false);
   });
   simulator.spawn([&] {
-    Channel consumer_side = Channel::attach(memory.data(), platform);
-    std::vector<std::byte> in(len);
-    for (int i = 0; i < kMsgs; ++i) (void)consumer_side.receive(in);
+    ChannelTransport t(pong, ping);
+    pingpong_echo(t, len, /*use_view=*/false);
   });
   simulator.run();
-  return static_cast<double>(len) * kMsgs /
+  return 2.0 * static_cast<double>(len) * kRounds /
          (static_cast<double>(simulator.elapsed()) * 1e-9);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Figure fig;
   fig.id = "Ablation A2";
-  fig.title = "One-to-one transfer modes (paper §5 future work)";
-  fig.subtitle = "Throughput vs message length, 2 simulated processes";
+  fig.title = "Transfer policies through the transport seam";
+  fig.subtitle = "Ping-pong throughput vs message length, 2 sim processes";
   fig.xlabel = "message_bytes";
   fig.ylabel = "throughput_bytes_per_sec";
   for (const std::size_t len : {16u, 64u, 256u, 1024u, 4096u}) {
-    fig.add("lnvc(general)", len, lnvc_throughput(len));
-    fig.add("rendezvous", len, rendezvous_throughput(len));
-    fig.add("channel(spsc)", len, channel_throughput(len));
+    const auto x = static_cast<double>(len);
+    fig.add("lnvc-copy", x, lnvc_pingpong(len, false, false));
+    fig.add("lnvc-view", x, lnvc_pingpong(len, true, false));
+    fig.add("lnvc-slab", x, lnvc_pingpong(len, false, true));
+    fig.add("lnvc-slab-view", x, lnvc_pingpong(len, true, true));
+    fig.add("rendezvous", x, rendezvous_pingpong(len));
+    fig.add("channel", x, channel_pingpong(len));
   }
-  print_figure(std::cout, fig);
-  return 0;
+  return emit_figure(argc, argv, std::cout, fig);
 }

@@ -47,7 +47,7 @@ double mesh_seconds(const cn::Problem& p, int mesh) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Figure fig;
   fig.id = "Extension E1";
   fig.title = "Cannon's algorithm";
@@ -63,6 +63,5 @@ int main() {
       fig.add(label, mesh * mesh, t_seq / mesh_seconds(p, mesh));
     }
   }
-  print_figure(std::cout, fig);
-  return 0;
+  return emit_figure(argc, argv, std::cout, fig);
 }

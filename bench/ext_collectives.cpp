@@ -55,7 +55,7 @@ double per_op_seconds(int size, const char* which) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Figure fig;
   fig.id = "Extension E2";
   fig.title = "Collectives over LNVCs";
@@ -68,6 +68,5 @@ int main() {
       fig.add(which, size, per_op_seconds(size, which));
     }
   }
-  print_figure(std::cout, fig);
-  return 0;
+  return emit_figure(argc, argv, std::cout, fig);
 }

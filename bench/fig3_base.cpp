@@ -45,7 +45,7 @@ double loopback_throughput(std::size_t len) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Figure fig;
   fig.id = "Figure 3";
   fig.title = "Base Benchmark";
@@ -57,6 +57,5 @@ int main() {
         2048u}) {
     fig.add("throughput", static_cast<double>(len), loopback_throughput(len));
   }
-  print_figure(std::cout, fig);
-  return 0;
+  return emit_figure(argc, argv, std::cout, fig);
 }

@@ -43,7 +43,7 @@ double fcfs_throughput(std::size_t len, int nrecv) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Figure fig;
   fig.id = "Figure 4";
   fig.title = "Fcfs Benchmark";
@@ -56,6 +56,5 @@ int main() {
       fig.add(label, nrecv, fcfs_throughput(len, nrecv));
     }
   }
-  print_figure(std::cout, fig);
-  return 0;
+  return emit_figure(argc, argv, std::cout, fig);
 }

@@ -42,7 +42,7 @@ double broadcast_throughput(std::size_t len, int nrecv) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Figure fig;
   fig.id = "Figure 5";
   fig.title = "Broadcast Benchmark";
@@ -55,6 +55,5 @@ int main() {
       fig.add(label, nrecv, broadcast_throughput(len, nrecv));
     }
   }
-  print_figure(std::cout, fig);
-  return 0;
+  return emit_figure(argc, argv, std::cout, fig);
 }

@@ -41,7 +41,7 @@ double random_throughput(std::size_t len, int nprocs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Figure fig;
   fig.id = "Figure 6";
   fig.title = "Random Benchmark";
@@ -54,6 +54,5 @@ int main() {
       fig.add(label, nprocs, random_throughput(len, nprocs));
     }
   }
-  print_figure(std::cout, fig);
-  return 0;
+  return emit_figure(argc, argv, std::cout, fig);
 }

@@ -47,7 +47,7 @@ double parallel_seconds(const gj::Problem& problem, int nprocs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Figure fig;
   fig.id = "Figure 7";
   fig.title = "Gauss Jordan";
@@ -64,6 +64,5 @@ int main() {
       fig.add(label, nprocs, t_seq / t_par);
     }
   }
-  print_figure(std::cout, fig);
-  return 0;
+  return emit_figure(argc, argv, std::cout, fig);
 }

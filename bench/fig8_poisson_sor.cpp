@@ -52,7 +52,7 @@ double per_iteration_seconds(int lattice, int nside) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Figure times;
   times.id = "Figure 8 (raw)";
   times.title = "Poisson Elliptic PDE Solver with SOR Iterations";
@@ -80,6 +80,5 @@ int main() {
     }
   }
   print_figure(std::cout, times);
-  print_figure(std::cout, fig);
-  return 0;
+  return emit_figure(argc, argv, std::cout, fig);
 }

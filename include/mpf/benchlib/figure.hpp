@@ -33,4 +33,15 @@ struct Figure {
 /// values as rows; missing points print as "-").
 void print_figure(std::ostream& os, const Figure& figure);
 
+/// Render the figure as JSON: {"id", "title", "subtitle", "xlabel",
+/// "ylabel", "series": [{"label", "points": [[x, y], ...]}, ...]}.
+void write_figure_json(std::ostream& os, const Figure& figure);
+
+/// Standard bench main tail: print the table to `os` and, when the
+/// command line carries `--json <path>`, also write the JSON rendering to
+/// that file.  Returns a process exit code (nonzero when the JSON file
+/// cannot be written or the flag is malformed).
+int emit_figure(int argc, char** argv, std::ostream& os,
+                const Figure& figure);
+
 }  // namespace mpf::benchlib

@@ -77,9 +77,20 @@ class Communicator {
   std::size_t recv(int src, void* data, std::size_t cap);
 
  private:
+  /// Payloads at or above this use zero-copy views on the receive side
+  /// (broadcast, reduce): the message is read in place instead of being
+  /// staged through an intermediate buffer.
+  static constexpr std::size_t kViewThreshold = 256;
+
   SendPort& tx_to(int dst);
   ReceivePort& rx_from(int src);
   static void fold(double* acc, const double* in, std::size_t count, Op op);
+  /// Fold `count` doubles straight out of a pinned view's spans (handles
+  /// doubles straddling block boundaries).
+  static void fold_view(double* acc, const MsgView& view, std::size_t count,
+                        Op op);
+  /// Copy a pinned view's payload into `dst` (single copy, no staging).
+  static void copy_view(const MsgView& view, void* dst);
 
   Facility facility_;
   ProcessId pid_ = 0;

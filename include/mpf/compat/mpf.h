@@ -25,6 +25,8 @@
 #ifndef MPF_COMPAT_MPF_H_
 #define MPF_COMPAT_MPF_H_
 
+#include <stddef.h>
+
 #ifdef __cplusplus
 extern "C" {
 #endif
@@ -64,6 +66,34 @@ int mpf_message_send(int process_id, int lnvc_id, const char* send_buffer,
 int mpf_message_receive(int process_id, int lnvc_id, char* receive_buffer,
                         int* buffer_length);
 int mpf_check_receive(int process_id, int lnvc_id);
+
+/* One span of a scatter-gather send or a zero-copy view.  Layout matches
+ * struct iovec (pointer first, then length). */
+typedef struct mpf_iovec {
+  const void* data;
+  size_t len;
+} mpf_iovec;
+
+/* Scatter-gather send: the spans are concatenated into one message (same
+ * semantics as mpf_message_send of the concatenation). */
+int mpf_message_sendv(int process_id, int lnvc_id, const mpf_iovec* iov,
+                      int iov_count);
+
+/* Zero-copy receive.  mpf_message_view blocks like mpf_message_receive but
+ * pins the message in shared memory instead of copying it out; the spans
+ * read through mpf_view_spans stay valid until mpf_view_release.  A process
+ * may hold a small fixed number of views at once (MPF_ETABLEFULL beyond
+ * that); a view held when its holder dies is reclaimed by mpf_reap. */
+typedef struct mpf_view mpf_view; /* opaque handle */
+
+int mpf_message_view(int process_id, int lnvc_id, mpf_view** out_view);
+/* Total message length in bytes, or a negative error code. */
+long mpf_view_length(const mpf_view* view);
+/* Copy up to max_spans span descriptors into `spans`; returns the total
+ * span count of the view (call with max_spans = 0 to size a buffer). */
+int mpf_view_spans(const mpf_view* view, mpf_iovec* spans, int max_spans);
+/* Unpin and free the handle.  The view must belong to `process_id`. */
+int mpf_view_release(int process_id, mpf_view* view);
 
 /* Recovery sweep for a dead participant (e.g. a fork()ed worker that was
  * SIGKILLed): closes its connections, reclaims its blocks, and wakes any

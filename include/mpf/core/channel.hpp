@@ -47,13 +47,18 @@ class Channel {
   /// Blocking send of one message (spins with platform yield when full).
   /// Messages larger than capacity/2 are rejected.
   bool send(std::span<const std::byte> payload);
-  /// Blocking receive of one message; returns bytes copied (caller buffer
-  /// must be large enough; short buffers truncate, message is consumed).
-  std::size_t receive(std::span<std::byte> buffer);
+  /// Blocking receive of one message; returns bytes copied.  A short
+  /// buffer receives the prefix and the rest of the record is discarded —
+  /// same contract as Facility::receive, which copies the prefix and
+  /// returns Status::truncated.  When `truncated` is non-null it reports
+  /// whether that happened.
+  std::size_t receive(std::span<std::byte> buffer, bool* truncated = nullptr);
   /// Non-blocking probe: true if a message is waiting.
   [[nodiscard]] bool ready() const noexcept;
-  /// Non-blocking receive; returns false when empty.
-  bool try_receive(std::span<std::byte> buffer, std::size_t* out_len);
+  /// Non-blocking receive; returns false when empty.  Truncation reporting
+  /// as for receive().
+  bool try_receive(std::span<std::byte> buffer, std::size_t* out_len,
+                   bool* truncated = nullptr);
 
   [[nodiscard]] std::size_t capacity() const noexcept {
     return header_ != nullptr ? header_->capacity : 0;

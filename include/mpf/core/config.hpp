@@ -53,6 +53,18 @@ struct Config {
 
   BlockPolicy block_policy = BlockPolicy::wait;
 
+  /// Messages of at least this many bytes are sent as one contiguous slab
+  /// extent instead of a block chain, eliminating the per-block link walk
+  /// and charging the copy as a single bulk transfer.  0 (default)
+  /// disables the slab path entirely.
+  std::size_t slab_threshold = 0;
+  /// Capacity in bytes of one slab extent; 0 derives max(16 KiB, rounded
+  /// slab_threshold).  Messages larger than this fall back to the chain.
+  std::size_t slab_bytes = 0;
+  /// Number of slab extents carved at init; 0 derives max_processes / 2
+  /// (at least 4).  Ignored while slab_threshold == 0.
+  std::size_t slab_count = 0;
+
   /// Failure-suspicion threshold in nanoseconds (wall time natively,
   /// virtual time under the simulator).  A waiter that has watched the
   /// same holder sit on an arena lock for this long probes the holder's

@@ -39,8 +39,26 @@ struct LnvcInfo {
   std::uint32_t fcfs_receivers = 0;
   std::uint32_t broadcast_receivers = 0;
   std::uint32_t queued = 0;  ///< messages not yet FCFS-consumed
+  std::uint32_t pinned = 0;  ///< receiver pins (copy-outs + held views)
   std::uint64_t total_messages = 0;
   std::uint64_t total_bytes = 0;
+};
+
+/// A zero-copy receive: the message stays pinned in the arena and the
+/// receiver reads it through `spans` (one span per block, or a single span
+/// for slab messages).  Must be returned with Facility::release_view —
+/// blocks are not reclaimed while a view holds them.  If the holder dies,
+/// reap() releases the pin from the view table.
+struct MsgView {
+  std::size_t length = 0;             ///< total payload bytes
+  std::vector<ConstBuffer> spans;     ///< fragments, in payload order
+  LnvcId id = kInvalidLnvc;           ///< LNVC it was claimed from
+  std::uint32_t generation = 0;       ///< slot generation at claim time
+  shm::Offset msg = shm::kNullOffset; ///< pinned MsgHeader (opaque)
+  bool bcast = false;                 ///< claimed via a BROADCAST cursor
+  bool slab = false;                  ///< payload is one contiguous extent
+  int slot = -1;                      ///< view-table index (opaque)
+  [[nodiscard]] bool valid() const noexcept { return slot >= 0; }
 };
 
 /// Aggregate runtime statistics (lifetime of the facility).
@@ -72,6 +90,13 @@ struct FacilityStats {
   std::uint64_t reclaimed_blocks = 0;  ///< blocks recovered from dead procs
   std::uint64_t peer_failures = 0;     ///< blocked ops ended peer_failed
   std::uint64_t orphaned_receives = 0;
+  // Transport-seam counters (see DESIGN.md §9).
+  std::uint64_t views = 0;            ///< zero-copy view deliveries
+  std::uint64_t view_bytes = 0;       ///< bytes delivered without copy-out
+  std::uint64_t slab_sends = 0;       ///< messages sent as one slab extent
+  std::uint64_t slab_fallbacks = 0;   ///< slab pool dry, fell back to chain
+  std::size_t slabs_free = 0;
+  std::size_t slabs_total = 0;
 };
 
 /// Snapshot of one pool shard (allocator introspection).
@@ -108,9 +133,15 @@ struct BlockAudit {
   std::size_t blocks_cached = 0;    ///< in per-process magazines
   std::size_t blocks_queued = 0;    ///< in messages linked into LNVC FIFOs
   std::size_t blocks_journaled = 0;  ///< in dead/live processes' intent logs
+  /// Slab extents obey the same conservation law as blocks.
+  std::size_t slabs_total = 0;
+  std::size_t slabs_free = 0;
+  std::size_t slabs_queued = 0;     ///< slab messages linked into FIFOs
+  std::size_t slabs_journaled = 0;  ///< in intent logs / detached views
   [[nodiscard]] bool consistent() const noexcept {
     return blocks_free + blocks_cached + blocks_queued + blocks_journaled ==
-           blocks_total;
+               blocks_total &&
+           slabs_free + slabs_queued + slabs_journaled == slabs_total;
   }
   /// Blocks in flight in live processes (gathered but not yet enqueued, or
   /// being copied out).  Derived, may be 0 when the facility is quiescent.
@@ -130,6 +161,7 @@ struct OrphanInfo {
   std::uint32_t connections = 0;  ///< open connections held facility-wide
   std::uint32_t magazine_blocks = 0;
   std::uint32_t journal_op = 0;  ///< detail::JournalOp in the intent log
+  std::uint32_t views = 0;       ///< active zero-copy views held
 };
 
 /// Cheap per-process handle to a facility living in a shared region.  Copy
@@ -162,6 +194,23 @@ class Facility {
   // --- message transfer ---------------------------------------------------
   /// Asynchronous send of `len` bytes from `data` (paper: message_send).
   Status send(ProcessId pid, LnvcId id, const void* data, std::size_t len);
+  /// Scatter-gather send: the spans in `iov` are concatenated into one
+  /// message (same semantics as send of the concatenation).
+  Status send_v(ProcessId pid, LnvcId id, std::span<const ConstBuffer> iov);
+  /// Zero-copy receive: claim the next message exactly as receive() would,
+  /// but pin it in place and return iovec-style spans instead of copying
+  /// out.  The message (and its blocks) stays unreclaimable until
+  /// release_view().  At most detail::kMaxViews views may be held per
+  /// process (Status::table_full beyond that).  Spans point into the
+  /// shared arena: valid in-process and across fork'd mappings at the same
+  /// base address.
+  Status receive_view(ProcessId pid, LnvcId id, MsgView* out);
+  /// Non-blocking variant: *out_ready=false when no message is available.
+  Status try_receive_view(ProcessId pid, LnvcId id, MsgView* out,
+                          bool* out_ready);
+  /// Unpin a view taken by receive_view.  Safe after close_receive and
+  /// after the LNVC died: a detached message is freed by its last pinner.
+  Status release_view(ProcessId pid, MsgView* view);
   /// Blocking receive into `buf` (capacity `cap`); the delivered length is
   /// written to `*out_len`.  Returns Status::truncated (after copying the
   /// prefix) when the message exceeds `cap`.
@@ -276,6 +325,26 @@ class Facility {
   Status receive_impl(ProcessId pid, LnvcId id, void* buf, std::size_t cap,
                       std::size_t* out_len, bool blocking, bool* out_ready,
                       std::uint64_t timeout_ns = 0);
+  /// Shared claim step of receive_impl / receive_view: block (or not) until
+  /// a message is deliverable to `pid` on `id`, claim it (FCFS consume or
+  /// broadcast-cursor advance), and return with the LNVC lock HELD and
+  /// *out_m set.  Nonblocking with nothing deliverable: Status::ok with
+  /// *out_m == nullptr (lock released).  Errors: lock released.
+  Status claim_message(ProcessId pid, LnvcId id, bool blocking,
+                       std::uint64_t timeout_ns, detail::LnvcDesc** out_d,
+                       detail::MsgHeader** out_m, bool* out_bcast,
+                       std::uint32_t* out_gen);
+  Status receive_view_impl(ProcessId pid, LnvcId id, MsgView* out,
+                           bool blocking, bool* out_ready);
+  /// Build the send-side message (slab or chain) and enqueue it; shared by
+  /// send / send_v.
+  Status send_impl(ProcessId pid, LnvcId id,
+                   std::span<const ConstBuffer> iov, std::size_t total);
+  /// Drop one pin under the LNVC slot lock; frees the message if it was
+  /// detached and this was the last pin.  Core of release_view and of the
+  /// reap-time view sweep.
+  void unpin(ProcessId pid, detail::LnvcDesc& d, detail::MsgHeader* m,
+             std::uint32_t claim_gen, bool bcast);
   detail::Connection* find_conn(detail::LnvcDesc& d, ProcessId pid,
                                 bool sender) const noexcept;
 
@@ -325,6 +394,15 @@ class Facility {
                         shm::Offset tail, std::uint32_t count);
   void journal_free_blocks_done(ProcessId pid);
   void journal_free_clear(ProcessId pid);
+  // View table (independent of the primary journal record).
+  int view_arm(ProcessId pid, LnvcId id, std::uint32_t gen, bool bcast,
+               shm::Offset msg);
+  void view_clear(ProcessId pid, int slot);
+  // Slab pool (pool.cpp): pop/push one contiguous extent.  slab_alloc
+  // journals via ProcSlot::slab inside the pop's critical section;
+  // kNullOffset when the pool is dry.
+  shm::Offset slab_alloc(ProcessId pid);
+  void slab_free(ProcessId pid, shm::Offset extent);
 
   mutable shm::Arena arena_{};
   detail::FacilityHeader* header_ = nullptr;

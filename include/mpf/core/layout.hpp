@@ -44,18 +44,28 @@ struct Block {
 /// Message header (paper §3.1: length, tail pointer, next-message link),
 /// extended with the reference counts that implement reclamation.
 struct MsgHeader {
+  /// Payload lives in one contiguous slab extent (first_block == the
+  /// extent, nblocks == 0) instead of a block chain.
+  static constexpr std::uint32_t kSlab = 1u << 0;
+  /// The owning LNVC was destroyed while receivers held pins (views); the
+  /// message left the FIFO and is owned by its pinners — the last one to
+  /// unpin frees it.
+  static constexpr std::uint32_t kDetached = 1u << 1;
+
   shm::Offset next_msg;     ///< FIFO link (doubles as free-list link)
-  shm::Offset first_block;  ///< head of the block chain
+  shm::Offset first_block;  ///< head of the block chain (or slab extent)
   shm::Offset last_block;   ///< tail of the block chain
   std::uint32_t length;     ///< payload bytes
-  std::uint32_t nblocks;
+  std::uint32_t nblocks;    ///< chain length; 0 for slab messages
   std::uint64_t seq;  ///< LNVC-local enqueue sequence (order tests)
   /// BROADCAST receivers that still must read this message.
   std::atomic<std::uint32_t> bcast_remaining;
   /// 1 once an FCFS receiver consumed it (or it needs no FCFS consumption).
   std::uint32_t fcfs_consumed;
-  /// Receivers currently copying out of this message (pins reclamation).
+  /// Receivers currently copying out of / viewing this message (pins
+  /// reclamation).
   std::uint32_t pins;
+  std::uint32_t flags;  ///< kSlab | kDetached
 };
 
 /// A send or receive connection of one process to one LNVC.
@@ -168,6 +178,23 @@ enum class JournalOp : std::uint32_t {
   release_chains,  ///< bulk-freeing every message of a dying LNVC
 };
 
+/// One held zero-copy receive view.  Lives beside the primary journal
+/// record (not in it) because a process may hold views while sending or
+/// receiving — ops that would clobber the single copy_out record.
+/// `active` is the commit point: operands first, active last (release);
+/// active cleared first when the view is released.
+struct ViewSlot {
+  std::atomic<std::uint32_t> active;
+  std::uint32_t lnvc_id;
+  std::uint32_t lnvc_gen;
+  std::uint32_t bcast;  ///< 1 = claimed via a BROADCAST cursor
+  shm::Offset msg;      ///< the pinned MsgHeader
+};
+
+/// Views one process may hold concurrently (receive_view returns
+/// Status::table_full beyond this).
+inline constexpr std::uint32_t kMaxViews = 4;
+
 /// Per-process recovery slot: registration, OS identity, waiting-monitor
 /// membership, and the single-record intent journal recovery rolls forward
 /// or back.  Journal discipline: operands first, `op` last (the commit
@@ -191,6 +218,10 @@ struct alignas(64) ProcSlot {
   shm::Offset msg;  ///< MsgHeader operand (gather/enqueue/copy_out); for
                     ///< release_chains: the walk cursor (next unfreed msg)
   std::uint32_t chain_count;      ///< blocks in [chain_head, chain_tail]
+  /// Slab extent in hand during a slab send (set inside the slab pop's
+  /// critical section, cleared by journal_clear with the rest of the
+  /// gather/enqueue operands).
+  shm::Offset slab;
 
   /// Refill batch popped from the home shard but not yet inserted into the
   /// magazine (the gather phase-2 handoff window).  Journaled separately
@@ -210,6 +241,11 @@ struct alignas(64) ProcSlot {
   shm::Offset fm_head;  ///< its block chain (valid while fm_stage == 1)
   shm::Offset fm_tail;
   std::uint32_t fm_count;
+  std::uint32_t fm_slab;  ///< 1: fm_head is a slab extent, not a chain
+
+  /// Zero-copy receive views held by this process (independent of the
+  /// primary journal record above).
+  ViewSlot views[kMaxViews];
 
   /// Monitor membership flags: set while this process is counted in
   /// exhaustion_waiters / activity_waiters, so reap() can repair the
@@ -248,6 +284,15 @@ struct FacilityHeader {
 
   shm::FreeList conn_list;  ///< Connection nodes (global; open/close only)
 
+  /// Contiguous-slab pool for large messages (Config::slab_threshold).
+  /// Guarded by slab_lock; slab sends are rare enough (>= threshold bytes)
+  /// that one lock does not crowd.
+  sync::SpinLock slab_lock;
+  shm::FreeList slabs;
+  std::uint64_t slab_threshold;  ///< 0 = slab path disabled
+  std::uint64_t slab_bytes;      ///< capacity of one extent
+  std::uint64_t slabs_total;     ///< extents carved at init
+
   shm::Offset shards;      ///< PoolShard[n_shards]
   shm::Offset caches;      ///< ProcCache[max_processes]
   shm::Offset lnvc_table;  ///< LnvcDesc[max_lnvcs]
@@ -264,6 +309,12 @@ struct FacilityHeader {
   std::atomic<std::uint64_t> receives;
   std::atomic<std::uint64_t> bytes_sent;
   std::atomic<std::uint64_t> bytes_delivered;
+
+  // Transport-seam observability (views + slab path).
+  std::atomic<std::uint64_t> views;           ///< receive_view deliveries
+  std::atomic<std::uint64_t> view_bytes;      ///< bytes delivered by view
+  std::atomic<std::uint64_t> slab_sends;      ///< messages sent as slabs
+  std::atomic<std::uint64_t> slab_fallbacks;  ///< slab pool dry -> chain
 
   // Recovery observability (FacilityStats / mpf_inspect).
   std::atomic<std::uint64_t> suspicions;        ///< liveness probes fired

@@ -122,6 +122,12 @@ class Platform {
     (void)bytes;
     (void)nblocks;
   }
+  /// Handing out a zero-copy view of a message: the receiver pays the
+  /// per-block pointer-chase overhead but moves no payload bytes.
+  virtual void charge_view(std::size_t bytes, std::size_t nblocks) {
+    (void)bytes;
+    (void)nblocks;
+  }
   /// Generic bookkeeping operations (application-level unit work).
   virtual void charge_ops(double ops) { (void)ops; }
   /// Floating-point work (applications call this per sweep).

@@ -6,7 +6,9 @@
 // no additional synchronization or semantics.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <span>
 #include <string>
 #include <string_view>
@@ -99,6 +101,65 @@ class SendPort {
   LnvcId id_ = kInvalidLnvc;
 };
 
+/// RAII holder of a zero-copy message view: unpins on destruction.
+/// Obtained from ReceivePort::receive_view().  The spans point into the
+/// facility's shared arena and stay valid for the lifetime of this object
+/// (even across close_receive — a detached message is freed by its last
+/// pinner).
+class MessageView {
+ public:
+  MessageView() = default;
+  MessageView(Facility facility, ProcessId pid, MsgView view)
+      : facility_(std::move(facility)), pid_(pid), view_(std::move(view)) {}
+  MessageView(MessageView&& other) noexcept { swap(other); }
+  MessageView& operator=(MessageView&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  MessageView(const MessageView&) = delete;
+  MessageView& operator=(const MessageView&) = delete;
+  ~MessageView() { release(); }
+
+  [[nodiscard]] bool valid() const noexcept { return view_.valid(); }
+  [[nodiscard]] std::size_t length() const noexcept { return view_.length; }
+  /// iovec-style spans over the pinned message (one per block, or a
+  /// single span for slab-built messages).
+  [[nodiscard]] std::span<const ConstBuffer> spans() const noexcept {
+    return view_.spans;
+  }
+  /// Copy the payload out (convenience; bounded by `buffer.size()`).
+  std::size_t copy_to(std::span<std::byte> buffer) const {
+    std::size_t at = 0;
+    for (const ConstBuffer& s : view_.spans) {
+      if (at >= buffer.size()) break;
+      const std::size_t n = std::min(s.len, buffer.size() - at);
+      std::memcpy(buffer.data() + at, s.data, n);
+      at += n;
+    }
+    return at;
+  }
+
+  /// Unpin now (idempotent; also run by the destructor).
+  void release() {
+    if (view_.valid()) {
+      facility_.release_view(pid_, &view_);
+    }
+  }
+
+ private:
+  void swap(MessageView& o) noexcept {
+    std::swap(facility_, o.facility_);
+    std::swap(pid_, o.pid_);
+    std::swap(view_, o.view_);
+  }
+  Facility facility_;
+  ProcessId pid_ = 0;
+  MsgView view_;
+};
+
 /// Scoped receive connection; closes on destruction.
 class ReceivePort {
  public:
@@ -180,6 +241,25 @@ class ReceivePort {
     if (ready && out != nullptr) *out = {len, false};
     return ready;
   }
+  /// Blocking zero-copy receive: the next message stays pinned in shared
+  /// memory and is read through the returned view's spans; it unpins when
+  /// the view is destroyed (or release()d).
+  [[nodiscard]] MessageView receive_view() {
+    MsgView view;
+    throw_if_error(facility_.receive_view(pid_, id_, &view),
+                   "ReceivePort::receive_view");
+    return MessageView(facility_, pid_, std::move(view));
+  }
+  /// Non-blocking variant; an invalid view means no message was ready.
+  [[nodiscard]] MessageView try_receive_view() {
+    MsgView view;
+    bool ready = false;
+    throw_if_error(facility_.try_receive_view(pid_, id_, &view, &ready),
+                   "ReceivePort::try_receive_view");
+    if (!ready) return {};
+    return MessageView(facility_, pid_, std::move(view));
+  }
+
   /// Paper's check_receive (advisory for FCFS).
   [[nodiscard]] bool check() {
     bool has = false;

@@ -46,8 +46,10 @@ class Rendezvous {
   /// Block until a receiver has taken the payload (one direct copy).
   void send(std::span<const std::byte> payload);
   /// Block until a sender offers; copy directly from its buffer.
-  /// Returns bytes copied (truncates to the buffer size).
-  std::size_t receive(std::span<std::byte> buffer);
+  /// Returns bytes copied (a short buffer receives the prefix; when
+  /// `truncated` is non-null it reports whether that happened — same
+  /// contract as Facility::receive / Channel::receive).
+  std::size_t receive(std::span<std::byte> buffer, bool* truncated = nullptr);
 
  private:
   RendezvousCell* cell_ = nullptr;

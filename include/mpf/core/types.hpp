@@ -1,9 +1,18 @@
 // Small public vocabulary types for the MPF API.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace mpf {
+
+/// One source span of a scatter-gather send (send_v) or one fragment of a
+/// zero-copy receive view (MsgView).  Deliberately layout-compatible with
+/// POSIX iovec so the C API can alias it.
+struct ConstBuffer {
+  const void* data = nullptr;
+  std::size_t len = 0;
+};
 
 /// Receive protocols (paper §1): an FCFS receiver competes for each
 /// message — exactly one FCFS receiver gets it; a BROADCAST receiver gets

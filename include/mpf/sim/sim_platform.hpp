@@ -32,6 +32,7 @@ class SimPlatform final : public Platform {
   void charge_check() override;
   void charge_open_close() override;
   void charge_copy(std::size_t bytes, std::size_t nblocks) override;
+  void charge_view(std::size_t bytes, std::size_t nblocks) override;
   void charge_ops(double ops) override;
   void charge_flops(double flops) override;
   void on_buffer_alloc(std::size_t bytes) override;

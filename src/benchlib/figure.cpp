@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <map>
 
 namespace mpf::benchlib {
@@ -75,6 +78,99 @@ void print_figure(std::ostream& os, const Figure& figure) {
     os << "\n";
   }
   os.flush();
+}
+
+namespace {
+
+/// JSON string escaping for the handful of metadata fields (labels are
+/// ASCII identifiers in practice, but be correct anyway).
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_json_number(std::ostream& os, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    os << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void write_figure_json(std::ostream& os, const Figure& figure) {
+  os << "{\n  \"id\": ";
+  write_json_string(os, figure.id);
+  os << ",\n  \"title\": ";
+  write_json_string(os, figure.title);
+  os << ",\n  \"subtitle\": ";
+  write_json_string(os, figure.subtitle);
+  os << ",\n  \"xlabel\": ";
+  write_json_string(os, figure.xlabel);
+  os << ",\n  \"ylabel\": ";
+  write_json_string(os, figure.ylabel);
+  os << ",\n  \"series\": [\n";
+  for (std::size_t si = 0; si < figure.series.size(); ++si) {
+    const Series& s = figure.series[si];
+    os << "    {\"label\": ";
+    write_json_string(os, s.label);
+    os << ", \"points\": [";
+    for (std::size_t pi = 0; pi < s.points.size(); ++pi) {
+      if (pi != 0) os << ", ";
+      os << '[';
+      write_json_number(os, s.points[pi].first);
+      os << ", ";
+      write_json_number(os, s.points[pi].second);
+      os << ']';
+    }
+    os << "]}" << (si + 1 < figure.series.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.flush();
+}
+
+int emit_figure(int argc, char** argv, std::ostream& os,
+                const Figure& figure) {
+  print_figure(os, figure);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) continue;
+    if (i + 1 >= argc) {
+      std::cerr << argv[0] << ": --json requires a file path\n";
+      return 2;
+    }
+    std::ofstream out(argv[i + 1]);
+    if (!out) {
+      std::cerr << argv[0] << ": cannot open " << argv[i + 1]
+                << " for writing\n";
+      return 1;
+    }
+    write_figure_json(out, figure);
+    if (!out) {
+      std::cerr << argv[0] << ": error writing " << argv[i + 1] << "\n";
+      return 1;
+    }
+    ++i;
+  }
+  return 0;
 }
 
 }  // namespace mpf::benchlib

@@ -102,6 +102,14 @@ void Communicator::barrier() {
       "Communicator::barrier");
 }
 
+void Communicator::copy_view(const MsgView& view, void* dst) {
+  auto* out = static_cast<std::byte*>(dst);
+  for (const ConstBuffer& s : view.spans) {
+    std::memcpy(out, s.data, s.len);
+    out += s.len;
+  }
+}
+
 void Communicator::broadcast(void* data, std::size_t bytes, int root) {
   if (root == rank_) {
     throw_if_error(facility_.send(pid_, bc_tx_.id(), data, bytes),
@@ -109,6 +117,23 @@ void Communicator::broadcast(void* data, std::size_t bytes, int root) {
   }
   // Everyone (root included) consumes the message to keep the circuit's
   // per-receiver cursors aligned across successive broadcasts.
+  if (bytes >= kViewThreshold) {
+    // Large payloads: read the pinned message in place.  Root drops its
+    // own copy without moving a byte; everyone else copies once, straight
+    // into the caller's buffer (no staging vector).
+    MsgView view;
+    throw_if_error(facility_.receive_view(pid_, bc_rx_[root].id(), &view),
+                   "Communicator::broadcast");
+    const std::size_t len = view.length;
+    if (len == bytes && root != rank_) copy_view(view, data);
+    throw_if_error(facility_.release_view(pid_, &view),
+                   "Communicator::broadcast");
+    if (len != bytes) {
+      throw MpfError(Status::invalid_argument,
+                     "Communicator::broadcast size mismatch");
+    }
+    return;
+  }
   std::vector<std::byte> buf(bytes);
   std::size_t len = 0;
   throw_if_error(facility_.receive(pid_, bc_rx_[root].id(), buf.data(),
@@ -168,20 +193,73 @@ void Communicator::fold(double* acc, const double* in, std::size_t count,
   }
 }
 
+void Communicator::fold_view(double* acc, const MsgView& view,
+                             std::size_t count, Op op) {
+  std::size_t idx = 0;
+  unsigned char partial[sizeof(double)];
+  std::size_t have = 0;  // bytes of a straddling double accumulated so far
+  for (const ConstBuffer& s : view.spans) {
+    const auto* p = static_cast<const unsigned char*>(s.data);
+    std::size_t left = s.len;
+    while (left > 0 && idx < count) {
+      if (have == 0 && left >= sizeof(double)) {
+        double val;
+        std::memcpy(&val, p, sizeof(double));
+        fold(&acc[idx], &val, 1, op);
+        ++idx;
+        p += sizeof(double);
+        left -= sizeof(double);
+      } else {
+        const std::size_t take = std::min(sizeof(double) - have, left);
+        std::memcpy(partial + have, p, take);
+        have += take;
+        p += take;
+        left -= take;
+        if (have == sizeof(double)) {
+          double val;
+          std::memcpy(&val, partial, sizeof(double));
+          fold(&acc[idx], &val, 1, op);
+          ++idx;
+          have = 0;
+        }
+      }
+    }
+  }
+}
+
 void Communicator::reduce(const double* in, double* out, std::size_t count,
                           Op op, int root) {
   const std::size_t bytes = count * sizeof(double);
   if (rank_ == root) {
     std::vector<double> acc(in, in + count);
-    std::vector<double> incoming(count);
-    for (int r = 0; r < size_; ++r) {
-      if (r == root) continue;
-      const std::size_t len = recv(r, incoming.data(), bytes);
-      if (len != bytes) {
-        throw MpfError(Status::invalid_argument,
-                       "Communicator::reduce size mismatch");
+    if (bytes >= kViewThreshold) {
+      // Large payloads: fold each contribution straight out of its pinned
+      // message — no incoming staging buffer, no copy-out.
+      for (int r = 0; r < size_; ++r) {
+        if (r == root) continue;
+        MsgView view;
+        throw_if_error(facility_.receive_view(pid_, rx_from(r).id(), &view),
+                       "Communicator::reduce");
+        const std::size_t len = view.length;
+        if (len == bytes) fold_view(acc.data(), view, count, op);
+        throw_if_error(facility_.release_view(pid_, &view),
+                       "Communicator::reduce");
+        if (len != bytes) {
+          throw MpfError(Status::invalid_argument,
+                         "Communicator::reduce size mismatch");
+        }
       }
-      fold(acc.data(), incoming.data(), count, op);
+    } else {
+      std::vector<double> incoming(count);
+      for (int r = 0; r < size_; ++r) {
+        if (r == root) continue;
+        const std::size_t len = recv(r, incoming.data(), bytes);
+        if (len != bytes) {
+          throw MpfError(Status::invalid_argument,
+                         "Communicator::reduce size mismatch");
+        }
+        fold(acc.data(), incoming.data(), count, op);
+      }
     }
     std::memcpy(out, acc.data(), bytes);
   } else {

@@ -3,9 +3,15 @@
 
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "mpf/core/facility.hpp"
 #include "mpf/shm/region.hpp"
+
+/* The opaque C view handle wraps the C++ view object. */
+struct mpf_view {
+  mpf::MsgView v;
+};
 
 namespace {
 
@@ -120,6 +126,66 @@ int mpf_message_receive(int process_id, int lnvc_id, char* receive_buffer,
   if (s == mpf::Status::ok || s == mpf::Status::truncated) {
     *buffer_length = static_cast<int>(len);
   }
+  return status_code(s);
+}
+
+int mpf_message_sendv(int process_id, int lnvc_id, const mpf_iovec* iov,
+                      int iov_count) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0 || iov_count < 0 || (iov == nullptr && iov_count > 0)) {
+    return MPF_EINVAL;
+  }
+  // mpf_iovec and ConstBuffer share layout (pointer, then size_t length),
+  // but reinterpreting across the C boundary is UB; build the spans.
+  std::vector<mpf::ConstBuffer> spans(static_cast<std::size_t>(iov_count));
+  for (int i = 0; i < iov_count; ++i) {
+    spans[static_cast<std::size_t>(i)] = {iov[i].data, iov[i].len};
+  }
+  return status_code(f->send_v(static_cast<mpf::ProcessId>(process_id),
+                               lnvc_id, spans));
+}
+
+int mpf_message_view(int process_id, int lnvc_id, mpf_view** out_view) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0 || out_view == nullptr) return MPF_EINVAL;
+  *out_view = nullptr;
+  auto view = std::make_unique<mpf_view>();
+  const mpf::Status s = f->receive_view(
+      static_cast<mpf::ProcessId>(process_id), lnvc_id, &view->v);
+  if (s != mpf::Status::ok) return status_code(s);
+  *out_view = view.release();
+  return 0;
+}
+
+long mpf_view_length(const mpf_view* view) {
+  if (view == nullptr || !view->v.valid()) return MPF_EINVAL;
+  return static_cast<long>(view->v.length);
+}
+
+int mpf_view_spans(const mpf_view* view, mpf_iovec* spans, int max_spans) {
+  if (view == nullptr || !view->v.valid() || max_spans < 0 ||
+      (spans == nullptr && max_spans > 0)) {
+    return MPF_EINVAL;
+  }
+  const auto total = static_cast<int>(view->v.spans.size());
+  const int n = max_spans < total ? max_spans : total;
+  for (int i = 0; i < n; ++i) {
+    const mpf::ConstBuffer& b = view->v.spans[static_cast<std::size_t>(i)];
+    spans[i].data = b.data;
+    spans[i].len = b.len;
+  }
+  return total;
+}
+
+int mpf_view_release(int process_id, mpf_view* view) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0 || view == nullptr) return MPF_EINVAL;
+  const mpf::Status s =
+      f->release_view(static_cast<mpf::ProcessId>(process_id), &view->v);
+  if (s == mpf::Status::ok) delete view;
   return status_code(s);
 }
 

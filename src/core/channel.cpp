@@ -83,7 +83,8 @@ bool Channel::ready() const noexcept {
          header_->tail.load(std::memory_order_acquire);
 }
 
-bool Channel::try_receive(std::span<std::byte> buffer, std::size_t* out_len) {
+bool Channel::try_receive(std::span<std::byte> buffer, std::size_t* out_len,
+                          bool* truncated) {
   const std::uint64_t head = header_->head.load(std::memory_order_relaxed);
   if (head == header_->tail.load(std::memory_order_acquire)) return false;
   platform_->charge_ops(kChannelFixedOps);
@@ -94,12 +95,13 @@ bool Channel::try_receive(std::span<std::byte> buffer, std::size_t* out_len) {
   platform_->charge_copy(len32, 0);
   header_->head.store(head + kLenBytes + len32, std::memory_order_release);
   if (out_len != nullptr) *out_len = copy;
+  if (truncated != nullptr) *truncated = len32 > buffer.size();
   return true;
 }
 
-std::size_t Channel::receive(std::span<std::byte> buffer) {
+std::size_t Channel::receive(std::span<std::byte> buffer, bool* truncated) {
   std::size_t len = 0;
-  while (!try_receive(buffer, &len)) platform_->yield();
+  while (!try_receive(buffer, &len, truncated)) platform_->yield();
   return len;
 }
 

@@ -102,10 +102,25 @@ Config Config::resolved() const noexcept {
     if (cap < 8) cap = 0;
     c.cache_blocks = std::min<std::size_t>(cap, 128);
   }
+  if (c.slab_threshold > 0) {
+    if (c.slab_bytes == 0) {
+      c.slab_bytes = std::max<std::size_t>(16384, align8(c.slab_threshold));
+    }
+    if (c.slab_bytes < c.slab_threshold) {
+      c.slab_bytes = align8(c.slab_threshold);
+    }
+    if (c.slab_count == 0) {
+      c.slab_count = std::max<std::size_t>(4, c.max_processes / 2);
+    }
+  } else {
+    c.slab_bytes = 0;
+    c.slab_count = 0;
+  }
   if (c.arena_bytes == 0) {
     std::size_t bytes = 4096;  // arena + facility headers, slack
     bytes += static_cast<std::size_t>(c.max_lnvcs) * sizeof(detail::LnvcDesc);
     bytes += c.message_blocks * (block_node_bytes(c.block_payload) + 8);
+    bytes += c.slab_count * (node_bytes(c.slab_bytes) + 8);
     bytes += c.message_headers * node_bytes(sizeof(detail::MsgHeader));
     bytes += c.connections * node_bytes(sizeof(detail::Connection));
     bytes += static_cast<std::size_t>(c.pool_shards) * sizeof(detail::PoolShard);
@@ -150,6 +165,14 @@ Facility Facility::create(const Config& config, shm::Region& region,
   hdr->lnvc_table = arena.make_array<detail::LnvcDesc>(c.max_lnvcs);
   hdr->conn_list.carve(arena, node_bytes(sizeof(detail::Connection)),
                        c.connections);
+
+  // Contiguous-slab pool for large messages (disabled when threshold == 0).
+  hdr->slab_threshold = c.slab_threshold;
+  hdr->slab_bytes = c.slab_bytes;
+  hdr->slabs_total = c.slab_count;
+  if (c.slab_count > 0) {
+    hdr->slabs.carve(arena, node_bytes(c.slab_bytes), c.slab_count);
+  }
 
   // Split the block and message-header pools across the shards; the first
   // (total % n) shards absorb the remainder.
@@ -434,10 +457,22 @@ void Facility::destroy_lnvc(ProcessId pid, detail::LnvcDesc& d) {
   while (m_off != shm::kNullOffset) {
     auto* m = static_cast<detail::MsgHeader*>(arena_.raw(m_off));
     const shm::Offset next = m->next_msg;
-    // Advance the journal cursor past the message before freeing it (same
-    // span: free_message arms its own nested record for the current one).
-    pslot(pid).msg = next;
-    free_message(pid, m);
+    if (m->pins != 0) {
+      // Receivers hold pins (views / in-flight copy-outs) into this
+      // message: freeing it under them would be a use-after-free.  Detach
+      // it instead — ownership passes to the pinners and the last one to
+      // unpin frees it.  Flag first, then advance the cursor, then cut the
+      // link (one store span): a reaper resuming from the journal cursor
+      // either sees the flag or never sees the message.
+      m->flags |= detail::MsgHeader::kDetached;
+      pslot(pid).msg = next;
+      m->next_msg = shm::kNullOffset;
+    } else {
+      // Advance the journal cursor past the message before freeing it
+      // (same span: free_message arms its own nested record for it).
+      pslot(pid).msg = next;
+      free_message(pid, m);
+    }
     m_off = next;
   }
   journal_clear(pid);
@@ -491,6 +526,12 @@ Status Facility::lnvc_info(LnvcId id, LnvcInfo* out) const {
   out->fcfs_receivers = d->n_fcfs;
   out->broadcast_receivers = d->n_bcast;
   out->queued = d->n_queued;
+  out->pinned = 0;
+  for (shm::Offset m_off = d->msg_head.off; m_off != shm::kNullOffset;) {
+    const auto* m = static_cast<const detail::MsgHeader*>(arena_.raw(m_off));
+    out->pinned += m->pins;
+    m_off = m->next_msg;
+  }
   out->total_messages = d->total_msgs;
   out->total_bytes = d->total_bytes;
   self->platform_->unlock(d->lock);
@@ -548,6 +589,12 @@ FacilityStats Facility::stats() const {
   s.peer_failures = header_->peer_failures.load(std::memory_order_relaxed);
   s.orphaned_receives =
       header_->orphaned_receives.load(std::memory_order_relaxed);
+  s.views = header_->views.load(std::memory_order_relaxed);
+  s.view_bytes = header_->view_bytes.load(std::memory_order_relaxed);
+  s.slab_sends = header_->slab_sends.load(std::memory_order_relaxed);
+  s.slab_fallbacks = header_->slab_fallbacks.load(std::memory_order_relaxed);
+  s.slabs_total = header_->slabs_total;
+  s.slabs_free = header_->slabs.available();
   s.arena_used = arena_.used();
   return s;
 }

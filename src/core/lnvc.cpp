@@ -42,10 +42,27 @@ void Facility::reclaim(ProcessId pid, detail::LnvcDesc& d) {
 
 Status Facility::send(ProcessId pid, LnvcId id, const void* data,
                       std::size_t len) {
+  const ConstBuffer one{data, len};
+  return send_impl(pid, id, std::span<const ConstBuffer>(&one, 1), len);
+}
+
+Status Facility::send_v(ProcessId pid, LnvcId id,
+                        std::span<const ConstBuffer> iov) {
+  std::size_t total = 0;
+  for (const ConstBuffer& b : iov) total += b.len;
+  return send_impl(pid, id, iov, total);
+}
+
+Status Facility::send_impl(ProcessId pid, LnvcId id,
+                           std::span<const ConstBuffer> iov,
+                           std::size_t len) {
   detail::LnvcDesc* d = slot(id);
   if (d == nullptr || pid >= header_->max_processes ||
-      (data == nullptr && len > 0) || len > kMaxMessageBytes) {
+      len > kMaxMessageBytes) {
     return Status::invalid_argument;
+  }
+  for (const ConstBuffer& b : iov) {
+    if (b.data == nullptr && b.len > 0) return Status::invalid_argument;
   }
   platform_->charge_send_fixed();
 
@@ -64,51 +81,89 @@ Status Facility::send(ProcessId pid, LnvcId id, const void* data,
   }
   platform_->unlock(d->lock);
 
+  // Large messages go into one contiguous slab extent when the pool has
+  // one to spare; everything else (and slab-pool exhaustion) takes the
+  // paper's block chain.
+  shm::Offset extent = shm::kNullOffset;
+  if (header_->slab_threshold != 0 && len >= header_->slab_threshold &&
+      len <= header_->slab_bytes) {
+    extent = slab_alloc(pid);
+    if (extent == shm::kNullOffset) {
+      header_->slab_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const bool slab = extent != shm::kNullOffset;
+
   // Allocate a header plus the block chain from the sharded pool: own
   // magazine first, then the home shard, stealing and raiding before the
   // monitor-disciplined exhaustion wait (pool.cpp).  On success the gather
   // journal record stays armed — the nodes are in our hands until the
-  // enqueue record supersedes it below.
-  const std::size_t need = blocks_for(len, header_->block_payload);
+  // enqueue record supersedes it below.  A slab message needs no chain.
+  const std::size_t need =
+      slab ? 0 : blocks_for(len, header_->block_payload);
   shm::Offset msg_off = shm::kNullOffset;
   shm::Offset chain = shm::kNullOffset;
   shm::Offset chain_tail = shm::kNullOffset;
   const Status alloc_status =
       alloc_message(pid, need, &msg_off, &chain, &chain_tail);
   if (alloc_status != Status::ok) {
+    if (slab) slab_free(pid, extent);
     reap_if_dead(pid, kNoProcess);
     return alloc_status;
   }
 
-  // Build the message outside any LNVC lock: copy the send buffer into the
-  // block chain (paper §3.1).
+  // Build the message outside any LNVC lock: copy the send buffer(s) into
+  // the slab or the block chain (paper §3.1).
   auto* m = ::new (arena_.raw(msg_off)) detail::MsgHeader();
   m->length = static_cast<std::uint32_t>(len);
   m->nblocks = static_cast<std::uint32_t>(need);
-  m->first_block = chain;
-  m->last_block = chain_tail;  // the allocator hands back the tail
+  m->first_block = slab ? extent : chain;
+  m->last_block = slab ? extent : chain_tail;
+  m->flags = slab ? detail::MsgHeader::kSlab : 0;
   m->next_msg = shm::kNullOffset;
-  const auto* src = static_cast<const std::byte*>(data);
-  shm::Offset b_off = chain;
-  std::size_t copied = 0;
-  while (copied < len) {
-    auto* b = static_cast<detail::Block*>(arena_.raw(b_off));
-    const std::size_t chunk =
-        std::min<std::size_t>(header_->block_payload, len - copied);
-    std::memcpy(b->data(), src + copied, chunk);
-    copied += chunk;
-    b_off = b->next;
+  if (slab) {
+    auto* dst = static_cast<std::byte*>(arena_.raw(extent));
+    for (const ConstBuffer& io : iov) {
+      std::memcpy(dst, io.data, io.len);
+      dst += io.len;
+    }
+  } else {
+    detail::Block* b = nullptr;
+    std::byte* bp = nullptr;
+    std::size_t room = 0;
+    shm::Offset b_off = chain;
+    for (const ConstBuffer& io : iov) {
+      const auto* src = static_cast<const std::byte*>(io.data);
+      std::size_t left = io.len;
+      while (left > 0) {
+        if (room == 0) {
+          b = static_cast<detail::Block*>(arena_.raw(b_off));
+          bp = b->data();
+          room = header_->block_payload;
+          b_off = b->next;
+        }
+        const std::size_t chunk = std::min(room, left);
+        std::memcpy(bp, src, chunk);
+        bp += chunk;
+        src += chunk;
+        room -= chunk;
+        left -= chunk;
+      }
+    }
   }
   const std::size_t footprint =
       sizeof(detail::MsgHeader) +
-      need * (sizeof(detail::Block) + header_->block_payload);
+      (slab ? static_cast<std::size_t>(header_->slab_bytes)
+            : need * (sizeof(detail::Block) + header_->block_payload));
   platform_->on_buffer_alloc(footprint);
-  platform_->charge_copy(len, need);
+  // A slab fill is one contiguous bulk transfer; a chain pays per block.
+  platform_->charge_copy(len, slab ? 0 : need);
   platform_->touch(len);
 
   // Swap the gather record for an enqueue record (same operands, so a
   // death on either side of the store resolves identically), then link
-  // under the LNVC lock.
+  // under the LNVC lock.  ProcSlot::slab rides along untouched: it keeps
+  // covering the extent until the stage-1 commit below.
   detail::GatherChain gc;
   gc.head = chain;
   gc.tail = chain_tail;
@@ -159,7 +214,10 @@ Status Facility::send(ProcessId pid, LnvcId id, const void* data,
   }
   // Linked: mark the record stage 1 in the same inter-sim-point span as
   // the link itself, so a reaper never rolls back a reachable message.
+  // The slab operand hands off to the FIFO in the same span: from here on
+  // the message (reachable, stage 1) owns the extent.
   journal_stage(pid, 1);
+  pslot(pid).slab = shm::kNullOffset;
   ++d->total_msgs;
   d->total_bytes += len;
   // A message nobody will ever deliver (no receivers under the reclaim
@@ -173,6 +231,7 @@ Status Facility::send(ProcessId pid, LnvcId id, const void* data,
 
   header_->sends.fetch_add(1, std::memory_order_relaxed);
   header_->bytes_sent.fetch_add(len, std::memory_order_relaxed);
+  if (slab) header_->slab_sends.fetch_add(1, std::memory_order_relaxed);
   platform_->notify_all(d->cond);
   if (header_->activity_waiters.load(std::memory_order_acquire) > 0) {
     // A multi-waiter may have scanned this LNVC before our enqueue; the
@@ -273,17 +332,18 @@ Status Facility::receive_any(ProcessId pid, std::span<const LnvcId> ids,
   }
 }
 
-Status Facility::receive_impl(ProcessId pid, LnvcId id, void* buf,
-                              std::size_t cap, std::size_t* out_len,
-                              bool blocking, bool* out_ready,
-                              std::uint64_t timeout_ns) {
+Status Facility::claim_message(ProcessId pid, LnvcId id, bool blocking,
+                               std::uint64_t timeout_ns,
+                               detail::LnvcDesc** out_d,
+                               detail::MsgHeader** out_m, bool* out_bcast,
+                               std::uint32_t* out_gen) {
   detail::LnvcDesc* d = slot(id);
-  if (d == nullptr || pid >= header_->max_processes || out_len == nullptr ||
-      (buf == nullptr && cap > 0)) {
+  *out_d = nullptr;
+  *out_m = nullptr;
+  if (d == nullptr || pid >= header_->max_processes) {
     return Status::invalid_argument;
   }
-  *out_len = 0;
-  if (out_ready != nullptr) *out_ready = false;
+  *out_d = d;
   platform_->charge_recv_fixed();
   const std::uint64_t deadline =
       timeout_ns > 0 ? platform_->now_ns() + timeout_ns : 0;
@@ -395,6 +455,53 @@ Status Facility::receive_impl(ProcessId pid, LnvcId id, void* buf,
       return Status::closed;
     }
   }
+  // Claimed: hand the message (and the lock) back to the caller, which
+  // pins it and journals its own covering record before unlocking.
+  *out_m = m;
+  *out_bcast = bcast;
+  *out_gen = generation;
+  return Status::ok;
+}
+
+void Facility::unpin(ProcessId pid, detail::LnvcDesc& d, detail::MsgHeader* m,
+                     std::uint32_t claim_gen, bool bcast) {
+  // Caller holds the descriptor slot's lock and has already cleared the
+  // record (journal / view slot) covering this pin, in this same store
+  // span.
+  if (d.in_use != 0 && d.generation == claim_gen) {
+    --m->pins;
+    if (bcast) m->bcast_remaining.fetch_sub(1, std::memory_order_acq_rel);
+    reclaim(pid, d);
+  } else {
+    // The circuit died under us.  destroy_lnvc detaches pinned messages
+    // instead of freeing them, so the payload stayed valid for our copy or
+    // view; the last pinner disposes of it.
+    --m->pins;
+    if (m->pins == 0 && (m->flags & detail::MsgHeader::kDetached) != 0) {
+      free_message(pid, m);
+    }
+  }
+}
+
+Status Facility::receive_impl(ProcessId pid, LnvcId id, void* buf,
+                              std::size_t cap, std::size_t* out_len,
+                              bool blocking, bool* out_ready,
+                              std::uint64_t timeout_ns) {
+  if (out_len == nullptr || (buf == nullptr && cap > 0)) {
+    return Status::invalid_argument;
+  }
+  *out_len = 0;
+  if (out_ready != nullptr) *out_ready = false;
+  detail::LnvcDesc* d = nullptr;
+  detail::MsgHeader* m = nullptr;
+  bool bcast = false;
+  std::uint32_t generation = 0;
+  const Status claim =
+      claim_message(pid, id, blocking, timeout_ns, &d, &m, &bcast,
+                    &generation);
+  if (claim != Status::ok) return claim;
+  if (m == nullptr) return Status::ok;  // nonblocking, *out_ready false
+
   // Pin the message so reclaim leaves it alone, then copy outside the lock
   // — this is what lets BROADCAST receivers copy concurrently (the paper's
   // explanation of Figure 5's scaling).  The copy-out record covers the
@@ -405,37 +512,157 @@ Status Facility::receive_impl(ProcessId pid, LnvcId id, void* buf,
 
   const std::size_t want = std::min<std::size_t>(m->length, cap);
   auto* dst = static_cast<std::byte*>(buf);
-  shm::Offset b_off = m->first_block;
   std::size_t copied = 0;
-  while (copied < want) {
-    const auto* b = static_cast<const detail::Block*>(arena_.raw(b_off));
-    const std::size_t chunk =
-        std::min<std::size_t>(header_->block_payload, want - copied);
-    std::memcpy(dst + copied, b->data(), chunk);
-    copied += chunk;
-    b_off = b->next;
+  if ((m->flags & detail::MsgHeader::kSlab) != 0) {
+    std::memcpy(dst, arena_.raw(m->first_block), want);
+    copied = want;
+    platform_->charge_copy(m->length, 0);  // one contiguous bulk transfer
+  } else {
+    shm::Offset b_off = m->first_block;
+    while (copied < want) {
+      const auto* b = static_cast<const detail::Block*>(arena_.raw(b_off));
+      const std::size_t chunk =
+          std::min<std::size_t>(header_->block_payload, want - copied);
+      std::memcpy(dst + copied, b->data(), chunk);
+      copied += chunk;
+      b_off = b->next;
+    }
+    platform_->charge_copy(m->length, m->nblocks);
   }
-  platform_->charge_copy(m->length, m->nblocks);
   platform_->touch(m->length);
   const Status status = m->length > cap ? Status::truncated : Status::ok;
   *out_len = copied;
   if (out_ready != nullptr) *out_ready = true;
 
   alock_lnvc(*d, pid);
-  if (d->in_use != 0 && d->generation == generation) {
-    --m->pins;
-    if (bcast) m->bcast_remaining.fetch_sub(1, std::memory_order_acq_rel);
-    journal_clear(pid);
-    reclaim(pid, *d);
-  } else {
-    journal_clear(pid);
-  }
+  journal_clear(pid);
+  unpin(pid, *d, m, generation, bcast);
   platform_->unlock(d->lock);
 
   header_->receives.fetch_add(1, std::memory_order_relaxed);
   header_->bytes_delivered.fetch_add(copied, std::memory_order_relaxed);
   reap_if_dead(pid, kNoProcess);
   return status;
+}
+
+Status Facility::receive_view_impl(ProcessId pid, LnvcId id, MsgView* out,
+                                   bool blocking, bool* out_ready) {
+  if (out == nullptr || pid >= header_->max_processes) {
+    return Status::invalid_argument;
+  }
+  out->spans.clear();
+  out->slot = -1;
+  out->length = 0;
+  out->msg = shm::kNullOffset;
+  if (out_ready != nullptr) *out_ready = false;
+  // Reserve a view-table slot before claiming: failing after the claim
+  // would mean un-claiming, which FCFS cannot undo exactly.
+  detail::ProcSlot& ps = pslot(pid);
+  int vslot = -1;
+  for (int i = 0; i < static_cast<int>(detail::kMaxViews); ++i) {
+    if (ps.views[i].active.load(std::memory_order_relaxed) == 0) {
+      vslot = i;
+      break;
+    }
+  }
+  if (vslot < 0) return Status::table_full;
+
+  detail::LnvcDesc* d = nullptr;
+  detail::MsgHeader* m = nullptr;
+  bool bcast = false;
+  std::uint32_t generation = 0;
+  const Status claim =
+      claim_message(pid, id, blocking, 0, &d, &m, &bcast, &generation);
+  if (claim != Status::ok) return claim;
+  if (m == nullptr) return Status::ok;  // nonblocking, *out_ready false
+
+  // Pin in place; the view-table record covers the pin (and the BROADCAST
+  // claim) until release_view, exactly as the copy-out journal record
+  // covers a copying receiver — reap resolves either kind.
+  ++m->pins;
+  detail::ViewSlot& v = ps.views[vslot];
+  v.lnvc_id = static_cast<std::uint32_t>(id);
+  v.lnvc_gen = generation;
+  v.bcast = bcast ? 1 : 0;
+  v.msg = arena_.ref_of(m).off;
+  v.active.store(1, std::memory_order_release);  // commit point
+  platform_->unlock(d->lock);
+
+  out->length = m->length;
+  out->id = id;
+  out->generation = generation;
+  out->msg = v.msg;
+  out->bcast = bcast;
+  out->slab = (m->flags & detail::MsgHeader::kSlab) != 0;
+  out->slot = vslot;
+  if (out->slab) {
+    out->spans.push_back(
+        ConstBuffer{arena_.raw(m->first_block), m->length});
+  } else {
+    out->spans.reserve(m->nblocks);
+    shm::Offset b_off = m->first_block;
+    std::size_t left = m->length;
+    while (left > 0) {
+      const auto* b = static_cast<const detail::Block*>(arena_.raw(b_off));
+      const std::size_t chunk =
+          std::min<std::size_t>(header_->block_payload, left);
+      out->spans.push_back(ConstBuffer{b->data(), chunk});
+      left -= chunk;
+      b_off = b->next;
+    }
+  }
+  // No payload bytes cross the bus: the receiver reads in place.  Charge
+  // only the per-fragment bookkeeping; the pages still count against the
+  // reader's working set.
+  platform_->charge_view(m->length, m->nblocks);
+  platform_->touch(m->length);
+  if (out_ready != nullptr) *out_ready = true;
+
+  header_->receives.fetch_add(1, std::memory_order_relaxed);
+  header_->bytes_delivered.fetch_add(m->length, std::memory_order_relaxed);
+  header_->views.fetch_add(1, std::memory_order_relaxed);
+  header_->view_bytes.fetch_add(m->length, std::memory_order_relaxed);
+  reap_if_dead(pid, kNoProcess);
+  return Status::ok;
+}
+
+Status Facility::receive_view(ProcessId pid, LnvcId id, MsgView* out) {
+  return receive_view_impl(pid, id, out, /*blocking=*/true, nullptr);
+}
+
+Status Facility::try_receive_view(ProcessId pid, LnvcId id, MsgView* out,
+                                  bool* out_ready) {
+  if (out_ready == nullptr) return Status::invalid_argument;
+  return receive_view_impl(pid, id, out, /*blocking=*/false, out_ready);
+}
+
+Status Facility::release_view(ProcessId pid, MsgView* view) {
+  if (view == nullptr || pid >= header_->max_processes || !view->valid() ||
+      view->slot >= static_cast<int>(detail::kMaxViews)) {
+    return Status::invalid_argument;
+  }
+  detail::LnvcDesc* d = slot(view->id);
+  detail::ViewSlot& v = pslot(pid).views[view->slot];
+  if (d == nullptr || v.active.load(std::memory_order_acquire) == 0 ||
+      v.msg != view->msg) {
+    return Status::invalid_argument;
+  }
+  // The descriptor slot's lock outlives the circuit (slots are never
+  // unmapped), so locking is safe even after close/destroy; unpin sorts
+  // out whether the message is still queued or was detached to us.
+  alock_lnvc(*d, pid);
+  auto* m = static_cast<detail::MsgHeader*>(arena_.raw(v.msg));
+  const std::uint32_t claim_gen = v.lnvc_gen;
+  const bool bcast = v.bcast != 0;
+  v.active.store(0, std::memory_order_release);  // clear first
+  v.msg = shm::kNullOffset;
+  unpin(pid, *d, m, claim_gen, bcast);
+  platform_->unlock(d->lock);
+  view->slot = -1;
+  view->spans.clear();
+  view->msg = shm::kNullOffset;
+  reap_if_dead(pid, kNoProcess);
+  return Status::ok;
 }
 
 Status Facility::receive(ProcessId pid, LnvcId id, void* buf, std::size_t cap,

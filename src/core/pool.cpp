@@ -320,6 +320,32 @@ void Facility::return_gather(ProcessId pid, shm::Offset& msg, Chain& chain) {
   chain = Chain{};
 }
 
+shm::Offset Facility::slab_alloc(ProcessId pid) {
+  // Arm an empty gather record so the extent is journaled the instant it
+  // leaves the pool; alloc_message re-arms the same record for the header
+  // gather without touching the slab operand.
+  detail::GatherChain none;
+  journal_gather(pid, none, shm::kNullOffset);
+  alock(header_->slab_lock, pid);
+  const shm::Offset extent = header_->slabs.pop(arena_);
+  // Journal the extent inside the pop's critical section: at every
+  // suspension point it is either in the pool or in the record.
+  if (extent != shm::kNullOffset) pslot(pid).slab = extent;
+  platform_->unlock(header_->slab_lock);
+  if (extent == shm::kNullOffset) journal_clear(pid);
+  return extent;
+}
+
+void Facility::slab_free(ProcessId pid, shm::Offset extent) {
+  alock(header_->slab_lock, pid);
+  header_->slabs.push(arena_, extent);
+  // Disarm in the same critical section as the push (mirrors
+  // return_gather's discipline).
+  detail::ProcSlot& ps = pslot(pid);
+  if (ps.slab == extent) ps.slab = shm::kNullOffset;
+  platform_->unlock(header_->slab_lock);
+}
+
 Status Facility::alloc_message(ProcessId pid, std::size_t need,
                                shm::Offset* msg_off, shm::Offset* chain_head,
                                shm::Offset* chain_tail) {
@@ -401,10 +427,37 @@ Status Facility::alloc_message(ProcessId pid, std::size_t need,
 }
 
 void Facility::free_message(ProcessId pid, detail::MsgHeader* m) {
-  const std::size_t footprint =
+  std::size_t footprint =
       sizeof(detail::MsgHeader) +
       static_cast<std::size_t>(m->nblocks) *
           (sizeof(detail::Block) + header_->block_payload);
+  if ((m->flags & detail::MsgHeader::kSlab) != 0) {
+    // Slab message: return the extent to the slab pool under the nested
+    // record (fm_slab marks fm_head as an extent, not a chain), then strip
+    // the flag and let the common path below recycle the bare header.
+    footprint = sizeof(detail::MsgHeader) +
+                static_cast<std::size_t>(header_->slab_bytes);
+    const shm::Offset m_off = arena_.ref_of(m).off;
+    const shm::Offset extent = m->first_block;
+    detail::ProcSlot& ps = pslot(pid);
+    ps.fm_msg = m_off;
+    ps.fm_head = extent;
+    ps.fm_tail = extent;
+    ps.fm_count = 0;
+    ps.fm_slab = 1;
+    ps.fm_stage.store(1, std::memory_order_release);  // commit point
+    // An enqueue rollback frees the very extent our primary record still
+    // covers; hand the cover to the fm record in the same span.
+    if (ps.slab == extent) ps.slab = shm::kNullOffset;
+    alock(header_->slab_lock, pid);
+    header_->slabs.push(arena_, extent);
+    journal_free_blocks_done(pid);  // stage 2: extent disposed
+    ps.fm_slab = 0;
+    platform_->unlock(header_->slab_lock);
+    m->flags &= ~detail::MsgHeader::kSlab;
+    m->first_block = m->last_block = shm::kNullOffset;
+    m->nblocks = 0;
+  }
   detail::ProcCache& cache = caches()[pid];
   // Arm the nested free-message record before any pool lock: the message
   // (header + block chain) is ours alone from here until it lands back in

@@ -238,15 +238,21 @@ void Facility::resolve_journal(ProcessId reaper, detail::ProcSlot& ps,
   // advances past a message before freeing it).
   const std::uint32_t fm = ps.fm_stage.load(std::memory_order_acquire);
   if (fm != 0) {
-    if (fm == 1 && ps.fm_count > 0) {
-      home.blocks.push_chain(arena_, ps.fm_head, ps.fm_tail, ps.fm_count);
-      header_->reclaimed_blocks.fetch_add(ps.fm_count,
-                                          std::memory_order_relaxed);
+    if (fm == 1) {
+      if (ps.fm_slab != 0) {
+        // fm_head is one contiguous slab extent, not a block chain.
+        header_->slabs.push(arena_, ps.fm_head);
+      } else if (ps.fm_count > 0) {
+        home.blocks.push_chain(arena_, ps.fm_head, ps.fm_tail, ps.fm_count);
+        header_->reclaimed_blocks.fetch_add(ps.fm_count,
+                                            std::memory_order_relaxed);
+      }
     }
     home.msgs.push(arena_, ps.fm_msg);
     ps.fm_stage.store(0, std::memory_order_release);
     ps.fm_msg = ps.fm_head = ps.fm_tail = shm::kNullOffset;
     ps.fm_count = 0;
+    ps.fm_slab = 0;
   }
 
   const auto op =
@@ -320,6 +326,15 @@ void Facility::resolve_journal(ProcessId reaper, detail::ProcSlot& ps,
             }
             reclaim(reaper, *d);
           }
+        } else if (ps.msg != shm::kNullOffset) {
+          // The circuit was destroyed under the pin: destroy_lnvc detached
+          // the pinned message to its pinners.  Drop the dead copier's pin
+          // and free on last-out.
+          auto* m = static_cast<detail::MsgHeader*>(arena_.raw(ps.msg));
+          if ((m->flags & detail::MsgHeader::kDetached) != 0) {
+            if (m->pins > 0) --m->pins;
+            if (m->pins == 0) free_message(reaper, m);
+          }
         }
         platform_->unlock(d->lock);
       }
@@ -335,7 +350,20 @@ void Facility::resolve_journal(ProcessId reaper, detail::ProcSlot& ps,
       while (off != shm::kNullOffset) {
         auto* m = static_cast<detail::MsgHeader*>(arena_.raw(off));
         const shm::Offset next = m->next_msg;
-        if (m->nblocks > 0) {
+        if (m->pins > 0 ||
+            (m->flags & detail::MsgHeader::kDetached) != 0) {
+          // A view/copy holder still pins this message: hand it to its
+          // pinners (the destroy-time detach protocol) instead of freeing
+          // storage out from under them.  The last pinner frees it.
+          m->flags |= detail::MsgHeader::kDetached;
+          ps.msg = next;
+          m->next_msg = shm::kNullOffset;
+          off = next;
+          continue;
+        }
+        if ((m->flags & detail::MsgHeader::kSlab) != 0) {
+          header_->slabs.push(arena_, m->first_block);
+        } else if (m->nblocks > 0) {
           home.blocks.push_chain(arena_, m->first_block, m->last_block,
                                  m->nblocks);
           blocks += m->nblocks;
@@ -350,6 +378,14 @@ void Facility::resolve_journal(ProcessId reaper, detail::ProcSlot& ps,
       }
       break;
     }
+  }
+  // Slab extent in hand (standalone operand: armed by slab_alloc, cleared
+  // only when ownership transfers to a FIFO or back to the pool): roll it
+  // back.  An enqueue that reached stage 1 already cleared it in the same
+  // span as the stage store, so this never double-frees a linked slab.
+  if (ps.slab != shm::kNullOffset) {
+    header_->slabs.push(arena_, ps.slab);
+    ps.slab = shm::kNullOffset;
   }
   ps.op.store(static_cast<std::uint32_t>(detail::JournalOp::none),
               std::memory_order_release);
@@ -385,6 +421,28 @@ Status Facility::reap(ProcessId reaper, ProcessId pid) {
 
   // 1. Roll the half-done operation forward or back.
   resolve_journal(reaper, ps, pid);
+
+  // 1b. Drop the dead process's held message views: each holds one pin
+  //     (plus a BROADCAST claim) on a message its circuit still owns — or,
+  //     if the circuit died first, on one detached to its pinners.
+  for (std::uint32_t vi = 0; vi < detail::kMaxViews; ++vi) {
+    detail::ViewSlot& v = ps.views[vi];
+    if (v.active.load(std::memory_order_acquire) == 0) continue;
+    detail::LnvcDesc* vd = slot(static_cast<LnvcId>(v.lnvc_id));
+    const shm::Offset m_off = v.msg;
+    if (vd == nullptr || m_off == shm::kNullOffset) {
+      v.active.store(0, std::memory_order_release);
+      continue;
+    }
+    alock_lnvc(*vd, reaper);
+    auto* vm = static_cast<detail::MsgHeader*>(arena_.raw(m_off));
+    const std::uint32_t vgen = v.lnvc_gen;
+    const bool vbcast = v.bcast != 0;
+    v.active.store(0, std::memory_order_release);
+    v.msg = shm::kNullOffset;
+    unpin(reaper, *vd, vm, vgen, vbcast);
+    platform_->unlock(vd->lock);
+  }
 
   // 2. Close every connection the dead process held, with the paper's
   //    last-connection-destroys semantics.
@@ -527,6 +585,8 @@ BlockAudit Facility::block_audit() const {
   auto* self = const_cast<Facility*>(this);
   BlockAudit a;
   a.blocks_total = header_->blocks_total;
+  a.slabs_total = header_->slabs_total;
+  a.slabs_free = header_->slabs.available();
   const detail::PoolShard* sh = shards();
   for (std::uint32_t i = 0; i < header_->n_shards; ++i) {
     a.blocks_free += sh[i].blocks.available();
@@ -544,16 +604,50 @@ BlockAudit Facility::block_audit() const {
       while (off != shm::kNullOffset) {
         const auto* m =
             static_cast<const detail::MsgHeader*>(arena_.raw(off));
+        if ((m->flags & detail::MsgHeader::kSlab) != 0) {
+          ++a.slabs_queued;
+        }
         a.blocks_queued += m->nblocks;
         off = m->next_msg;
       }
     }
     self->platform_->unlock(d.lock);
   }
+  // Detached messages live outside every FIFO, owned only by their
+  // pinners; count each exactly once via the records that pin it (a
+  // broadcast message may be pinned by several holders).
+  std::vector<shm::Offset> seen_detached;
+  auto note_detached = [&](shm::Offset off) {
+    if (off == shm::kNullOffset) return;
+    const auto* m = static_cast<const detail::MsgHeader*>(arena_.raw(off));
+    if ((m->flags & detail::MsgHeader::kDetached) == 0) return;
+    for (const shm::Offset s : seen_detached) {
+      if (s == off) return;
+    }
+    seen_detached.push_back(off);
+    if ((m->flags & detail::MsgHeader::kSlab) != 0) {
+      ++a.slabs_journaled;
+    } else {
+      a.blocks_journaled += m->nblocks;
+    }
+  };
   for (std::uint32_t p = 0; p < header_->max_processes; ++p) {
     const detail::ProcSlot& ps = pslot(p);
     if (ps.fm_stage.load(std::memory_order_acquire) == 1) {
-      a.blocks_journaled += ps.fm_count;
+      if (ps.fm_slab != 0) {
+        ++a.slabs_journaled;
+      } else {
+        a.blocks_journaled += ps.fm_count;
+      }
+    }
+    // Standalone slab operand: an extent in hand between slab_alloc and
+    // the ownership hand-off (FIFO link or slab_free).
+    if (ps.slab != shm::kNullOffset) ++a.slabs_journaled;
+    for (std::uint32_t vi = 0; vi < detail::kMaxViews; ++vi) {
+      const detail::ViewSlot& v = ps.views[vi];
+      if (v.active.load(std::memory_order_acquire) != 0) {
+        note_detached(v.msg);
+      }
     }
     switch (static_cast<detail::JournalOp>(
         ps.op.load(std::memory_order_acquire))) {
@@ -564,16 +658,30 @@ BlockAudit Facility::block_audit() const {
         break;
       case detail::JournalOp::enqueue:
         // Stage 1 means the message is linked and counted as queued.
+        // (A stage-0 slab message's extent is counted via ps.slab.)
         if (ps.stage == 0) a.blocks_journaled += ps.chain_count;
         break;
       case detail::JournalOp::copy_out:
-        break;  // the pinned message is still in its FIFO (queued)
+        // An in-FIFO pinned message is counted as queued; a detached one
+        // is owned by its pinners and counted here.
+        note_detached(ps.msg);
+        break;
       case detail::JournalOp::release_chains: {
         shm::Offset off = ps.msg;
         while (off != shm::kNullOffset) {
           const auto* m =
               static_cast<const detail::MsgHeader*>(arena_.raw(off));
-          a.blocks_journaled += m->nblocks;
+          if (m->pins > 0 ||
+              (m->flags & detail::MsgHeader::kDetached) != 0) {
+            // Counted via the pinners' view/copy_out records.
+            off = m->next_msg;
+            continue;
+          }
+          if ((m->flags & detail::MsgHeader::kSlab) != 0) {
+            ++a.slabs_journaled;
+          } else {
+            a.blocks_journaled += m->nblocks;
+          }
           off = m->next_msg;
         }
         break;
@@ -616,6 +724,11 @@ std::vector<OrphanInfo> Facility::orphan_infos() const {
     o.magazine_blocks =
         caches()[p].block_count.load(std::memory_order_relaxed);
     o.journal_op = ps.op.load(std::memory_order_acquire);
+    for (std::uint32_t vi = 0; vi < detail::kMaxViews; ++vi) {
+      if (ps.views[vi].active.load(std::memory_order_acquire) != 0) {
+        ++o.views;
+      }
+    }
     infos.push_back(o);
   }
   return infos;
@@ -710,6 +823,7 @@ void Facility::journal_free_arm(ProcessId pid, shm::Offset msg,
   ps.fm_head = head;
   ps.fm_tail = tail;
   ps.fm_count = count;
+  ps.fm_slab = 0;
   ps.fm_stage.store(count > 0 ? 1 : 2, std::memory_order_release);
 }
 
@@ -722,6 +836,7 @@ void Facility::journal_free_clear(ProcessId pid) {
   ps.fm_stage.store(0, std::memory_order_release);
   ps.fm_msg = ps.fm_head = ps.fm_tail = shm::kNullOffset;
   ps.fm_count = 0;
+  ps.fm_slab = 0;
 }
 
 }  // namespace mpf

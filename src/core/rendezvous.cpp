@@ -23,11 +23,13 @@ void Rendezvous::send(std::span<const std::byte> payload) {
   p.unlock(c.lock);
 }
 
-std::size_t Rendezvous::receive(std::span<std::byte> buffer) {
+std::size_t Rendezvous::receive(std::span<std::byte> buffer,
+                                bool* truncated) {
   Platform& p = *platform_;
   RendezvousCell& c = *cell_;
   p.lock(c.lock);
   while (c.state != 1) p.wait(c.lock, c.cond);
+  if (truncated != nullptr) *truncated = c.length > buffer.size();
   const std::size_t copy = std::min<std::size_t>(c.length, buffer.size());
   std::memcpy(buffer.data(), c.sender_buf, copy);
   // The whole point: one copy, no block chain (nblocks = 0).

@@ -80,6 +80,12 @@ void SimPlatform::charge_open_close() {
 void SimPlatform::charge_copy(std::size_t bytes, std::size_t nblocks) {
   sim_->charge_copy(bytes, nblocks);
 }
+void SimPlatform::charge_view(std::size_t bytes, std::size_t nblocks) {
+  // Zero-copy: no bus/copy bytes move; the view walks the block chain.
+  (void)bytes;
+  sim_->advance(static_cast<double>(nblocks) *
+                sim_->model().block_overhead_ns);
+}
 void SimPlatform::charge_ops(double ops) {
   sim_->advance(ops * sim_->model().op_ns);
 }

@@ -32,6 +32,15 @@ void dump(const mpf::Facility& facility) {
       static_cast<unsigned long long>(stats.bytes_delivered));
   std::printf("pool: %zu/%zu blocks free, arena %zu B used\n",
               stats.blocks_free, stats.blocks_total, stats.arena_used);
+  if (stats.slabs_total > 0) {
+    std::printf("slabs: %zu/%zu free, %llu slab sends, %llu fallbacks\n",
+                stats.slabs_free, stats.slabs_total,
+                static_cast<unsigned long long>(stats.slab_sends),
+                static_cast<unsigned long long>(stats.slab_fallbacks));
+  }
+  std::printf("views: %llu taken, %llu B read in place\n",
+              static_cast<unsigned long long>(stats.views),
+              static_cast<unsigned long long>(stats.view_bytes));
   std::printf(
       "allocator: %u shards, %zu blocks in magazines, "
       "%llu hits / %llu misses / %llu raids, %llu exhaustion waits\n",
@@ -84,12 +93,13 @@ void dump(const mpf::Facility& facility) {
     std::printf("no live LNVCs\n");
     return;
   }
-  std::printf("%4s  %-24s %7s %5s %6s %7s %10s %12s\n", "id", "name",
-              "senders", "fcfs", "bcast", "queued", "msgs", "bytes");
+  std::printf("%4s  %-24s %7s %5s %6s %7s %7s %10s %12s\n", "id", "name",
+              "senders", "fcfs", "bcast", "queued", "pinned", "msgs",
+              "bytes");
   for (const auto& info : infos) {
-    std::printf("%4d  %-24s %7u %5u %6u %7u %10llu %12llu\n", info.id,
+    std::printf("%4d  %-24s %7u %5u %6u %7u %7u %10llu %12llu\n", info.id,
                 info.name.c_str(), info.senders, info.fcfs_receivers,
-                info.broadcast_receivers, info.queued,
+                info.broadcast_receivers, info.queued, info.pinned,
                 static_cast<unsigned long long>(info.total_messages),
                 static_cast<unsigned long long>(info.total_bytes));
   }
@@ -111,12 +121,12 @@ void dump_orphans(const mpf::Facility& facility) {
     std::printf("no registered processes\n");
     return;
   }
-  std::printf("%5s %8s %7s %9s %6s %9s %8s\n", "pid", "os_pid", "state",
-              "os_alive", "conns", "magazine", "journal");
+  std::printf("%5s %8s %7s %9s %6s %9s %8s %6s\n", "pid", "os_pid", "state",
+              "os_alive", "conns", "magazine", "journal", "views");
   for (const auto& o : orphans) {
-    std::printf("%5u %8u %7s %9s %6u %9u %8u\n", o.pid, o.os_pid,
+    std::printf("%5u %8u %7s %9s %6u %9u %8u %6u\n", o.pid, o.os_pid,
                 slot_state_name(o.state), o.os_alive ? "yes" : "NO",
-                o.connections, o.magazine_blocks, o.journal_op);
+                o.connections, o.magazine_blocks, o.journal_op, o.views);
   }
 }
 
