@@ -57,7 +57,10 @@ void pingpong_echo(Transport& t, std::size_t len, bool use_view) {
     if (use_view) {
       MsgView v;
       throw_if_error(t.receive_view(&v), "pingpong");
-      throw_if_error(t.send_v(v.spans), "pingpong");  // gather from the pinned message
+      // Gather straight from the pinned message: materialize the offset
+      // spans against this mapping, then scatter-gather send them.
+      const std::vector<ConstBuffer> spans = t.materialize(v);
+      throw_if_error(t.send_v(spans), "pingpong");
       throw_if_error(t.release_view(&v), "pingpong");
     } else {
       RecvResult r;

@@ -85,12 +85,11 @@ class Communicator {
   SendPort& tx_to(int dst);
   ReceivePort& rx_from(int src);
   static void fold(double* acc, const double* in, std::size_t count, Op op);
-  /// Fold `count` doubles straight out of a pinned view's spans (handles
-  /// doubles straddling block boundaries).
-  static void fold_view(double* acc, const MsgView& view, std::size_t count,
-                        Op op);
-  /// Copy a pinned view's payload into `dst` (single copy, no staging).
-  static void copy_view(const MsgView& view, void* dst);
+  /// Fold `count` doubles straight out of a pinned view's offset spans,
+  /// materialized against this process's mapping (handles doubles
+  /// straddling block boundaries).
+  void fold_view(double* acc, const MsgView& view, std::size_t count,
+                 Op op) const;
 
   Facility facility_;
   ProcessId pid_ = 0;

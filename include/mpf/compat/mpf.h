@@ -80,17 +80,23 @@ int mpf_message_sendv(int process_id, int lnvc_id, const mpf_iovec* iov,
                       int iov_count);
 
 /* Zero-copy receive.  mpf_message_view blocks like mpf_message_receive but
- * pins the message in shared memory instead of copying it out; the spans
- * read through mpf_view_spans stay valid until mpf_view_release.  A process
- * may hold a small fixed number of views at once (MPF_ETABLEFULL beyond
- * that); a view held when its holder dies is reclaimed by mpf_reap. */
+ * pins the message in shared memory instead of copying it out.  The handle
+ * records arena-relative offsets, so it stays meaningful no matter where a
+ * process mapped the region; mpf_view_spans is the materialize step that
+ * turns those offsets into pointers valid in the CALLING process's mapping.
+ * Pointers from one process's mpf_view_spans must not be handed to another
+ * process — each must call mpf_view_spans itself.  The materialized spans
+ * stay valid until mpf_view_release.  A process may hold a small fixed
+ * number of views at once (MPF_ETABLEFULL beyond that); a view held when
+ * its holder dies is reclaimed by mpf_reap. */
 typedef struct mpf_view mpf_view; /* opaque handle */
 
 int mpf_message_view(int process_id, int lnvc_id, mpf_view** out_view);
 /* Total message length in bytes, or a negative error code. */
 long mpf_view_length(const mpf_view* view);
-/* Copy up to max_spans span descriptors into `spans`; returns the total
- * span count of the view (call with max_spans = 0 to size a buffer). */
+/* Materialize up to max_spans span descriptors against this process's
+ * mapping into `spans`; returns the total span count of the view (call
+ * with max_spans = 0 to size a buffer). */
 int mpf_view_spans(const mpf_view* view, mpf_iovec* spans, int max_spans);
 /* Unpin and free the handle.  The view must belong to `process_id`. */
 int mpf_view_release(int process_id, mpf_view* view);

@@ -46,15 +46,22 @@ struct LnvcInfo {
 
 /// A zero-copy receive: the message stays pinned in the arena and the
 /// receiver reads it through `spans` (one span per block, or a single span
-/// for slab messages).  Must be returned with Facility::release_view —
-/// blocks are not reclaimed while a view holds them.  If the holder dies,
-/// reap() releases the pin from the view table.
+/// for slab messages).  Spans are arena-relative (shm::Ref), so the record
+/// is valid in every process that maps the region — including fork'd or
+/// attached receivers whose mapping landed at a different base address.
+/// Turn spans into pointers against the local mapping with
+/// Facility::resolve / Facility::materialize; the pointers are
+/// per-mapping and must never cross a process boundary.  Must be returned
+/// with Facility::release_view — blocks are not reclaimed while a view
+/// holds them.  If the holder dies, reap() releases the pin from the view
+/// table.
 struct MsgView {
   std::size_t length = 0;             ///< total payload bytes
-  std::vector<ConstBuffer> spans;     ///< fragments, in payload order
+  std::vector<ViewSpan> spans;        ///< offset fragments, in payload order
   LnvcId id = kInvalidLnvc;           ///< LNVC it was claimed from
   std::uint32_t generation = 0;       ///< slot generation at claim time
   shm::Offset msg = shm::kNullOffset; ///< pinned MsgHeader (opaque)
+  std::uint32_t seq = 0;              ///< view-table arm sequence (opaque)
   bool bcast = false;                 ///< claimed via a BROADCAST cursor
   bool slab = false;                  ///< payload is one contiguous extent
   int slot = -1;                      ///< view-table index (opaque)
@@ -198,19 +205,32 @@ class Facility {
   /// message (same semantics as send of the concatenation).
   Status send_v(ProcessId pid, LnvcId id, std::span<const ConstBuffer> iov);
   /// Zero-copy receive: claim the next message exactly as receive() would,
-  /// but pin it in place and return iovec-style spans instead of copying
-  /// out.  The message (and its blocks) stays unreclaimable until
+  /// but pin it in place and return arena-relative spans instead of
+  /// copying out.  The message (and its blocks) stays unreclaimable until
   /// release_view().  At most detail::kMaxViews views may be held per
-  /// process (Status::table_full beyond that).  Spans point into the
-  /// shared arena: valid in-process and across fork'd mappings at the same
-  /// base address.
+  /// process (Status::table_full beyond that, consuming nothing).  Spans
+  /// are offsets: valid in any process mapping the region at any base
+  /// address — materialize them with resolve() / materialize() against
+  /// the local mapping before dereferencing.
   Status receive_view(ProcessId pid, LnvcId id, MsgView* out);
   /// Non-blocking variant: *out_ready=false when no message is available.
   Status try_receive_view(ProcessId pid, LnvcId id, MsgView* out,
                           bool* out_ready);
   /// Unpin a view taken by receive_view.  Safe after close_receive and
   /// after the LNVC died: a detached message is freed by its last pinner.
+  /// A stale handle (double release, or released after the slot was
+  /// re-armed) is a clean Status::invalid_argument.
   Status release_view(ProcessId pid, MsgView* view);
+  /// Materialize one offset span against this process's mapping.
+  [[nodiscard]] ConstBuffer resolve(const ViewSpan& span) const noexcept;
+  /// Materialize every span of `view` against this process's mapping.
+  /// Re-derive after crossing a process boundary; never ship the result.
+  [[nodiscard]] std::vector<ConstBuffer> materialize(
+      const MsgView& view) const;
+  /// Copy a view's payload into `dst` (bounded by `cap`); returns bytes
+  /// copied.  Resolves per fragment, so it is correct in any mapping.
+  std::size_t copy_view(const MsgView& view, void* dst,
+                        std::size_t cap) const;
   /// Blocking receive into `buf` (capacity `cap`); the delivered length is
   /// written to `*out_len`.  Returns Status::truncated (after copying the
   /// prefix) when the message exceeds `cap`.
@@ -394,10 +414,11 @@ class Facility {
                         shm::Offset tail, std::uint32_t count);
   void journal_free_blocks_done(ProcessId pid);
   void journal_free_clear(ProcessId pid);
-  // View table (independent of the primary journal record).
-  int view_arm(ProcessId pid, LnvcId id, std::uint32_t gen, bool bcast,
-               shm::Offset msg);
-  void view_clear(ProcessId pid, int slot);
+  // View table (independent of the primary journal record): reserve CAS's
+  // a free slot to kReserved before the FCFS claim (a reserved slot holds
+  // no resources); cancel returns it on any no-delivery path.
+  int view_reserve(ProcessId pid);
+  void view_cancel(ProcessId pid, int slot);
   // Slab pool (pool.cpp): pop/push one contiguous extent.  slab_alloc
   // journals via ProcSlot::slab inside the pop's critical section;
   // kNullOffset when the pool is dry.

@@ -181,13 +181,24 @@ enum class JournalOp : std::uint32_t {
 /// One held zero-copy receive view.  Lives beside the primary journal
 /// record (not in it) because a process may hold views while sending or
 /// receiving — ops that would clobber the single copy_out record.
-/// `active` is the commit point: operands first, active last (release);
-/// active cleared first when the view is released.
+/// `active` is the commit point: kIdle -> kReserved (CAS, before the FCFS
+/// claim; holds no resources) -> kArmed (operands first, active last with
+/// release).  Active is cleared first when the view is released; a reaper
+/// finding kReserved just clears it.
 struct ViewSlot {
+  static constexpr std::uint32_t kIdle = 0;
+  static constexpr std::uint32_t kReserved = 1;  ///< claim in flight, no pin
+  static constexpr std::uint32_t kArmed = 2;     ///< pin held, operands valid
+
   std::atomic<std::uint32_t> active;
   std::uint32_t lnvc_id;
   std::uint32_t lnvc_gen;
   std::uint32_t bcast;  ///< 1 = claimed via a BROADCAST cursor
+  /// Arm sequence (from ProcSlot::view_seq).  release_view matches it
+  /// against the handle so a stale handle — already released, slot since
+  /// re-armed, possibly for a recycled message at the same offset — is a
+  /// clean invalid_argument instead of a double unpin.
+  std::uint32_t seq;
   shm::Offset msg;      ///< the pinned MsgHeader
 };
 
@@ -246,6 +257,11 @@ struct alignas(64) ProcSlot {
   /// Zero-copy receive views held by this process (independent of the
   /// primary journal record above).
   ViewSlot views[kMaxViews];
+  /// Monotonic arm counter feeding ViewSlot::seq / MsgView::seq.  Atomic
+  /// because threads sharing one ProcessId may arm concurrently; starts at
+  /// 0 so a default-constructed handle (seq 0) never matches an armed slot
+  /// (first arm is 1).
+  std::atomic<std::uint32_t> view_seq;
 
   /// Monitor membership flags: set while this process is counted in
   /// exhaustion_waiters / activity_waiters, so reap() can repair the

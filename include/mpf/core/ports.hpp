@@ -102,10 +102,11 @@ class SendPort {
 };
 
 /// RAII holder of a zero-copy message view: unpins on destruction.
-/// Obtained from ReceivePort::receive_view().  The spans point into the
-/// facility's shared arena and stay valid for the lifetime of this object
-/// (even across close_receive — a detached message is freed by its last
-/// pinner).
+/// Obtained from ReceivePort::receive_view().  The underlying record is
+/// offset-based (valid in any process mapping the region); spans() lazily
+/// materializes pointer spans against THIS process's mapping, and they
+/// stay valid for the lifetime of this object (even across close_receive
+/// — a detached message is freed by its last pinner).
 class MessageView {
  public:
   MessageView() = default;
@@ -125,27 +126,30 @@ class MessageView {
 
   [[nodiscard]] bool valid() const noexcept { return view_.valid(); }
   [[nodiscard]] std::size_t length() const noexcept { return view_.length; }
-  /// iovec-style spans over the pinned message (one per block, or a
-  /// single span for slab-built messages).
-  [[nodiscard]] std::span<const ConstBuffer> spans() const noexcept {
+  /// iovec-style pointer spans over the pinned message (one per block, or
+  /// a single span for slab-built messages), materialized against this
+  /// process's mapping on first use.
+  [[nodiscard]] std::span<const ConstBuffer> spans() const {
+    if (resolved_.size() != view_.spans.size()) {
+      resolved_ = facility_.materialize(view_);
+    }
+    return resolved_;
+  }
+  /// The raw offset spans — the only form safe to hand to another process
+  /// mapping the same region.
+  [[nodiscard]] std::span<const ViewSpan> offset_spans() const noexcept {
     return view_.spans;
   }
   /// Copy the payload out (convenience; bounded by `buffer.size()`).
   std::size_t copy_to(std::span<std::byte> buffer) const {
-    std::size_t at = 0;
-    for (const ConstBuffer& s : view_.spans) {
-      if (at >= buffer.size()) break;
-      const std::size_t n = std::min(s.len, buffer.size() - at);
-      std::memcpy(buffer.data() + at, s.data, n);
-      at += n;
-    }
-    return at;
+    return facility_.copy_view(view_, buffer.data(), buffer.size());
   }
 
   /// Unpin now (idempotent; also run by the destructor).
   void release() {
     if (view_.valid()) {
       facility_.release_view(pid_, &view_);
+      resolved_.clear();
     }
   }
 
@@ -154,10 +158,13 @@ class MessageView {
     std::swap(facility_, o.facility_);
     std::swap(pid_, o.pid_);
     std::swap(view_, o.view_);
+    std::swap(resolved_, o.resolved_);
   }
   Facility facility_;
   ProcessId pid_ = 0;
   MsgView view_;
+  /// Pointer spans for this mapping, derived from view_.spans on demand.
+  mutable std::vector<ConstBuffer> resolved_;
 };
 
 /// Scoped receive connection; closes on destruction.

@@ -66,6 +66,10 @@ class Transport {
   /// The base class reports invalid_argument.
   virtual Status receive_view(MsgView* out);
   virtual Status release_view(MsgView* view);
+  /// Materialize a view's offset spans into pointer spans valid in this
+  /// process's mapping.  Empty when caps().zero_copy_view is false.
+  [[nodiscard]] virtual std::vector<ConstBuffer> materialize(
+      const MsgView& view) const;
 };
 
 /// The general facility path: block chains or slab extents, any number of
@@ -87,6 +91,8 @@ class LnvcTransport final : public Transport {
   Status receive(void* buf, std::size_t cap, RecvResult* out) override;
   Status receive_view(MsgView* out) override;
   Status release_view(MsgView* view) override;
+  [[nodiscard]] std::vector<ConstBuffer> materialize(
+      const MsgView& view) const override;
 
  private:
   Facility* facility_;

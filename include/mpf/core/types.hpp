@@ -4,13 +4,26 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "mpf/shm/ref.hpp"
+
 namespace mpf {
 
-/// One source span of a scatter-gather send (send_v) or one fragment of a
-/// zero-copy receive view (MsgView).  Deliberately layout-compatible with
-/// POSIX iovec so the C API can alias it.
+/// One source span of a scatter-gather send (send_v) or one materialized
+/// fragment of a zero-copy receive view.  Deliberately layout-compatible
+/// with POSIX iovec so the C API can alias it.
 struct ConstBuffer {
   const void* data = nullptr;
+  std::size_t len = 0;
+};
+
+/// One fragment of a zero-copy receive view (MsgView), expressed as an
+/// arena-relative reference so the same record is valid in every process
+/// that maps the region — mappings may land at different base addresses
+/// (fork + shm_open attach).  Materialize against the local mapping with
+/// Facility::resolve / Facility::materialize (or Arena::resolve); never
+/// store the resulting pointer anywhere another mapping could read it.
+struct ViewSpan {
+  shm::Ref<const std::byte> data;  ///< payload fragment, arena-relative
   std::size_t len = 0;
 };
 

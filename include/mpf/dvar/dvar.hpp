@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstring>
+#include <span>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -72,9 +73,31 @@ class DVar {
 
   /// Drain pending updates; true if the replica changed.
   bool refresh() {
+    if constexpr (sizeof(T) >= kViewThreshold) {
+      try {
+        return refresh_view();
+      } catch (const MpfError& e) {
+        // View table exhausted by the caller's own held views: fall back
+        // to the copying drain rather than fail a read.
+        if (e.status() != Status::table_full) throw;
+      }
+    }
+    return refresh_copy();
+  }
+
+  /// True if an update is pending (stable: broadcast check_receive).
+  [[nodiscard]] bool pending() { return rx_.check(); }
+
+ private:
+  /// Updates at or above this size are drained through zero-copy views:
+  /// the value is read in place, and superseded updates (one or more
+  /// newer ones already queued) are released unread — last-writer-wins
+  /// means only the newest copy has to move at all.
+  static constexpr std::size_t kViewThreshold = 256;
+
+  bool refresh_copy() {
     bool changed = false;
     T incoming{};
-    std::size_t len = 0;
     Received r{};
     std::vector<std::byte> buf(sizeof(T));
     while (rx_.try_receive(buf, &r)) {
@@ -83,14 +106,22 @@ class DVar {
       value_ = incoming;
       changed = true;
     }
-    (void)len;
     return changed;
   }
 
-  /// True if an update is pending (stable: broadcast check_receive).
-  [[nodiscard]] bool pending() { return rx_.check(); }
+  bool refresh_view() {
+    bool changed = false;
+    while (true) {
+      MessageView v = rx_.try_receive_view();
+      if (!v.valid()) break;
+      if (v.length() != sizeof(T)) continue;  // foreign traffic: ignore
+      if (rx_.check()) continue;  // superseded: a newer update is queued
+      v.copy_to(std::as_writable_bytes(std::span<T, 1>(&value_, 1)));
+      changed = true;
+    }
+    return changed;
+  }
 
- private:
   T value_;
   SendPort tx_;
   ReceivePort rx_;

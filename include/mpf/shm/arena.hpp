@@ -87,6 +87,16 @@ class Arena {
                       : std::launder(reinterpret_cast<T*>(raw(ref.off)));
   }
 
+  /// Per-mapping resolver: materialize an offset-based record (e.g. a
+  /// MsgView span) against THIS process's mapping of the region.  Same
+  /// operation as get(); the name marks call sites whose result is a raw
+  /// pointer that must be re-derived in every process — the Ref itself is
+  /// the only form that may cross a mapping boundary.
+  template <typename T>
+  [[nodiscard]] T* resolve(Ref<T> ref) const noexcept {
+    return get(ref);
+  }
+
   /// Offset of an object known to live in this arena.
   template <typename T>
   [[nodiscard]] Ref<T> ref_of(const T* ptr) const noexcept {

@@ -102,14 +102,6 @@ void Communicator::barrier() {
       "Communicator::barrier");
 }
 
-void Communicator::copy_view(const MsgView& view, void* dst) {
-  auto* out = static_cast<std::byte*>(dst);
-  for (const ConstBuffer& s : view.spans) {
-    std::memcpy(out, s.data, s.len);
-    out += s.len;
-  }
-}
-
 void Communicator::broadcast(void* data, std::size_t bytes, int root) {
   if (root == rank_) {
     throw_if_error(facility_.send(pid_, bc_tx_.id(), data, bytes),
@@ -125,7 +117,9 @@ void Communicator::broadcast(void* data, std::size_t bytes, int root) {
     throw_if_error(facility_.receive_view(pid_, bc_rx_[root].id(), &view),
                    "Communicator::broadcast");
     const std::size_t len = view.length;
-    if (len == bytes && root != rank_) copy_view(view, data);
+    if (len == bytes && root != rank_) {
+      facility_.copy_view(view, data, bytes);
+    }
     throw_if_error(facility_.release_view(pid_, &view),
                    "Communicator::broadcast");
     if (len != bytes) {
@@ -194,11 +188,12 @@ void Communicator::fold(double* acc, const double* in, std::size_t count,
 }
 
 void Communicator::fold_view(double* acc, const MsgView& view,
-                             std::size_t count, Op op) {
+                             std::size_t count, Op op) const {
   std::size_t idx = 0;
   unsigned char partial[sizeof(double)];
   std::size_t have = 0;  // bytes of a straddling double accumulated so far
-  for (const ConstBuffer& s : view.spans) {
+  for (const ViewSpan& span : view.spans) {
+    const ConstBuffer s = facility_.resolve(span);
     const auto* p = static_cast<const unsigned char*>(s.data);
     std::size_t left = s.len;
     while (left > 0 && idx < count) {

@@ -165,14 +165,19 @@ long mpf_view_length(const mpf_view* view) {
 }
 
 int mpf_view_spans(const mpf_view* view, mpf_iovec* spans, int max_spans) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
   if (view == nullptr || !view->v.valid() || max_spans < 0 ||
       (spans == nullptr && max_spans > 0)) {
     return MPF_EINVAL;
   }
   const auto total = static_cast<int>(view->v.spans.size());
   const int n = max_spans < total ? max_spans : total;
+  /* The view record carries arena-relative offsets; materialize each span
+   * against the calling process's mapping of the region here. */
   for (int i = 0; i < n; ++i) {
-    const mpf::ConstBuffer& b = view->v.spans[static_cast<std::size_t>(i)];
+    const mpf::ConstBuffer b =
+        f->resolve(view->v.spans[static_cast<std::size_t>(i)]);
     spans[i].data = b.data;
     spans[i].len = b.len;
   }

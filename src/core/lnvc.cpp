@@ -554,17 +554,13 @@ Status Facility::receive_view_impl(ProcessId pid, LnvcId id, MsgView* out,
   out->slot = -1;
   out->length = 0;
   out->msg = shm::kNullOffset;
+  out->seq = 0;
   if (out_ready != nullptr) *out_ready = false;
   // Reserve a view-table slot before claiming: failing after the claim
-  // would mean un-claiming, which FCFS cannot undo exactly.
-  detail::ProcSlot& ps = pslot(pid);
-  int vslot = -1;
-  for (int i = 0; i < static_cast<int>(detail::kMaxViews); ++i) {
-    if (ps.views[i].active.load(std::memory_order_relaxed) == 0) {
-      vslot = i;
-      break;
-    }
-  }
+  // would mean un-claiming, which FCFS cannot undo exactly.  The CAS keeps
+  // two threads sharing one ProcessId from arming the same slot; a
+  // reserved slot holds no pin, so a death here costs a reaper one store.
+  const int vslot = view_reserve(pid);
   if (vslot < 0) return Status::table_full;
 
   detail::LnvcDesc* d = nullptr;
@@ -573,31 +569,42 @@ Status Facility::receive_view_impl(ProcessId pid, LnvcId id, MsgView* out,
   std::uint32_t generation = 0;
   const Status claim =
       claim_message(pid, id, blocking, 0, &d, &m, &bcast, &generation);
-  if (claim != Status::ok) return claim;
-  if (m == nullptr) return Status::ok;  // nonblocking, *out_ready false
+  if (claim != Status::ok || m == nullptr) {
+    view_cancel(pid, vslot);
+    return claim;  // ok: nonblocking with *out_ready still false
+  }
 
   // Pin in place; the view-table record covers the pin (and the BROADCAST
   // claim) until release_view, exactly as the copy-out journal record
   // covers a copying receiver — reap resolves either kind.
   ++m->pins;
+  detail::ProcSlot& ps = pslot(pid);
   detail::ViewSlot& v = ps.views[vslot];
+  const std::uint32_t seq =
+      ps.view_seq.fetch_add(1, std::memory_order_relaxed) + 1;
   v.lnvc_id = static_cast<std::uint32_t>(id);
   v.lnvc_gen = generation;
   v.bcast = bcast ? 1 : 0;
+  v.seq = seq;
   v.msg = arena_.ref_of(m).off;
-  v.active.store(1, std::memory_order_release);  // commit point
+  v.active.store(detail::ViewSlot::kArmed,
+                 std::memory_order_release);  // commit point
   platform_->unlock(d->lock);
 
   out->length = m->length;
   out->id = id;
   out->generation = generation;
   out->msg = v.msg;
+  out->seq = seq;
   out->bcast = bcast;
   out->slab = (m->flags & detail::MsgHeader::kSlab) != 0;
   out->slot = vslot;
+  // Spans are arena-relative: a fork'd or attached receiver whose mapping
+  // landed at a different base materializes them against its own mapping
+  // (resolve/materialize) and reads the same bytes.
   if (out->slab) {
     out->spans.push_back(
-        ConstBuffer{arena_.raw(m->first_block), m->length});
+        ViewSpan{shm::Ref<const std::byte>{m->first_block}, m->length});
   } else {
     out->spans.reserve(m->nblocks);
     shm::Offset b_off = m->first_block;
@@ -606,7 +613,8 @@ Status Facility::receive_view_impl(ProcessId pid, LnvcId id, MsgView* out,
       const auto* b = static_cast<const detail::Block*>(arena_.raw(b_off));
       const std::size_t chunk =
           std::min<std::size_t>(header_->block_payload, left);
-      out->spans.push_back(ConstBuffer{b->data(), chunk});
+      out->spans.push_back(ViewSpan{
+          shm::Ref<const std::byte>{b_off + sizeof(detail::Block)}, chunk});
       left -= chunk;
       b_off = b->next;
     }
@@ -642,27 +650,78 @@ Status Facility::release_view(ProcessId pid, MsgView* view) {
     return Status::invalid_argument;
   }
   detail::LnvcDesc* d = slot(view->id);
+  if (d == nullptr) return Status::invalid_argument;
   detail::ViewSlot& v = pslot(pid).views[view->slot];
-  if (d == nullptr || v.active.load(std::memory_order_acquire) == 0 ||
-      v.msg != view->msg) {
-    return Status::invalid_argument;
-  }
   // The descriptor slot's lock outlives the circuit (slots are never
   // unmapped), so locking is safe even after close/destroy; unpin sorts
   // out whether the message is still queued or was detached to us.
+  // Validation happens UNDER the lock, and the arm sequence must match:
+  // a stale handle — released once already, its slot since re-armed, even
+  // for a recycled message landing at the same offset — is a clean
+  // invalid_argument instead of a double unpin of someone else's view.
   alock_lnvc(*d, pid);
+  if (v.active.load(std::memory_order_acquire) != detail::ViewSlot::kArmed ||
+      v.msg != view->msg || v.seq != view->seq) {
+    platform_->unlock(d->lock);
+    reap_if_dead(pid, kNoProcess);
+    return Status::invalid_argument;
+  }
   auto* m = static_cast<detail::MsgHeader*>(arena_.raw(v.msg));
   const std::uint32_t claim_gen = v.lnvc_gen;
   const bool bcast = v.bcast != 0;
-  v.active.store(0, std::memory_order_release);  // clear first
+  v.active.store(detail::ViewSlot::kIdle,
+                 std::memory_order_release);  // clear first
   v.msg = shm::kNullOffset;
   unpin(pid, *d, m, claim_gen, bcast);
   platform_->unlock(d->lock);
   view->slot = -1;
   view->spans.clear();
   view->msg = shm::kNullOffset;
+  view->seq = 0;
   reap_if_dead(pid, kNoProcess);
   return Status::ok;
+}
+
+int Facility::view_reserve(ProcessId pid) {
+  detail::ProcSlot& ps = pslot(pid);
+  for (int i = 0; i < static_cast<int>(detail::kMaxViews); ++i) {
+    std::uint32_t idle = detail::ViewSlot::kIdle;
+    if (ps.views[i].active.compare_exchange_strong(
+            idle, detail::ViewSlot::kReserved, std::memory_order_acq_rel,
+            std::memory_order_relaxed)) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+void Facility::view_cancel(ProcessId pid, int slot) {
+  pslot(pid).views[slot].active.store(detail::ViewSlot::kIdle,
+                                      std::memory_order_release);
+}
+
+ConstBuffer Facility::resolve(const ViewSpan& span) const noexcept {
+  return ConstBuffer{arena_.resolve(span.data), span.len};
+}
+
+std::vector<ConstBuffer> Facility::materialize(const MsgView& view) const {
+  std::vector<ConstBuffer> out;
+  out.reserve(view.spans.size());
+  for (const ViewSpan& s : view.spans) out.push_back(resolve(s));
+  return out;
+}
+
+std::size_t Facility::copy_view(const MsgView& view, void* dst,
+                                std::size_t cap) const {
+  auto* out = static_cast<std::byte*>(dst);
+  std::size_t at = 0;
+  for (const ViewSpan& s : view.spans) {
+    if (at >= cap) break;
+    const std::size_t n = std::min(s.len, cap - at);
+    std::memcpy(out + at, arena_.resolve(s.data), n);
+    at += n;
+  }
+  return at;
 }
 
 Status Facility::receive(ProcessId pid, LnvcId id, void* buf, std::size_t cap,

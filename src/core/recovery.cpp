@@ -427,18 +427,22 @@ Status Facility::reap(ProcessId reaper, ProcessId pid) {
   //     if the circuit died first, on one detached to its pinners.
   for (std::uint32_t vi = 0; vi < detail::kMaxViews; ++vi) {
     detail::ViewSlot& v = ps.views[vi];
-    if (v.active.load(std::memory_order_acquire) == 0) continue;
+    const std::uint32_t vstate = v.active.load(std::memory_order_acquire);
+    if (vstate == detail::ViewSlot::kIdle) continue;
     detail::LnvcDesc* vd = slot(static_cast<LnvcId>(v.lnvc_id));
     const shm::Offset m_off = v.msg;
-    if (vd == nullptr || m_off == shm::kNullOffset) {
-      v.active.store(0, std::memory_order_release);
+    if (vstate == detail::ViewSlot::kReserved || vd == nullptr ||
+        m_off == shm::kNullOffset) {
+      // A reservation holds no pin (the process died between reserving the
+      // slot and committing the claim): just return the slot.
+      v.active.store(detail::ViewSlot::kIdle, std::memory_order_release);
       continue;
     }
     alock_lnvc(*vd, reaper);
     auto* vm = static_cast<detail::MsgHeader*>(arena_.raw(m_off));
     const std::uint32_t vgen = v.lnvc_gen;
     const bool vbcast = v.bcast != 0;
-    v.active.store(0, std::memory_order_release);
+    v.active.store(detail::ViewSlot::kIdle, std::memory_order_release);
     v.msg = shm::kNullOffset;
     unpin(reaper, *vd, vm, vgen, vbcast);
     platform_->unlock(vd->lock);
@@ -645,7 +649,10 @@ BlockAudit Facility::block_audit() const {
     if (ps.slab != shm::kNullOffset) ++a.slabs_journaled;
     for (std::uint32_t vi = 0; vi < detail::kMaxViews; ++vi) {
       const detail::ViewSlot& v = ps.views[vi];
-      if (v.active.load(std::memory_order_acquire) != 0) {
+      // Reserved slots hold no pin and no resources; only armed views
+      // count toward the journaled column.
+      if (v.active.load(std::memory_order_acquire) ==
+          detail::ViewSlot::kArmed) {
         note_detached(v.msg);
       }
     }
@@ -725,7 +732,8 @@ std::vector<OrphanInfo> Facility::orphan_infos() const {
         caches()[p].block_count.load(std::memory_order_relaxed);
     o.journal_op = ps.op.load(std::memory_order_acquire);
     for (std::uint32_t vi = 0; vi < detail::kMaxViews; ++vi) {
-      if (ps.views[vi].active.load(std::memory_order_acquire) != 0) {
+      if (ps.views[vi].active.load(std::memory_order_acquire) ==
+          detail::ViewSlot::kArmed) {
         ++o.views;
       }
     }

@@ -31,6 +31,11 @@ Status Transport::release_view(MsgView* view) {
   return Status::invalid_argument;
 }
 
+std::vector<ConstBuffer> Transport::materialize(const MsgView& view) const {
+  (void)view;
+  return {};  // no view support, nothing to resolve
+}
+
 // --- LNVC ---------------------------------------------------------------
 
 Status LnvcTransport::send(const void* data, std::size_t len) {
@@ -57,6 +62,11 @@ Status LnvcTransport::receive_view(MsgView* out) {
 
 Status LnvcTransport::release_view(MsgView* view) {
   return facility_->release_view(pid_, view);
+}
+
+std::vector<ConstBuffer> LnvcTransport::materialize(
+    const MsgView& view) const {
+  return facility_->materialize(view);
 }
 
 // --- Channel ------------------------------------------------------------

@@ -129,6 +129,69 @@ TEST_F(DVarTest, VariablesCleanUpTheirCircuits) {
   EXPECT_EQ(f.stats().blocks_free, config.resolved().message_blocks);
 }
 
+TEST_F(DVarTest, LargeValuesRefreshThroughViews) {
+  // At or above the view threshold, refresh() pins each update in place
+  // and copies out only the newest one (superseded updates are released
+  // unread) — same last-writer-wins result, verified block-for-block by
+  // the conservation audit.
+  struct Big {
+    double values[64];  // 512 B: past the 256 B view threshold
+  };
+  DVar<Big> a(f, 0, "big", Big{});
+  DVar<Big> b(f, 1, "big", Big{});
+  for (int round = 0; round < 3; ++round) {
+    Big v{};
+    for (std::size_t i = 0; i < 64; ++i) {
+      v.values[i] = round * 1000.0 + static_cast<double>(i);
+    }
+    a.write(v);
+  }
+  const Big got = b.read();
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_DOUBLE_EQ(got.values[i], 2000.0 + static_cast<double>(i)) << i;
+  }
+  // The writer's own replica converges through the same view path.
+  const Big own = a.read();
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_DOUBLE_EQ(own.values[i], 2000.0 + static_cast<double>(i)) << i;
+  }
+  const BlockAudit audit = f.block_audit();
+  EXPECT_TRUE(audit.consistent());
+  EXPECT_EQ(audit.blocks_queued, 0u);
+  EXPECT_EQ(audit.blocks_journaled, 0u);
+}
+
+TEST_F(DVarTest, LargeValueRefreshFallsBackWhenViewTableIsFull) {
+  // A reader whose process already holds every view slot must still be
+  // able to read: refresh() falls back to the copying drain instead of
+  // surfacing table_full.
+  struct Big {
+    double values[64];
+  };
+  LnvcId tx = kInvalidLnvc, rx = kInvalidLnvc;
+  ASSERT_EQ(f.open_send(2, "hoard", &tx), Status::ok);
+  ASSERT_EQ(f.open_receive(1, "hoard", Protocol::fcfs, &rx), Status::ok);
+  const std::vector<std::byte> filler(400, std::byte{0x42});
+  MsgView held[detail::kMaxViews];
+  for (auto& v : held) {
+    ASSERT_EQ(f.send(2, tx, filler.data(), filler.size()), Status::ok);
+    ASSERT_EQ(f.receive_view(1, rx, &v), Status::ok);
+  }
+
+  DVar<Big> writer(f, 0, "fb", Big{});
+  DVar<Big> reader(f, 1, "fb", Big{});  // pid 1: view table exhausted
+  Big v{};
+  for (std::size_t i = 0; i < 64; ++i) v.values[i] = static_cast<double>(i);
+  writer.write(v);
+  const Big got = reader.read();
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_DOUBLE_EQ(got.values[i], static_cast<double>(i)) << i;
+  }
+
+  for (auto& h : held) ASSERT_EQ(f.release_view(1, &h), Status::ok);
+  EXPECT_TRUE(f.block_audit().consistent());
+}
+
 TEST_F(DVarTest, ConcurrentRegisterWritersConvergeToSameValue) {
   // Writers race, but all replicas must agree on the winner (the last
   // update in the circuit's global order).

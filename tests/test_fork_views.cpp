@@ -1,0 +1,138 @@
+// Zero-copy views across fork'd address spaces (DESIGN.md §9).
+//
+// The view record carries arena-relative offsets, so the SAME record must
+// read the SAME bytes in a process that mapped the region at a different
+// base address.  These tests force that situation: the child attaches the
+// named segment fresh, and because the fork-inherited mapping still
+// occupies the original range, mmap places the new one elsewhere — the
+// child asserts the bases differ before touching a span.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mpf/core/facility.hpp"
+#include "mpf/shm/region.hpp"
+
+namespace {
+
+using namespace mpf;
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((seed * 131u + i * 7u) & 0xffu);
+  }
+  return v;
+}
+
+Config view_config() {
+  Config c;
+  c.max_lnvcs = 8;
+  c.max_processes = 8;
+  c.block_payload = 10;  // many fragments per message: real chain walks
+  c.message_blocks = 4096;
+  return c;
+}
+
+// Child-side body shared by both variants: attach fresh (different base),
+// view the pending message, check it bit-exactly against `payload` through
+// BOTH read paths (materialized spans and copy_view), echo it back through
+// a scatter-gather send straight from the pinned spans, release.  Returns
+// a nonzero code on the first failing step.
+int view_echo_child(const std::string& name, const void* parent_base,
+                    const std::vector<std::byte>& payload,
+                    bool expect_slab) {
+  try {
+    auto mine = shm::PosixShmRegion::attach(name);
+    if (mine->base() == parent_base) return 30;  // must be a new mapping
+    Facility g = Facility::attach(*mine);
+    LnvcId rx, tx;
+    if (g.open_receive(1, "fwd", Protocol::fcfs, &rx) != Status::ok) {
+      return 31;
+    }
+    if (g.open_send(1, "back", &tx) != Status::ok) return 32;
+
+    MsgView view;
+    if (g.receive_view(1, rx, &view) != Status::ok) return 33;
+    if (view.length != payload.size()) return 34;
+    if (view.slab != expect_slab) return 35;
+
+    // Path 1: materialize the offset spans against THIS mapping.
+    const std::vector<ConstBuffer> spans = g.materialize(view);
+    std::size_t at = 0;
+    for (const ConstBuffer& s : spans) {
+      if (std::memcmp(s.data, payload.data() + at, s.len) != 0) return 36;
+      at += s.len;
+    }
+    if (at != payload.size()) return 37;
+
+    // Path 2: the bounded copy-out convenience.
+    std::vector<std::byte> copied(payload.size());
+    if (g.copy_view(view, copied.data(), copied.size()) != payload.size()) {
+      return 38;
+    }
+    if (copied != payload) return 39;
+
+    // Round-trip: gather straight from the pinned message.
+    if (g.send_v(1, tx, spans) != Status::ok) return 40;
+    if (g.release_view(1, &view) != Status::ok) return 41;
+  } catch (...) {
+    return 42;
+  }
+  return 0;
+}
+
+void run_round_trip(const Config& c, std::size_t bytes, unsigned seed,
+                    bool expect_slab) {
+  const std::string name = "/mpf_fork_view_" + std::to_string(getpid()) +
+                           (expect_slab ? "s" : "b");
+  auto region = shm::PosixShmRegion::create(name, c.derived_arena_bytes());
+  Facility f = Facility::create(c, *region);
+  LnvcId tx, rx;
+  ASSERT_EQ(f.open_send(0, "fwd", &tx), Status::ok);
+  ASSERT_EQ(f.open_receive(0, "back", Protocol::fcfs, &rx), Status::ok);
+
+  const auto payload = pattern(bytes, seed);
+  ASSERT_EQ(f.send(0, tx, payload.data(), payload.size()), Status::ok);
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    _exit(view_echo_child(name, region->base(), payload, expect_slab));
+  }
+  // The echo came back through the child's mapping: byte-compare it here,
+  // in the parent's mapping, closing the cross-address-space loop.
+  std::vector<std::byte> back(payload.size());
+  std::size_t len = 0;
+  ASSERT_EQ(f.receive(0, rx, back.data(), back.size(), &len), Status::ok);
+  EXPECT_EQ(len, payload.size());
+  EXPECT_EQ(back, payload);
+
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "child exit " << (WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+
+  const BlockAudit audit = f.block_audit();
+  EXPECT_TRUE(audit.consistent());
+  EXPECT_EQ(audit.blocks_journaled, 0u);
+}
+
+TEST(ForkViews, DifferentBaseRoundTripMultiBlock) {
+  // 100 bytes over 10-byte blocks: ten spans, each an offset the child
+  // must resolve against its own (different-base) mapping.
+  run_round_trip(view_config(), 100, 3, /*expect_slab=*/false);
+}
+
+TEST(ForkViews, DifferentBaseRoundTripSlab) {
+  Config c = view_config();
+  c.slab_threshold = 256;
+  run_round_trip(c, 4096, 5, /*expect_slab=*/true);
+}
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "mpf/benchlib/simrun.hpp"
@@ -163,6 +164,90 @@ TEST(ViewChaos, SigkilledForkedViewHolderUnpinsOnReap) {
   EXPECT_TRUE(audit.consistent());
   EXPECT_EQ(audit.in_flight(), 0u);
   EXPECT_GE(f.stats().reaps, 1u);
+}
+
+TEST(ViewChaos, SigkilledDifferentBaseViewHolderConserved) {
+  // Same orphan sweep, but the dead holder pinned its view through a
+  // DIFFERENT mapping of the region (fresh attach, not the fork-inherited
+  // one).  The reaper walks the dead view table through its own base, so
+  // conservation only holds if the table records offsets, not pointers.
+  const std::string name =
+      "/mpf_view_chaos_" + std::to_string(getpid());
+  Config c;
+  c.max_lnvcs = 8;
+  c.max_processes = 8;
+  c.block_payload = 10;
+  c.message_blocks = 4096;
+  c.suspicion_ns = 20'000'000;
+  c.slab_threshold = 64;  // the pinned payload is a slab extent
+  auto region = shm::PosixShmRegion::create(name, c.derived_arena_bytes());
+  Facility f = Facility::create(c, *region);
+
+  LnvcId data_tx = kInvalidLnvc, ack_rx = kInvalidLnvc;
+  ASSERT_EQ(f.open_send(0, "data", &data_tx), Status::ok);
+  ASSERT_EQ(f.open_receive(0, "ack", Protocol::fcfs, &ack_rx), Status::ok);
+  std::vector<std::byte> payload(400, std::byte{0xa5});
+  ASSERT_EQ(f.send(0, data_tx, payload.data(), payload.size()), Status::ok);
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: attach at a new base, pin the slab message through THAT
+    // mapping, tell the parent, hold the view until SIGKILLed.
+    int code = 0;
+    try {
+      auto mine = shm::PosixShmRegion::attach(name);
+      if (mine->base() == region->base()) _exit(40);
+      Facility g = Facility::attach(*mine);
+      LnvcId rx = kInvalidLnvc, tx = kInvalidLnvc;
+      if (g.open_receive(1, "data", Protocol::fcfs, &rx) != Status::ok) {
+        _exit(41);
+      }
+      if (g.open_send(1, "ack", &tx) != Status::ok) _exit(42);
+      MsgView view;
+      if (g.receive_view(1, rx, &view) != Status::ok) _exit(43);
+      if (!view.slab || view.length != payload.size()) _exit(44);
+      const char ok = 1;
+      if (g.send(1, tx, &ok, sizeof(ok)) != Status::ok) _exit(45);
+      for (;;) ::pause();
+    } catch (...) {
+      code = 46;
+    }
+    _exit(code);
+  }
+  char ok = 0;
+  std::size_t len = 0;
+  ASSERT_EQ(f.receive(0, ack_rx, &ok, sizeof(ok), &len), Status::ok);
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+  bool found = false;
+  for (const OrphanInfo& o : f.orphan_infos()) {
+    if (o.pid != 1) continue;
+    found = true;
+    EXPECT_EQ(o.views, 1u);
+  }
+  EXPECT_TRUE(found);
+
+  ASSERT_EQ(f.reap(0, 1), Status::ok);
+  // Block AND slab conservation through the reaper's own (original)
+  // mapping: every extent the dead holder pinned is back in circulation.
+  const BlockAudit audit = f.block_audit();
+  EXPECT_TRUE(audit.consistent())
+      << "blocks free=" << audit.blocks_free
+      << " cached=" << audit.blocks_cached
+      << " queued=" << audit.blocks_queued
+      << " journaled=" << audit.blocks_journaled
+      << " total=" << audit.blocks_total
+      << "; slabs free=" << audit.slabs_free
+      << " queued=" << audit.slabs_queued
+      << " journaled=" << audit.slabs_journaled
+      << " total=" << audit.slabs_total;
+  EXPECT_GT(audit.slabs_total, 0u);
+  EXPECT_EQ(audit.slabs_free, audit.slabs_total);
+  EXPECT_EQ(audit.in_flight(), 0u);
 }
 
 }  // namespace

@@ -34,10 +34,10 @@ std::vector<std::byte> pattern(std::size_t n, unsigned seed = 1) {
   return v;
 }
 
-std::vector<std::byte> flatten(const MsgView& view) {
+std::vector<std::byte> flatten(const Facility& f, const MsgView& view) {
   std::vector<std::byte> out;
   out.reserve(view.length);
-  for (const ConstBuffer& s : view.spans) {
+  for (const ConstBuffer& s : f.materialize(view)) {
     const auto* p = static_cast<const std::byte*>(s.data);
     out.insert(out.end(), p, p + s.len);
   }
@@ -85,9 +85,9 @@ TEST_F(ViewTest, ChainSpansReassemblePayload) {
   // 100 bytes over 10-byte blocks: one span per block, in payload order.
   EXPECT_EQ(view.spans.size(), 10u);
   std::size_t total = 0;
-  for (const ConstBuffer& s : view.spans) total += s.len;
+  for (const ViewSpan& s : view.spans) total += s.len;
   EXPECT_EQ(total, view.length);
-  EXPECT_EQ(flatten(view), payload);
+  EXPECT_EQ(flatten(f, view), payload);
 
   const FacilityStats stats = f.stats();
   EXPECT_GE(stats.views, 1u);
@@ -127,7 +127,7 @@ TEST_F(ViewTest, SlabViewIsOneContiguousSpan) {
   EXPECT_TRUE(view.slab);
   ASSERT_EQ(view.spans.size(), 1u);
   EXPECT_EQ(view.spans[0].len, payload.size());
-  EXPECT_EQ(flatten(view), payload);
+  EXPECT_EQ(flatten(g, view), payload);
   ASSERT_EQ(g.release_view(1, &view), Status::ok);
 
   const BlockAudit audit = g.block_audit();
@@ -174,6 +174,14 @@ TEST_F(ViewTest, TableFullAtMaxConcurrentViews) {
   for (auto& v : held) ASSERT_EQ(f.receive_view(1, rx, &v), Status::ok);
   MsgView extra;
   EXPECT_EQ(f.receive_view(1, rx, &extra), Status::table_full);
+  EXPECT_FALSE(extra.valid());
+  // The refusal is recoverable and did not corrupt the pin journal: the
+  // conservation law still holds, with the held messages and the refused
+  // 5th one all accounted for in the queued column (attached pins count
+  // as queued; only detached ones move to journaled).
+  const BlockAudit full = f.block_audit();
+  EXPECT_TRUE(full.consistent());
+  EXPECT_GT(full.blocks_queued, 0u);
   // The refused call consumed nothing: releasing one slot frees the claim.
   ASSERT_EQ(f.release_view(1, &held[0]), Status::ok);
   ASSERT_EQ(f.receive_view(1, rx, &extra), Status::ok);
@@ -197,6 +205,57 @@ TEST_F(ViewTest, ReleaseViewRejectsStaleHandles) {
   EXPECT_EQ(f.release_view(1, &never), Status::invalid_argument);
 }
 
+TEST_F(ViewTest, StaleHandleAfterSlotReuseIsRejected) {
+  // A released handle whose slot was re-armed — possibly with a recycled
+  // message at the SAME arena offset — must not release the new pin.  The
+  // arm sequence number is what distinguishes the two.
+  const LnvcId tx = open_send(0, "reuse");
+  const LnvcId rx = open_recv(1, "reuse");
+  const auto payload = pattern(20);
+  ASSERT_EQ(f.send(0, tx, payload.data(), payload.size()), Status::ok);
+  MsgView first;
+  ASSERT_EQ(f.receive_view(1, rx, &first), Status::ok);
+  MsgView stale = first;  // simulates a handle kept past release
+  ASSERT_EQ(f.release_view(1, &first), Status::ok);
+
+  // Recycle: the freed blocks are the pool head, so the next send lands
+  // at the same offsets, and slot/msg in the stale handle alias the new
+  // view exactly.
+  ASSERT_EQ(f.send(0, tx, payload.data(), payload.size()), Status::ok);
+  MsgView second;
+  ASSERT_EQ(f.receive_view(1, rx, &second), Status::ok);
+
+  EXPECT_EQ(f.release_view(1, &stale), Status::invalid_argument);
+  // The new view is untouched: it still releases cleanly exactly once.
+  ASSERT_EQ(f.release_view(1, &second), Status::ok);
+  const BlockAudit audit = f.block_audit();
+  EXPECT_TRUE(audit.consistent());
+  EXPECT_EQ(audit.blocks_journaled, 0u);
+}
+
+TEST_F(ViewTest, DoubleReleaseAfterDetachIsInvalid) {
+  // Release after the circuit was destroyed under the view (detach path):
+  // the first release frees the detached message, the second must be a
+  // clean invalid_argument, not a double free.
+  const LnvcId tx = open_send(0, "detach");
+  const LnvcId rx = open_recv(1, "detach");
+  const auto payload = pattern(40, 17);
+  ASSERT_EQ(f.send(0, tx, payload.data(), payload.size()), Status::ok);
+  MsgView view;
+  ASSERT_EQ(f.receive_view(1, rx, &view), Status::ok);
+  MsgView stale = view;
+  ASSERT_EQ(f.close_receive(1, rx), Status::ok);
+  ASSERT_EQ(f.close_send(0, tx), Status::ok);
+
+  ASSERT_EQ(f.release_view(1, &view), Status::ok);
+  EXPECT_EQ(f.release_view(1, &stale), Status::invalid_argument);
+  EXPECT_EQ(f.release_view(1, &view), Status::invalid_argument);
+  const BlockAudit audit = f.block_audit();
+  EXPECT_TRUE(audit.consistent());
+  EXPECT_EQ(audit.blocks_journaled, 0u);
+  EXPECT_EQ(audit.blocks_queued, 0u);
+}
+
 // ------------------------------------------------- view across close/destroy
 
 TEST_F(ViewTest, ViewOutlivesCloseReceiveAndDestroy) {
@@ -214,7 +273,7 @@ TEST_F(ViewTest, ViewOutlivesCloseReceiveAndDestroy) {
   EXPECT_FALSE(f.lnvc_exists("doomed"));
 
   // The spans still read the payload: the blocks were not reclaimed.
-  EXPECT_EQ(flatten(view), payload);
+  EXPECT_EQ(flatten(f, view), payload);
   // A detached message is journaled state until its last pinner lets go.
   const BlockAudit held = f.block_audit();
   EXPECT_TRUE(held.consistent());
@@ -255,7 +314,7 @@ TEST_F(ViewTest, ConcurrentFcfsViewClaimsDeliverEachMessageOnce) {
         claimed.fetch_add(1, std::memory_order_acq_rel);
         ASSERT_EQ(view.length, sizeof(int));
         int v = -1;
-        std::memcpy(&v, view.spans[0].data, sizeof(v));
+        std::memcpy(&v, f.resolve(view.spans[0]).data, sizeof(v));
         got[static_cast<std::size_t>(t)].push_back(v);
         ASSERT_EQ(f.release_view(pid, &view), Status::ok);
       }
@@ -350,7 +409,13 @@ TEST(TransportSeam, LnvcAdapterFullSurface) {
   ASSERT_EQ(t.send_v(iov), Status::ok);
   MsgView view;
   ASSERT_EQ(t.receive_view(&view), Status::ok);
-  EXPECT_EQ(flatten(view), payload);
+  // The seam's materialize step resolves the offset spans for this mapping.
+  std::vector<std::byte> joined;
+  for (const ConstBuffer& s : t.materialize(view)) {
+    const auto* p = static_cast<const std::byte*>(s.data);
+    joined.insert(joined.end(), p, p + s.len);
+  }
+  EXPECT_EQ(joined, payload);
   ASSERT_EQ(t.release_view(&view), Status::ok);
 
   // Truncation maps through the seam exactly as on the raw facility.
