@@ -1,0 +1,137 @@
+// Ablation: NUMA-aware message placement.
+//
+// The Balance 21000 the paper measured was a uniform-memory-access bus
+// machine; its successors split memory across nodes where a remote read
+// costs several times a local one.  This bench extrapolates MPF onto such
+// a machine (MachineModel::numa_nodes = 2) and asks whether placement
+// matters: 8 ping-pong pairs, each deliberately split across the two
+// nodes, sweep message length with the pool placement policy as the
+// series.  "node-blind" always allocates sender-local, so every copy-out
+// pays the expensive remote *read*; "receiver-local" places the message
+// body on the FCFS claimant's node, so the sender pays the cheaper remote
+// *write* (posted stores stream; loads stall — the asymmetry in
+// MachineModel::numa_remote_{read,write}_factor) and the receiver copies
+// out locally.  A second figure shows the counter mechanics: with
+// placement on, pool pops land on the remote (receiver's) sub-pool.
+//
+// Per-process magazines are off: a magazine is inherently home-node, so
+// caching would convert the placement choice back to sender-local and the
+// ablation would measure the cache, not the policy.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "mpf/benchlib/figure.hpp"
+#include "mpf/benchlib/simrun.hpp"
+#include "mpf/benchlib/sweep.hpp"
+#include "mpf/core/errors.hpp"
+#include "mpf/sim/machine.hpp"
+
+namespace {
+
+using namespace mpf;
+using namespace mpf::benchlib;
+
+constexpr int kPairs = 8;  // 16 simulated processes, split across 2 nodes
+constexpr int kRounds = 40;
+
+Config numa_config(bool prefer_receiver) {
+  Config c;
+  c.max_lnvcs = 32;
+  c.max_processes = 2 * kPairs;
+  c.block_payload = 10;
+  c.message_blocks = 16384;
+  c.slab_threshold = 256;
+  c.slab_bytes = 4096;  // largest swept length; keeps footprint honest
+  c.slab_count = 32;
+  c.per_process_cache = false;
+  c.numa_nodes = 2;
+  c.numa_prefer_receiver = prefer_receiver;
+  return c;
+}
+
+sim::MachineModel numa_model() {
+  sim::MachineModel m = sim::MachineModel::balance21000();
+  m.numa_nodes = 2;
+  return m;
+}
+
+/// Pair p ping-pongs between pid 2p and pid 2p+1.  The default node
+/// assignment (pid mod numa_nodes) puts even pids on node 0 and odd pids
+/// on node 1, so every round trip crosses the interconnect both ways.
+void pair_body(Facility f, int rank, std::size_t len) {
+  const int pair = rank / 2;
+  char ping[16];
+  char pong[16];
+  std::snprintf(ping, sizeof(ping), "pg%d", pair);
+  std::snprintf(pong, sizeof(pong), "pn%d", pair);
+  std::vector<char> buf(len, 'x');
+  std::size_t got = 0;
+  LnvcId tx;
+  LnvcId rx;
+  const auto pid = static_cast<ProcessId>(rank);
+  if ((rank & 1) == 0) {
+    throw_if_error(f.open_send(pid, ping, &tx), "open");
+    throw_if_error(f.open_receive(pid, pong, Protocol::fcfs, &rx), "open");
+    for (int i = 0; i < kRounds; ++i) {
+      throw_if_error(f.send(pid, tx, buf.data(), len), "send");
+      throw_if_error(f.receive(pid, rx, buf.data(), len, &got), "receive");
+    }
+    (void)f.close_send(pid, tx);
+    (void)f.close_receive(pid, rx);
+  } else {
+    throw_if_error(f.open_receive(pid, ping, Protocol::fcfs, &rx), "open");
+    throw_if_error(f.open_send(pid, pong, &tx), "open");
+    for (int i = 0; i < kRounds; ++i) {
+      throw_if_error(f.receive(pid, rx, buf.data(), len, &got), "receive");
+      throw_if_error(f.send(pid, tx, buf.data(), len), "send");
+    }
+    (void)f.close_receive(pid, rx);
+    (void)f.close_send(pid, tx);
+  }
+}
+
+SimMetrics numa_run(std::size_t len, bool prefer_receiver) {
+  return run_sim(
+      numa_config(prefer_receiver), 2 * kPairs,
+      [len](Facility f, int rank) { pair_body(f, rank, len); },
+      numa_model());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Figure thr;
+  thr.id = "Ablation A6a";
+  thr.title = "NUMA-aware message placement";
+  thr.subtitle =
+      "Cross-node ping-pong throughput vs message length, 2 nodes x 16 procs";
+  thr.xlabel = "message_bytes";
+  thr.ylabel = "delivered_bytes_per_sec";
+  Figure pops;
+  pops.id = "Ablation A6b";
+  pops.title = "NUMA-aware message placement";
+  pops.subtitle = "Remote-node pool pops (placement at work), same runs";
+  pops.xlabel = "message_bytes";
+  pops.ylabel = "remote_pops";
+  run_sweep(
+      {64, 256, 1024, 4096},
+      {{"node-blind",
+        [](double x) {
+          return numa_run(static_cast<std::size_t>(x), false);
+        }},
+       {"receiver-local",
+        [](double x) {
+          return numa_run(static_cast<std::size_t>(x), true);
+        }}},
+      {{&thr, [](const SimMetrics& m) { return m.delivered_throughput(); },
+        {}},
+       {&pops,
+        [](const SimMetrics& m) {
+          return static_cast<double>(m.numa_remote_pops);
+        },
+        {}}});
+  const int rc = emit_figure(argc, argv, std::cout, thr);
+  print_figure(std::cout, pops);
+  return rc;
+}

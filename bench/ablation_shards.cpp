@@ -14,6 +14,7 @@
 
 #include "mpf/benchlib/figure.hpp"
 #include "mpf/benchlib/simrun.hpp"
+#include "mpf/benchlib/sweep.hpp"
 #include "mpf/benchlib/workloads.hpp"
 #include "mpf/shm/region.hpp"
 #include "mpf/sim/sim_platform.hpp"
@@ -102,16 +103,23 @@ int main(int argc, char** argv) {
   rate.subtitle = "Delivered throughput vs shard count, 16 procs";
   rate.xlabel = "pool_shards";
   rate.ylabel = "delivered_bytes_per_sec";
-  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
-    const SimMetrics m = pair_run(shards, /*cache=*/false);
-    wait.add("cache off", shards,
-             static_cast<double>(m.alloc_lock_wait_ns) * 1e-3);
-    rate.add("cache off", shards, m.delivered_throughput());
-    const SimMetrics mc = pair_run(shards, /*cache=*/true);
-    wait.add("cache on", shards,
-             static_cast<double>(mc.alloc_lock_wait_ns) * 1e-3);
-    rate.add("cache on", shards, mc.delivered_throughput());
-  }
+  const auto wait_us = [](const SimMetrics& m) {
+    return static_cast<double>(m.alloc_lock_wait_ns) * 1e-3;
+  };
+  const auto rate_bps = [](const SimMetrics& m) {
+    return m.delivered_throughput();
+  };
+  run_sweep(
+      {1, 2, 4, 8},
+      {{"cache off",
+        [](double x) {
+          return pair_run(static_cast<std::uint32_t>(x), /*cache=*/false);
+        }},
+       {"cache on",
+        [](double x) {
+          return pair_run(static_cast<std::uint32_t>(x), /*cache=*/true);
+        }}},
+      {{&wait, wait_us, {}}, {&rate, rate_bps, {}}});
   print_figure(std::cout, wait);
   const int rc = emit_figure(argc, argv, std::cout, rate);
 
@@ -123,15 +131,17 @@ int main(int argc, char** argv) {
   solo.subtitle = "Single-process loop-back throughput vs shard count";
   solo.xlabel = "pool_shards";
   solo.ylabel = "delivered_bytes_per_sec";
-  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
-    Config c;
-    c.max_lnvcs = 8;
-    c.max_processes = 4;
-    c.pool_shards = shards;
-    const SimMetrics m = run_sim(
-        c, 1, [](Facility f, int) { base_loopback(f, kLen, 400); });
-    solo.add("loopback", shards, m.delivered_throughput());
-  }
+  run_sweep({1, 2, 4, 8},
+            {{"loopback",
+              [](double x) {
+                Config c;
+                c.max_lnvcs = 8;
+                c.max_processes = 4;
+                c.pool_shards = static_cast<std::uint32_t>(x);
+                return run_sim(
+                    c, 1, [](Facility f, int) { base_loopback(f, kLen, 400); });
+              }}},
+            {{&solo, rate_bps, {}}});
   print_figure(std::cout, solo);
 
   // Magazine effect at 4 shards: hits replace shard-lock acquisitions.
@@ -141,12 +151,17 @@ int main(int argc, char** argv) {
   cache.subtitle = "Shard-lock acquisitions, 16 procs, 4 shards";
   cache.xlabel = "cache (0=off, 1=on)";
   cache.ylabel = "shard_lock_acquisitions";
-  for (const bool on : {false, true}) {
-    const SimMetrics m = pair_run(4, on);
-    cache.add("acquisitions", on ? 1 : 0,
-              static_cast<double>(m.alloc_lock_acquisitions));
-    cache.add("cache hits", on ? 1 : 0, static_cast<double>(m.cache_hits));
-  }
+  run_sweep({0, 1}, {{"", [](double x) { return pair_run(4, x != 0); }}},
+            {{&cache,
+              [](const SimMetrics& m) {
+                return static_cast<double>(m.alloc_lock_acquisitions);
+              },
+              "acquisitions"},
+             {&cache,
+              [](const SimMetrics& m) {
+                return static_cast<double>(m.cache_hits);
+              },
+              "cache hits"}});
   print_figure(std::cout, cache);
 
   print_shard_detail(1);

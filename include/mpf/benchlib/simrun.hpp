@@ -32,6 +32,12 @@ struct SimMetrics {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t exhaustion_waits = 0;
+  // NUMA placement counters (DESIGN.md §10).
+  std::uint32_t numa_nodes = 1;
+  std::uint64_t numa_local_pops = 0;   ///< pool pops on the target node
+  std::uint64_t numa_remote_pops = 0;  ///< pops that crossed nodes
+  std::uint64_t numa_node_steals = 0;  ///< remote pops under exhaustion
+  std::uint64_t interconnect_busy_ns = 0;  ///< virtual link occupancy
 
   [[nodiscard]] double sent_throughput() const {
     return seconds > 0 ? static_cast<double>(bytes_sent) / seconds : 0;

@@ -1,0 +1,44 @@
+// Shared sweep driver for the ablation benches.
+//
+// Every ablation has the same outer shape: sweep one knob over a list of
+// x values, run each configuration variant once per x, and feed one point
+// per (variant, figure) pair.  The driver fixes the iteration order —
+// x-major, variants in declaration order, outputs in declaration order —
+// so two benches sharing it emit rows in the same layout and a bench
+// rewritten onto it reproduces its previous output byte for byte.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mpf/benchlib/figure.hpp"
+#include "mpf/benchlib/simrun.hpp"
+
+namespace mpf::benchlib {
+
+/// One swept configuration: the series label plus the run that produces
+/// its metrics at a given x.  Each (x, variant) pair runs exactly once no
+/// matter how many figures consume it.
+struct SweepVariant {
+  std::string label;
+  std::function<SimMetrics(double x)> run;
+};
+
+/// One figure fed by the sweep.  Each variant's metrics at x become the
+/// point (x, y(metrics)) on the series named by the variant — or by
+/// `label` when set, for figures whose series split one run into several
+/// derived quantities rather than comparing variants.
+struct SweepOutput {
+  Figure* figure = nullptr;
+  std::function<double(const SimMetrics&)> y;
+  std::string label;  ///< empty = use the variant's label
+};
+
+/// Run the sweep: for each x, for each variant (one simulation), append
+/// to every output figure.
+void run_sweep(const std::vector<double>& xs,
+               const std::vector<SweepVariant>& variants,
+               const std::vector<SweepOutput>& outputs);
+
+}  // namespace mpf::benchlib

@@ -65,6 +65,22 @@ struct Config {
   /// (at least 4).  Ignored while slab_threshold == 0.
   std::size_t slab_count = 0;
 
+  /// NUMA memory nodes (rounded up to a power of two, capped at 64).  1
+  /// (default) keeps the flat uniform-access pools; >1 splits the slab
+  /// pool and the block shards into per-node sub-pools: processes are
+  /// assigned round-robin to nodes (pid mod numa_nodes; see
+  /// Facility::set_process_node for explicit pinning), allocation prefers
+  /// the target node's sub-pool, and exhaustion steals remote.  Under the
+  /// simulator this pairs with MachineModel::numa_nodes for distinct
+  /// local/remote copy costs.
+  std::uint32_t numa_nodes = 1;
+  /// Pop policy with numa_nodes > 1: true (default) places a message's
+  /// blocks on the *receiver's* node (the FCFS claimant known from its
+  /// ProcSlot; broadcast falls back to sender-local), so the one bulk
+  /// copy-out is the cheap local read.  false is the node-blind control:
+  /// always sender-local (the ablation_numa baseline).
+  bool numa_prefer_receiver = true;
+
   /// Failure-suspicion threshold in nanoseconds (wall time natively,
   /// virtual time under the simulator).  A waiter that has watched the
   /// same holder sit on an arena lock for this long probes the holder's

@@ -104,6 +104,25 @@ struct FacilityStats {
   std::uint64_t slab_fallbacks = 0;   ///< slab pool dry, fell back to chain
   std::size_t slabs_free = 0;
   std::size_t slabs_total = 0;
+  // NUMA placement counters (see DESIGN.md §10); pops are counted against
+  // the *target* node of the allocation.
+  std::uint32_t numa_nodes = 1;
+  std::uint64_t numa_local_pops = 0;   ///< served from the target node
+  std::uint64_t numa_remote_pops = 0;  ///< target node dry, served remote
+  std::uint64_t numa_node_steals = 0;  ///< remote pops on the steal path
+};
+
+/// Snapshot of one NUMA node's sub-pools (mpf_inspect --nodes).
+struct NodePoolInfo {
+  std::uint32_t node = 0;
+  std::uint32_t shards = 0;        ///< pool shards homed on this node
+  std::size_t free_blocks = 0;     ///< across this node's shards
+  std::size_t block_capacity = 0;
+  std::size_t free_slabs = 0;
+  std::size_t slab_capacity = 0;
+  std::uint64_t local_pops = 0;
+  std::uint64_t remote_pops = 0;
+  std::uint64_t steals = 0;
 };
 
 /// Snapshot of one pool shard (allocator introspection).
@@ -163,6 +182,7 @@ struct BlockAudit {
 struct OrphanInfo {
   ProcessId pid = 0;
   std::uint32_t os_pid = 0;
+  std::uint32_t node = 0;         ///< NUMA home node (0 with one node)
   std::uint32_t state = 0;        ///< detail::ProcSlot::k* value
   bool os_alive = true;           ///< kill(os_pid, 0) / platform verdict
   std::uint32_t connections = 0;  ///< open connections held facility-wide
@@ -296,6 +316,13 @@ class Facility {
   /// Per-process magazine state (entries with any activity or content).
   [[nodiscard]] std::vector<ProcCacheInfo> proc_cache_infos() const;
   [[nodiscard]] std::uint32_t pool_shards() const noexcept;
+  /// Per-node sub-pool state + placement counters (mpf_inspect --nodes).
+  [[nodiscard]] std::vector<NodePoolInfo> node_pool_infos() const;
+  [[nodiscard]] std::uint32_t numa_nodes() const noexcept;
+  [[nodiscard]] bool numa_prefer_receiver() const noexcept;
+  /// Pin `pid` to `node` (masked into range), overriding the round-robin
+  /// default.  Takes effect for subsequent placement decisions.
+  void set_process_node(ProcessId pid, std::uint32_t node);
   /// Snapshots of every live LNVC (for tools/monitoring).
   [[nodiscard]] std::vector<LnvcInfo> lnvc_infos() const;
   /// Snapshot of one LNVC; Status::no_such_lnvc if the slot is dead.
@@ -328,17 +355,26 @@ class Facility {
   // Sharded block-pool allocator (pool.cpp).
   detail::PoolShard* shards() const noexcept;
   detail::ProcCache* caches() const noexcept;
+  detail::SlabPool* slab_pools() const noexcept;
+  detail::NodeStats* node_stats() const noexcept;
   [[nodiscard]] std::uint32_t home_shard(ProcessId pid) const noexcept;
+  /// Memory node a block/extent offset was carved on (scan of the
+  /// recorded shard + slab sub-pool ranges; 0 when not found or flat).
+  [[nodiscard]] std::uint32_t node_of_offset(shm::Offset off) const noexcept;
   void lock_shard(detail::PoolShard& s, ProcessId pid);
   /// Pop a message header plus a `need`-block chain for `pid`, preferring
-  /// its magazine, then its home shard, then stealing from other shards
-  /// and raiding peer magazines.  Honors BlockPolicy on true exhaustion.
-  Status alloc_message(ProcessId pid, std::size_t need, shm::Offset* msg_off,
+  /// its magazine, then the target node's shards (pid's home shard with
+  /// the node bits swapped to `target_node`), then stealing from other
+  /// shards (target-node shards first) and raiding peer magazines.
+  /// Honors BlockPolicy on true exhaustion.
+  Status alloc_message(ProcessId pid, std::size_t need,
+                       std::uint32_t target_node, shm::Offset* msg_off,
                        shm::Offset* chain_head, shm::Offset* chain_tail);
-  /// One full acquisition sweep (magazine -> home shard -> steal -> raid);
-  /// extends the partial (msg, chain) in place, true when fully satisfied.
-  bool try_gather(ProcessId pid, std::size_t need, shm::Offset& msg,
-                  detail::GatherChain& chain);
+  /// One full acquisition sweep (magazine -> target shard -> steal ->
+  /// raid); extends the partial (msg, chain) in place, true when fully
+  /// satisfied.
+  bool try_gather(ProcessId pid, std::size_t need, std::uint32_t target_node,
+                  shm::Offset& msg, detail::GatherChain& chain);
   /// Give a partial gather back to the home shard (starvation paths).
   void return_gather(ProcessId pid, shm::Offset& msg,
                      detail::GatherChain& chain);
@@ -419,10 +455,12 @@ class Facility {
   // no resources); cancel returns it on any no-delivery path.
   int view_reserve(ProcessId pid);
   void view_cancel(ProcessId pid, int slot);
-  // Slab pool (pool.cpp): pop/push one contiguous extent.  slab_alloc
-  // journals via ProcSlot::slab inside the pop's critical section;
-  // kNullOffset when the pool is dry.
-  shm::Offset slab_alloc(ProcessId pid);
+  // Slab pools (pool.cpp): pop/push one contiguous extent.  slab_alloc
+  // journals via ProcSlot::slab inside the pop's critical section and
+  // prefers the target node's sub-pool, stealing from remote nodes when
+  // it is dry; kNullOffset when every sub-pool is empty.  slab_free
+  // returns the extent to its home-node sub-pool (node_of_offset).
+  shm::Offset slab_alloc(ProcessId pid, std::uint32_t target_node);
   void slab_free(ProcessId pid, shm::Offset extent);
 
   mutable shm::Arena arena_{};

@@ -130,12 +130,41 @@ struct alignas(64) PoolShard {
   sync::SpinLock lock;  ///< guards blocks + msgs (platform-mediated)
   shm::FreeList blocks;
   shm::FreeList msgs;
+  /// Arena range [range_lo, range_hi) this shard's blocks were carved
+  /// from (node attribution: shard i serves node i & node_mask, so any
+  /// block offset maps back to its home node via these ranges).
+  shm::Offset range_lo;
+  shm::Offset range_hi;
   // Contention counters (surfaced through FacilityStats / mpf_inspect).
   std::atomic<std::uint64_t> lock_acquisitions;
   std::atomic<std::uint64_t> lock_wait_ns;  ///< time spent acquiring `lock`
   std::atomic<std::uint64_t> steals;        ///< grabs by non-home processes
   std::atomic<std::uint64_t> refills;       ///< cache refill batches served
   std::atomic<std::uint64_t> flushes;       ///< cache overflow batches taken
+};
+
+/// One NUMA node's sub-pool of contiguous slab extents.  With
+/// numa_nodes == 1 there is exactly one — the pre-NUMA global slab pool.
+/// Cache-line aligned so per-node locks do not false-share.
+struct alignas(64) SlabPool {
+  sync::SpinLock lock;  ///< guards `slabs` (platform-mediated)
+  shm::FreeList slabs;
+  /// Arena range [range_lo, range_hi) of this node's extents (memory-node
+  /// attribution of a slab offset, and the mbind target when libnuma is
+  /// available natively).
+  shm::Offset range_lo;
+  shm::Offset range_hi;
+};
+
+/// Per-node allocation counters (mpf_inspect --nodes), indexed by the
+/// node whose sub-pool served the pop.  local: the popping process is
+/// homed on this node; remote: it is homed elsewhere (receiver-local
+/// placement shows up here); steals: the pop's *intended* node was a
+/// different one — this sub-pool served as the exhaustion fallback.
+struct alignas(64) NodeStats {
+  std::atomic<std::uint64_t> local_pops;
+  std::atomic<std::uint64_t> remote_pops;
+  std::atomic<std::uint64_t> steals;
 };
 
 /// Per-process allocator cache: a bounded magazine of blocks and message
@@ -219,6 +248,10 @@ struct alignas(64) ProcSlot {
 
   std::atomic<std::uint32_t> state;
   std::uint32_t os_pid;  ///< native: getpid() at registration; sim: 0
+  /// NUMA node this process runs on (pid & node_mask at create;
+  /// overridable via Facility::set_process_node).  Senders read the FCFS
+  /// claimant's slot to place blocks receiver-local.
+  std::uint32_t node;
 
   std::atomic<std::uint32_t> op;  ///< JournalOp; the journal commit point
   std::uint32_t stage;            ///< op-specific progress marker
@@ -282,6 +315,14 @@ struct FacilityHeader {
   /// Number of pool shards (power of two) and the matching index mask.
   std::uint32_t n_shards;
   std::uint32_t shard_mask;
+  /// NUMA topology: numa_nodes (power of two, divides n_shards) and its
+  /// mask.  Shard i belongs to node i & node_mask; process pid starts on
+  /// node pid & node_mask.  1/0 = flat (pre-NUMA) behaviour.
+  std::uint32_t numa_nodes;
+  std::uint32_t node_mask;
+  /// Pop policy (Config::numa_prefer_receiver): 1 = place blocks on the
+  /// receiver's node, 0 = node-blind sender-local.
+  std::uint32_t numa_prefer_receiver;
 
   sync::SpinLock registry_lock;  ///< guards name lookup + slot (de)alloc
   /// Monitor mutex for true pool exhaustion: a sender that found every
@@ -300,19 +341,19 @@ struct FacilityHeader {
 
   shm::FreeList conn_list;  ///< Connection nodes (global; open/close only)
 
-  /// Contiguous-slab pool for large messages (Config::slab_threshold).
-  /// Guarded by slab_lock; slab sends are rare enough (>= threshold bytes)
-  /// that one lock does not crowd.
-  sync::SpinLock slab_lock;
-  shm::FreeList slabs;
+  /// Contiguous-slab pools for large messages (Config::slab_threshold),
+  /// one sub-pool per NUMA node (slab_pools below).  Slab sends are rare
+  /// enough (>= threshold bytes) that one lock per node does not crowd.
   std::uint64_t slab_threshold;  ///< 0 = slab path disabled
   std::uint64_t slab_bytes;      ///< capacity of one extent
-  std::uint64_t slabs_total;     ///< extents carved at init
+  std::uint64_t slabs_total;     ///< extents carved across all sub-pools
 
   shm::Offset shards;      ///< PoolShard[n_shards]
   shm::Offset caches;      ///< ProcCache[max_processes]
   shm::Offset lnvc_table;  ///< LnvcDesc[max_lnvcs]
   shm::Offset procs;       ///< ProcSlot[max_processes]
+  shm::Offset slab_pools;  ///< SlabPool[numa_nodes]
+  shm::Offset node_stats;  ///< NodeStats[numa_nodes]
 
   std::uint64_t blocks_total;  ///< blocks carved across all shards
   std::uint64_t msgs_total;    ///< message headers carved across all shards

@@ -1,0 +1,28 @@
+// Optional NUMA memory binding.
+//
+// Portability follows the MPD-port pattern: detect the platform facility
+// (libnuma) at build time and degrade to a plain carve without it.  The
+// CMake option MPF_WITH_NUMA probes for libnuma and defines
+// MPF_HAVE_LIBNUMA when found; everything here is a no-op otherwise, so
+// the per-node sub-pools keep identical semantics either way — binding
+// only changes which physical node backs the pages.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mpf {
+
+/// True when the build linked libnuma AND the running kernel reports NUMA
+/// support (numa_available() != -1).
+[[nodiscard]] bool numa_supported() noexcept;
+
+/// Bind the pages of [addr, addr + bytes) to memory node `node`
+/// (numa_tonode_memory, i.e. mbind with a preferred-node policy — pages
+/// land on the node when it has capacity, elsewhere otherwise).  Returns
+/// false — changing nothing — without libnuma, when the kernel lacks NUMA
+/// support, or when `node` exceeds the highest configured node.
+bool numa_bind_range(void* addr, std::size_t bytes,
+                     std::uint32_t node) noexcept;
+
+}  // namespace mpf

@@ -122,6 +122,20 @@ class Platform {
     (void)bytes;
     (void)nblocks;
   }
+  /// Node-annotated copy: `read_node` / `write_node` are the memory nodes
+  /// of the source and destination and `exec_node` the executing
+  /// process's node (Config::numa_nodes topology).  Platforms without a
+  /// NUMA cost model fall back to the flat charge; the simulator prices
+  /// remote legs and reserves the interconnect link.
+  virtual void charge_copy_nodes(std::size_t bytes, std::size_t nblocks,
+                                 std::uint32_t read_node,
+                                 std::uint32_t write_node,
+                                 std::uint32_t exec_node) {
+    (void)read_node;
+    (void)write_node;
+    (void)exec_node;
+    charge_copy(bytes, nblocks);
+  }
   /// Handing out a zero-copy view of a message: the receiver pays the
   /// per-block pointer-chase overhead but moves no payload bytes.
   virtual void charge_view(std::size_t bytes, std::size_t nblocks) {

@@ -60,6 +60,27 @@ struct MachineModel {
   /// push every write to memory; reads of just-written data mostly miss).
   double bus_fraction = 2.0;
 
+  // --- NUMA topology (production extrapolation) ------------------------
+  /// Memory nodes of the simulated machine.  1 models the Balance's
+  /// uniform-access bus exactly (every NUMA term degenerates and the copy
+  /// arithmetic is bit-identical to the flat model); >1 splits memory into
+  /// nodes with distinct local/remote copy costs and a per-link
+  /// interconnect bandwidth resource alongside the shared bus.
+  std::uint32_t numa_nodes = 1;
+  /// Multiplier on copy_ns_per_byte when the *source* of a copy is remote
+  /// to the executing processor.  Remote loads are latency-bound (each
+  /// cache-line fill stalls a round trip across the interconnect), so
+  /// reads are the expensive direction.
+  double numa_remote_read_factor = 3.0;
+  /// Multiplier when the *destination* is remote.  Remote stores post and
+  /// stream through write buffers, so they cost much less than remote
+  /// loads — the asymmetry that makes receiver-local placement win.
+  double numa_remote_write_factor = 1.4;
+  /// Per-link interconnect bandwidth: remote copy bytes additionally
+  /// reserve the link between the two nodes, queueing in virtual time the
+  /// same way bus contention does.
+  double link_ns_per_byte = 25.0;
+
   // --- paging (16 MB machine) -----------------------------------------
   /// Live message-buffer footprint beyond which touches start faulting.
   /// The Balance had 16 MB, but the resident share left for MPF buffers

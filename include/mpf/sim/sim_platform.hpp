@@ -32,6 +32,9 @@ class SimPlatform final : public Platform {
   void charge_check() override;
   void charge_open_close() override;
   void charge_copy(std::size_t bytes, std::size_t nblocks) override;
+  void charge_copy_nodes(std::size_t bytes, std::size_t nblocks,
+                         std::uint32_t read_node, std::uint32_t write_node,
+                         std::uint32_t exec_node) override;
   void charge_view(std::size_t bytes, std::size_t nblocks) override;
   void charge_ops(double ops) override;
   void charge_flops(double flops) override;

@@ -181,6 +181,16 @@ class Simulator {
   /// blocks (0 for a direct buffer-to-buffer transfer): CPU time on the
   /// current processor plus shared-bus occupancy.
   void charge_copy(std::uint64_t bytes, std::uint64_t nblocks);
+  /// NUMA-aware variant: `read_node` / `write_node` are the memory nodes
+  /// of the copy's source and destination and `exec_node` the node of the
+  /// executing processor.  Remote legs scale the per-byte CPU cost
+  /// (reads are latency-bound and cost more than posted writes) and
+  /// additionally reserve the interconnect link between the two nodes.
+  /// With model().numa_nodes <= 1 — or all three nodes equal — this is
+  /// arithmetically identical to charge_copy (bit-identical traces).
+  void charge_copy_numa(std::uint64_t bytes, std::uint64_t nblocks,
+                        std::uint32_t read_node, std::uint32_t write_node,
+                        std::uint32_t exec_node);
   /// Charge a touch of `bytes` of message-buffer memory, applying the
   /// paging model against the current live footprint.
   void charge_touch(std::uint64_t bytes);
@@ -202,6 +212,11 @@ class Simulator {
   }
   [[nodiscard]] std::uint64_t bus_busy_ns() const noexcept {
     return static_cast<std::uint64_t>(bus_busy_ns_);
+  }
+  /// Total interconnect-link occupancy across all node pairs (0 on a
+  /// single-node machine).
+  [[nodiscard]] std::uint64_t interconnect_busy_ns() const noexcept {
+    return static_cast<std::uint64_t>(interconnect_busy_ns_);
   }
   [[nodiscard]] std::uint64_t page_faults() const noexcept { return faults_; }
 
@@ -268,6 +283,10 @@ class Simulator {
   // Hardware model state: only ever touched by the single running process.
   double bus_free_at_ = 0;
   double bus_busy_ns_ = 0;
+  /// Interconnect-link reservations keyed by unordered node pair
+  /// ((lo << 32) | hi); absent entries mean the link is free.
+  std::unordered_map<std::uint64_t, double> link_free_at_;
+  double interconnect_busy_ns_ = 0;
   std::uint64_t live_msg_bytes_ = 0;
   std::uint64_t peak_msg_bytes_ = 0;
   std::uint64_t faults_ = 0;

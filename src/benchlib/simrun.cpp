@@ -5,37 +5,6 @@
 
 namespace mpf::benchlib {
 
-SimMetrics run_sim(const Config& config, int nprocs,
-                   const std::function<void(Facility, int)>& body,
-                   const sim::MachineModel& model) {
-  sim::Simulator simulator(model);
-  sim::SimPlatform platform(simulator);
-  shm::HeapRegion region(config.derived_arena_bytes());
-  Facility facility = Facility::create(config, region, platform);
-  simulator.spawn_group(nprocs,
-                        [&](int rank) { body(facility, rank); });
-  simulator.run();
-
-  const FacilityStats stats = facility.stats();
-  SimMetrics metrics;
-  metrics.seconds = static_cast<double>(simulator.elapsed()) * 1e-9;
-  metrics.bytes_sent = stats.bytes_sent;
-  metrics.bytes_delivered = stats.bytes_delivered;
-  metrics.sends = stats.sends;
-  metrics.receives = stats.receives;
-  metrics.page_faults = simulator.page_faults();
-  metrics.peak_footprint = simulator.peak_footprint();
-  metrics.context_switches = simulator.context_switches();
-  metrics.pool_shards = stats.pool_shards;
-  metrics.alloc_lock_wait_ns = stats.shard_lock_wait_ns;
-  metrics.alloc_lock_acquisitions = stats.shard_lock_acquisitions;
-  metrics.shard_steals = stats.shard_steals;
-  metrics.cache_hits = stats.cache_hits;
-  metrics.cache_misses = stats.cache_misses;
-  metrics.exhaustion_waits = stats.exhaustion_waits;
-  return metrics;
-}
-
 namespace {
 
 SimMetrics collect_sim(const sim::Simulator& simulator,
@@ -56,6 +25,11 @@ SimMetrics collect_sim(const sim::Simulator& simulator,
   m.cache_hits = stats.cache_hits;
   m.cache_misses = stats.cache_misses;
   m.exhaustion_waits = stats.exhaustion_waits;
+  m.numa_nodes = stats.numa_nodes;
+  m.numa_local_pops = stats.numa_local_pops;
+  m.numa_remote_pops = stats.numa_remote_pops;
+  m.numa_node_steals = stats.numa_node_steals;
+  m.interconnect_busy_ns = simulator.interconnect_busy_ns();
   return m;
 }
 
@@ -77,6 +51,19 @@ std::uint64_t hash_trace(const sim::Trace& trace) {
 }
 
 }  // namespace
+
+SimMetrics run_sim(const Config& config, int nprocs,
+                   const std::function<void(Facility, int)>& body,
+                   const sim::MachineModel& model) {
+  sim::Simulator simulator(model);
+  sim::SimPlatform platform(simulator);
+  shm::HeapRegion region(config.derived_arena_bytes());
+  Facility facility = Facility::create(config, region, platform);
+  simulator.spawn_group(nprocs,
+                        [&](int rank) { body(facility, rank); });
+  simulator.run();
+  return collect_sim(simulator, facility.stats());
+}
 
 ChaosMetrics run_chaos(const Config& config, int nprocs,
                        const sim::FaultPlan& plan,

@@ -1,0 +1,19 @@
+#include "mpf/benchlib/sweep.hpp"
+
+namespace mpf::benchlib {
+
+void run_sweep(const std::vector<double>& xs,
+               const std::vector<SweepVariant>& variants,
+               const std::vector<SweepOutput>& outputs) {
+  for (const double x : xs) {
+    for (const SweepVariant& v : variants) {
+      const SimMetrics m = v.run(x);
+      for (const SweepOutput& out : outputs) {
+        out.figure->add(out.label.empty() ? v.label : out.label, x,
+                        out.y(m));
+      }
+    }
+  }
+}
+
+}  // namespace mpf::benchlib

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "mpf/core/numa.hpp"
+
 namespace mpf {
 
 namespace {
@@ -91,6 +93,12 @@ Config Config::resolved() const noexcept {
     c.pool_shards = next_pow2(c.pool_shards);
   }
   c.pool_shards = std::min<std::uint32_t>(c.pool_shards, 256);
+  // NUMA topology: power-of-two node count, and at least one shard per
+  // node so home_shard(pid) always lands on pid's node (numa_nodes
+  // divides n_shards; shard i serves node i & node_mask).
+  if (c.numa_nodes == 0) c.numa_nodes = 1;
+  c.numa_nodes = std::min<std::uint32_t>(next_pow2(c.numa_nodes), 64);
+  c.pool_shards = std::max(c.pool_shards, c.numa_nodes);
   if (!c.per_process_cache) {
     c.cache_blocks = 0;
   } else if (c.cache_blocks == 0) {
@@ -128,8 +136,12 @@ Config Config::resolved() const noexcept {
              sizeof(detail::ProcCache);
     bytes += static_cast<std::size_t>(c.max_processes) *
              sizeof(detail::ProcSlot);
-    // One 64-byte alignment gap per carve (two free lists per shard).
-    bytes += (2 * static_cast<std::size_t>(c.pool_shards) + 4) * 64;
+    bytes += static_cast<std::size_t>(c.numa_nodes) *
+             (sizeof(detail::SlabPool) + sizeof(detail::NodeStats));
+    // One 64-byte alignment gap per carve (two free lists per shard, one
+    // slab sub-pool per node).
+    bytes += (2 * static_cast<std::size_t>(c.pool_shards) +
+              static_cast<std::size_t>(c.numa_nodes) + 4) * 64;
     bytes += bytes / 4 + 65536;  // alignment waste + headroom
     c.arena_bytes = bytes;
   }
@@ -161,21 +173,40 @@ Facility Facility::create(const Config& config, shm::Region& region,
   hdr->reclaim_broadcast_only = c.reclaim_broadcast_only ? 1 : 0;
   hdr->n_shards = c.pool_shards;
   hdr->shard_mask = c.pool_shards - 1;
+  hdr->numa_nodes = c.numa_nodes;
+  hdr->node_mask = c.numa_nodes - 1;
+  hdr->numa_prefer_receiver = c.numa_prefer_receiver ? 1 : 0;
 
   hdr->lnvc_table = arena.make_array<detail::LnvcDesc>(c.max_lnvcs);
   hdr->conn_list.carve(arena, node_bytes(sizeof(detail::Connection)),
                        c.connections);
 
-  // Contiguous-slab pool for large messages (disabled when threshold == 0).
+  // Contiguous-slab pools for large messages (disabled when threshold ==
+  // 0): one sub-pool per NUMA node, the first (count % nodes) sub-pools
+  // absorbing the remainder.  Each sub-pool records its carve range so any
+  // extent offset maps back to its memory node, and — when libnuma is
+  // compiled in — gets its range bound to that node.
   hdr->slab_threshold = c.slab_threshold;
   hdr->slab_bytes = c.slab_bytes;
   hdr->slabs_total = c.slab_count;
-  if (c.slab_count > 0) {
-    hdr->slabs.carve(arena, node_bytes(c.slab_bytes), c.slab_count);
+  hdr->slab_pools = arena.make_array<detail::SlabPool>(c.numa_nodes);
+  auto* sp = static_cast<detail::SlabPool*>(arena.raw(hdr->slab_pools));
+  for (std::uint32_t nd = 0; nd < c.numa_nodes; ++nd) {
+    const std::size_t count = c.slab_count / c.numa_nodes +
+                              (nd < c.slab_count % c.numa_nodes ? 1 : 0);
+    sp[nd].range_lo = static_cast<shm::Offset>(arena.used());
+    if (count > 0) sp[nd].slabs.carve(arena, node_bytes(c.slab_bytes), count);
+    sp[nd].range_hi = static_cast<shm::Offset>(arena.used());
+    if (c.numa_nodes > 1 && sp[nd].range_hi > sp[nd].range_lo) {
+      numa_bind_range(arena.raw(sp[nd].range_lo),
+                      sp[nd].range_hi - sp[nd].range_lo, nd);
+    }
   }
 
   // Split the block and message-header pools across the shards; the first
-  // (total % n) shards absorb the remainder.
+  // (total % n) shards absorb the remainder.  Shard i serves node
+  // i & node_mask, so its block range is bound to (and attributed to)
+  // that node.
   hdr->shards = arena.make_array<detail::PoolShard>(c.pool_shards);
   auto* sh = static_cast<detail::PoolShard*>(arena.raw(hdr->shards));
   const std::uint32_t n = c.pool_shards;
@@ -184,11 +215,18 @@ Facility Facility::create(const Config& config, shm::Region& region,
         c.message_blocks / n + (i < c.message_blocks % n ? 1 : 0);
     const std::size_t msgs_i =
         c.message_headers / n + (i < c.message_headers % n ? 1 : 0);
+    sh[i].range_lo = static_cast<shm::Offset>(arena.used());
     sh[i].blocks.carve(arena, block_node_bytes(c.block_payload), blocks_i);
+    sh[i].range_hi = static_cast<shm::Offset>(arena.used());
     sh[i].msgs.carve(arena, node_bytes(sizeof(detail::MsgHeader)), msgs_i);
+    if (c.numa_nodes > 1 && sh[i].range_hi > sh[i].range_lo) {
+      numa_bind_range(arena.raw(sh[i].range_lo),
+                      sh[i].range_hi - sh[i].range_lo, i & hdr->node_mask);
+    }
   }
   hdr->blocks_total = c.message_blocks;
   hdr->msgs_total = c.message_headers;
+  hdr->node_stats = arena.make_array<detail::NodeStats>(c.numa_nodes);
 
   // Per-process magazines (always allocated: the any_cursor lives here even
   // when caching is off).
@@ -202,6 +240,10 @@ Facility Facility::create(const Config& config, shm::Region& region,
   }
 
   hdr->procs = arena.make_array<detail::ProcSlot>(c.max_processes);
+  auto* pslots = static_cast<detail::ProcSlot*>(arena.raw(hdr->procs));
+  for (std::uint32_t p = 0; p < c.max_processes; ++p) {
+    pslots[p].node = p & hdr->node_mask;  // round-robin node assignment
+  }
   hdr->suspicion_ns = c.suspicion_ns;
 
   hdr->magic = detail::kFacilityMagic;  // published last
@@ -594,9 +636,53 @@ FacilityStats Facility::stats() const {
   s.slab_sends = header_->slab_sends.load(std::memory_order_relaxed);
   s.slab_fallbacks = header_->slab_fallbacks.load(std::memory_order_relaxed);
   s.slabs_total = header_->slabs_total;
-  s.slabs_free = header_->slabs.available();
+  const detail::SlabPool* sp = slab_pools();
+  const detail::NodeStats* ns = node_stats();
+  s.numa_nodes = header_->numa_nodes;
+  for (std::uint32_t nd = 0; nd < header_->numa_nodes; ++nd) {
+    s.slabs_free += sp[nd].slabs.available();
+    s.numa_local_pops += ns[nd].local_pops.load(std::memory_order_relaxed);
+    s.numa_remote_pops += ns[nd].remote_pops.load(std::memory_order_relaxed);
+    s.numa_node_steals += ns[nd].steals.load(std::memory_order_relaxed);
+  }
   s.arena_used = arena_.used();
   return s;
+}
+
+std::uint32_t Facility::numa_nodes() const noexcept {
+  return header_->numa_nodes;
+}
+
+bool Facility::numa_prefer_receiver() const noexcept {
+  return header_->numa_prefer_receiver != 0;
+}
+
+void Facility::set_process_node(ProcessId pid, std::uint32_t node) {
+  if (pid >= header_->max_processes || header_->numa_nodes == 0) return;
+  pslot(pid).node = node & header_->node_mask;
+}
+
+std::vector<NodePoolInfo> Facility::node_pool_infos() const {
+  std::vector<NodePoolInfo> infos(header_->numa_nodes);
+  const detail::SlabPool* sp = slab_pools();
+  const detail::NodeStats* ns = node_stats();
+  const detail::PoolShard* sh = shards();
+  for (std::uint32_t nd = 0; nd < header_->numa_nodes; ++nd) {
+    NodePoolInfo& info = infos[nd];
+    info.node = nd;
+    info.free_slabs = sp[nd].slabs.available();
+    info.slab_capacity = sp[nd].slabs.capacity();
+    info.local_pops = ns[nd].local_pops.load(std::memory_order_relaxed);
+    info.remote_pops = ns[nd].remote_pops.load(std::memory_order_relaxed);
+    info.steals = ns[nd].steals.load(std::memory_order_relaxed);
+  }
+  for (std::uint32_t i = 0; i < header_->n_shards; ++i) {
+    NodePoolInfo& info = infos[i & header_->node_mask];
+    ++info.shards;
+    info.free_blocks += sh[i].blocks.available();
+    info.block_capacity += sh[i].blocks.capacity();
+  }
+  return infos;
 }
 
 std::uint32_t Facility::block_payload() const noexcept {

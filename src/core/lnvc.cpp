@@ -79,6 +79,24 @@ Status Facility::send_impl(ProcessId pid, LnvcId id,
     reap_if_dead(pid, kNoProcess);
     return Status::not_connected;
   }
+  // Pick the memory node for the message body while the descriptor lock
+  // pins the connection list: an FCFS message is consumed by exactly one
+  // receiver, so placing it on that receiver's node turns the expensive
+  // remote leg into the cheap one (DESIGN.md §10).  BROADCAST fan-out has
+  // no single best home; it stays sender-local, as does everything when
+  // the placement knob is off or the machine has one node.
+  std::uint32_t target_node = pslot(pid).node;
+  if (header_->numa_nodes > 1 && header_->numa_prefer_receiver != 0) {
+    shm::Offset c_off = d->connections.off;
+    while (c_off != shm::kNullOffset) {
+      auto* conn = static_cast<detail::Connection*>(arena_.raw(c_off));
+      if (conn->is_fcfs()) {
+        target_node = pslot(conn->process_id).node;
+        break;
+      }
+      c_off = conn->next;
+    }
+  }
   platform_->unlock(d->lock);
 
   // Large messages go into one contiguous slab extent when the pool has
@@ -87,7 +105,7 @@ Status Facility::send_impl(ProcessId pid, LnvcId id,
   shm::Offset extent = shm::kNullOffset;
   if (header_->slab_threshold != 0 && len >= header_->slab_threshold &&
       len <= header_->slab_bytes) {
-    extent = slab_alloc(pid);
+    extent = slab_alloc(pid, target_node);
     if (extent == shm::kNullOffset) {
       header_->slab_fallbacks.fetch_add(1, std::memory_order_relaxed);
     }
@@ -105,7 +123,7 @@ Status Facility::send_impl(ProcessId pid, LnvcId id,
   shm::Offset chain = shm::kNullOffset;
   shm::Offset chain_tail = shm::kNullOffset;
   const Status alloc_status =
-      alloc_message(pid, need, &msg_off, &chain, &chain_tail);
+      alloc_message(pid, need, target_node, &msg_off, &chain, &chain_tail);
   if (alloc_status != Status::ok) {
     if (slab) slab_free(pid, extent);
     reap_if_dead(pid, kNoProcess);
@@ -157,7 +175,13 @@ Status Facility::send_impl(ProcessId pid, LnvcId id,
             : need * (sizeof(detail::Block) + header_->block_payload));
   platform_->on_buffer_alloc(footprint);
   // A slab fill is one contiguous bulk transfer; a chain pays per block.
-  platform_->charge_copy(len, slab ? 0 : need);
+  // The fill reads the sender-local buffer and writes wherever the body
+  // landed — remote when placement chose the receiver's node.
+  {
+    const std::uint32_t my_node = pslot(pid).node;
+    platform_->charge_copy_nodes(len, slab ? 0 : need, my_node,
+                                 node_of_offset(m->first_block), my_node);
+  }
   platform_->touch(len);
 
   // Swap the gather record for an enqueue record (same operands, so a
@@ -516,7 +540,9 @@ Status Facility::receive_impl(ProcessId pid, LnvcId id, void* buf,
   if ((m->flags & detail::MsgHeader::kSlab) != 0) {
     std::memcpy(dst, arena_.raw(m->first_block), want);
     copied = want;
-    platform_->charge_copy(m->length, 0);  // one contiguous bulk transfer
+    // One contiguous bulk transfer, read from the body's node.
+    platform_->charge_copy_nodes(m->length, 0, node_of_offset(m->first_block),
+                                 pslot(pid).node, pslot(pid).node);
   } else {
     shm::Offset b_off = m->first_block;
     while (copied < want) {
@@ -527,7 +553,9 @@ Status Facility::receive_impl(ProcessId pid, LnvcId id, void* buf,
       copied += chunk;
       b_off = b->next;
     }
-    platform_->charge_copy(m->length, m->nblocks);
+    platform_->charge_copy_nodes(m->length, m->nblocks,
+                                 node_of_offset(m->first_block),
+                                 pslot(pid).node, pslot(pid).node);
   }
   platform_->touch(m->length);
   const Status status = m->length > cap ? Status::truncated : Status::ok;

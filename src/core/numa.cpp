@@ -1,0 +1,33 @@
+#include "mpf/core/numa.hpp"
+
+#if defined(MPF_HAVE_LIBNUMA)
+#include <numa.h>
+#endif
+
+namespace mpf {
+
+bool numa_supported() noexcept {
+#if defined(MPF_HAVE_LIBNUMA)
+  return ::numa_available() != -1;
+#else
+  return false;
+#endif
+}
+
+bool numa_bind_range(void* addr, std::size_t bytes,
+                     std::uint32_t node) noexcept {
+#if defined(MPF_HAVE_LIBNUMA)
+  if (::numa_available() == -1) return false;
+  if (static_cast<int>(node) > ::numa_max_node()) return false;
+  ::numa_tonode_memory(addr, static_cast<long>(bytes),
+                       static_cast<int>(node));
+  return true;
+#else
+  (void)addr;
+  (void)bytes;
+  (void)node;
+  return false;
+#endif
+}
+
+}  // namespace mpf

@@ -66,8 +66,31 @@ detail::ProcCache* Facility::caches() const noexcept {
   return static_cast<detail::ProcCache*>(arena_.raw(header_->caches));
 }
 
+detail::SlabPool* Facility::slab_pools() const noexcept {
+  return static_cast<detail::SlabPool*>(arena_.raw(header_->slab_pools));
+}
+
+detail::NodeStats* Facility::node_stats() const noexcept {
+  return static_cast<detail::NodeStats*>(arena_.raw(header_->node_stats));
+}
+
 std::uint32_t Facility::home_shard(ProcessId pid) const noexcept {
   return pid & header_->shard_mask;
+}
+
+std::uint32_t Facility::node_of_offset(shm::Offset off) const noexcept {
+  if (header_->numa_nodes <= 1) return 0;
+  const detail::SlabPool* sp = slab_pools();
+  for (std::uint32_t nd = 0; nd < header_->numa_nodes; ++nd) {
+    if (off >= sp[nd].range_lo && off < sp[nd].range_hi) return nd;
+  }
+  const detail::PoolShard* sh = shards();
+  for (std::uint32_t i = 0; i < header_->n_shards; ++i) {
+    if (off >= sh[i].range_lo && off < sh[i].range_hi) {
+      return i & header_->node_mask;
+    }
+  }
+  return 0;
 }
 
 void Facility::lock_shard(detail::PoolShard& s, ProcessId pid) {
@@ -118,11 +141,14 @@ void cache_put_blocks(shm::Arena& arena, detail::ProcCache& c,
 
 }  // namespace
 
-/// One full acquisition sweep: magazine -> home shard (with batched
-/// magazine refill) -> steal from sibling shards -> raid peer magazines.
+/// One full acquisition sweep: magazine -> preferred shard (the home
+/// shard with its node bits swapped to the target node, with batched
+/// magazine refill when that is also the home shard) -> steal from
+/// sibling shards, target-node shards first -> raid peer magazines.
 /// Extends the partially gathered (msg, chain) in place; returns true
 /// when both the header and all `need` blocks are in hand.
-bool Facility::try_gather(ProcessId pid, std::size_t need, shm::Offset& msg,
+bool Facility::try_gather(ProcessId pid, std::size_t need,
+                          std::uint32_t target_node, shm::Offset& msg,
                           Chain& chain) {
   detail::ProcCache& cache = caches()[pid];
   const bool caching = cache.block_cap > 0 || cache.msg_cap > 0;
@@ -162,10 +188,17 @@ bool Facility::try_gather(ProcessId pid, std::size_t need, shm::Offset& msg,
     if (done) return true;
   }
 
-  // Phase 2: home shard, grabbing a magazine refill in the same critical
-  // section so the next sends are pure cache hits.
+  // Phase 2: the preferred shard — the home shard with its node bits
+  // swapped to the target node, so blocks come from the node the copy-out
+  // will read them on.  Grab a magazine refill in the same critical
+  // section (only when the preferred shard is the home shard: the
+  // magazine holds *our* node's blocks) so the next sends are pure cache
+  // hits.
   const std::uint32_t home = home_shard(pid);
-  detail::PoolShard& hs = shards()[home];
+  const std::uint32_t target = target_node & header_->node_mask;
+  const std::uint32_t pref = (home & ~header_->node_mask) | target;
+  detail::PoolShard& hs = shards()[pref];
+  const std::uint64_t taken_before = chain.count;
   Chain refill;
   shm::Offset refill_msgs = shm::kNullOffset;
   std::size_t refill_msg_count = 0;
@@ -179,7 +212,8 @@ bool Facility::try_gather(ProcessId pid, std::size_t need, shm::Offset& msg,
           hs.blocks.pop_chain(arena_, need - chain.count, got, &tail);
       append(arena_, chain, head, tail, got);
     }
-    if (caching && msg != shm::kNullOffset && chain.count >= need) {
+    if (caching && pref == home && msg != shm::kNullOffset &&
+        chain.count >= need) {
       // Refill: take up to half the shard's surplus, bounded by the cap.
       const std::uint32_t cached =
           cache.block_count.load(std::memory_order_relaxed);
@@ -218,6 +252,14 @@ bool Facility::try_gather(ProcessId pid, std::size_t need, shm::Offset& msg,
     ps.refill_msg_count = static_cast<std::uint32_t>(refill_msg_count);
     platform_->unlock(hs.lock);
   }
+  if (chain.count > taken_before) {
+    detail::NodeStats& stats = node_stats()[target];
+    if (pslot(pid).node == target) {
+      stats.local_pops.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats.remote_pops.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   if (refill.count > 0 || refill_msg_count > 0) {
     alock(cache.lock, pid);
     cache_put_blocks(arena_, cache, refill.head, refill.tail, refill.count);
@@ -234,34 +276,53 @@ bool Facility::try_gather(ProcessId pid, std::size_t need, shm::Offset& msg,
   }
   if (msg != shm::kNullOffset && chain.count >= need) return true;
 
-  // Phase 3: steal from sibling shards (round robin from our neighbour).
-  for (std::uint32_t i = 1; i < header_->n_shards; ++i) {
-    detail::PoolShard& v = shards()[(home + i) & header_->shard_mask];
-    const bool want_msg = msg == shm::kNullOffset;
-    const bool want_blocks = chain.count < need;
-    // Unlocked peek; the authoritative check repeats under the lock.
-    if (!(want_msg && v.msgs.available() > 0) &&
-        !(want_blocks && v.blocks.available() > 0)) {
-      continue;
-    }
-    lock_shard(v, pid);
-    bool took = false;
-    if (msg == shm::kNullOffset) {
-      msg = v.msgs.pop(arena_);
-      took = took || msg != shm::kNullOffset;
-    }
-    if (chain.count < need) {
+  // Phase 3: steal from sibling shards (round robin from the preferred
+  // shard's neighbour), visiting target-node shards first so the steal
+  // path keeps placement local when any same-node shard has surplus; the
+  // second pass crosses nodes.  With one node the first pass covers every
+  // shard and the order is exactly the flat round robin.
+  for (std::uint32_t pass = 0; pass < 2; ++pass) {
+    for (std::uint32_t i = 1; i < header_->n_shards; ++i) {
+      const std::uint32_t idx = (pref + i) & header_->shard_mask;
+      const bool on_target = (idx & header_->node_mask) == target;
+      if ((pass == 0) != on_target) continue;
+      detail::PoolShard& v = shards()[idx];
+      const bool want_msg = msg == shm::kNullOffset;
+      const bool want_blocks = chain.count < need;
+      // Unlocked peek; the authoritative check repeats under the lock.
+      if (!(want_msg && v.msgs.available() > 0) &&
+          !(want_blocks && v.blocks.available() > 0)) {
+        continue;
+      }
+      lock_shard(v, pid);
+      bool took = false;
       std::size_t got = 0;
-      shm::Offset tail = shm::kNullOffset;
-      const shm::Offset head =
-          v.blocks.pop_chain(arena_, need - chain.count, got, &tail);
-      append(arena_, chain, head, tail, got);
-      took = took || got > 0;
+      if (msg == shm::kNullOffset) {
+        msg = v.msgs.pop(arena_);
+        took = took || msg != shm::kNullOffset;
+      }
+      if (chain.count < need) {
+        shm::Offset tail = shm::kNullOffset;
+        const shm::Offset head =
+            v.blocks.pop_chain(arena_, need - chain.count, got, &tail);
+        append(arena_, chain, head, tail, got);
+        took = took || got > 0;
+      }
+      mirror();
+      if (took) v.steals.fetch_add(1, std::memory_order_relaxed);
+      platform_->unlock(v.lock);
+      if (got > 0) {
+        const std::uint32_t src = idx & header_->node_mask;
+        detail::NodeStats& stats = node_stats()[src];
+        if (pslot(pid).node == src) {
+          stats.local_pops.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          stats.remote_pops.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!on_target) stats.steals.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (msg != shm::kNullOffset && chain.count >= need) return true;
     }
-    mirror();
-    if (took) v.steals.fetch_add(1, std::memory_order_relaxed);
-    platform_->unlock(v.lock);
-    if (msg != shm::kNullOffset && chain.count >= need) return true;
   }
 
   // Phase 4: raid peer magazines.  Only reached when every shard is dry,
@@ -320,33 +381,58 @@ void Facility::return_gather(ProcessId pid, shm::Offset& msg, Chain& chain) {
   chain = Chain{};
 }
 
-shm::Offset Facility::slab_alloc(ProcessId pid) {
+shm::Offset Facility::slab_alloc(ProcessId pid, std::uint32_t target_node) {
   // Arm an empty gather record so the extent is journaled the instant it
   // leaves the pool; alloc_message re-arms the same record for the header
   // gather without touching the slab operand.
   detail::GatherChain none;
   journal_gather(pid, none, shm::kNullOffset);
-  alock(header_->slab_lock, pid);
-  const shm::Offset extent = header_->slabs.pop(arena_);
-  // Journal the extent inside the pop's critical section: at every
-  // suspension point it is either in the pool or in the record.
-  if (extent != shm::kNullOffset) pslot(pid).slab = extent;
-  platform_->unlock(header_->slab_lock);
+  detail::SlabPool* sp = slab_pools();
+  const std::uint32_t target = target_node & header_->node_mask;
+  shm::Offset extent = shm::kNullOffset;
+  // Prefer the target node's sub-pool; when it is dry, steal round robin
+  // from the other nodes' sub-pools (exhaustion beats remoteness).
+  for (std::uint32_t i = 0;
+       i < header_->numa_nodes && extent == shm::kNullOffset; ++i) {
+    const std::uint32_t nd = (target + i) & header_->node_mask;
+    detail::SlabPool& pool = sp[nd];
+    // Unlocked peek on the steal legs; the pop is the authoritative check.
+    if (i > 0 && pool.slabs.available() == 0) continue;
+    alock(pool.lock, pid);
+    extent = pool.slabs.pop(arena_);
+    // Journal the extent inside the pop's critical section: at every
+    // suspension point it is either in the pool or in the record.
+    if (extent != shm::kNullOffset) pslot(pid).slab = extent;
+    platform_->unlock(pool.lock);
+    if (extent != shm::kNullOffset) {
+      detail::NodeStats& stats = node_stats()[nd];
+      if (pslot(pid).node == nd) {
+        stats.local_pops.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stats.remote_pops.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (nd != target) stats.steals.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   if (extent == shm::kNullOffset) journal_clear(pid);
   return extent;
 }
 
 void Facility::slab_free(ProcessId pid, shm::Offset extent) {
-  alock(header_->slab_lock, pid);
-  header_->slabs.push(arena_, extent);
+  // Extents go back to their home-node sub-pool, never the freer's, so a
+  // process draining remote messages does not migrate remote extents.
+  detail::SlabPool& pool = slab_pools()[node_of_offset(extent)];
+  alock(pool.lock, pid);
+  pool.slabs.push(arena_, extent);
   // Disarm in the same critical section as the push (mirrors
   // return_gather's discipline).
   detail::ProcSlot& ps = pslot(pid);
   if (ps.slab == extent) ps.slab = shm::kNullOffset;
-  platform_->unlock(header_->slab_lock);
+  platform_->unlock(pool.lock);
 }
 
 Status Facility::alloc_message(ProcessId pid, std::size_t need,
+                               std::uint32_t target_node,
                                shm::Offset* msg_off, shm::Offset* chain_head,
                                shm::Offset* chain_tail) {
   shm::Offset msg = shm::kNullOffset;
@@ -354,7 +440,7 @@ Status Facility::alloc_message(ProcessId pid, std::size_t need,
   // Arm the gather record before any block can leave a pool; try_gather
   // keeps it mirrored from inside every critical section it takes.
   journal_gather(pid, chain, msg);
-  if (!try_gather(pid, need, msg, chain)) {
+  if (!try_gather(pid, need, target_node, msg, chain)) {
     return_gather(pid, msg, chain);
     if (header_->block_policy ==
         static_cast<std::uint32_t>(BlockPolicy::fail)) {
@@ -370,7 +456,7 @@ Status Facility::alloc_message(ProcessId pid, std::size_t need,
     header_->exhaustion_waiters.fetch_add(1, std::memory_order_acq_rel);
     pslot(pid).in_exhaustion.store(1, std::memory_order_release);
     for (;;) {
-      if (try_gather(pid, need, msg, chain)) break;
+      if (try_gather(pid, need, target_node, msg, chain)) break;
       return_gather(pid, msg, chain);
       const std::uint64_t suspicion = header_->suspicion_ns;
       if (suspicion == 0) {
@@ -449,11 +535,12 @@ void Facility::free_message(ProcessId pid, detail::MsgHeader* m) {
     // An enqueue rollback frees the very extent our primary record still
     // covers; hand the cover to the fm record in the same span.
     if (ps.slab == extent) ps.slab = shm::kNullOffset;
-    alock(header_->slab_lock, pid);
-    header_->slabs.push(arena_, extent);
+    detail::SlabPool& pool = slab_pools()[node_of_offset(extent)];
+    alock(pool.lock, pid);
+    pool.slabs.push(arena_, extent);
     journal_free_blocks_done(pid);  // stage 2: extent disposed
     ps.fm_slab = 0;
-    platform_->unlock(header_->slab_lock);
+    platform_->unlock(pool.lock);
     m->flags &= ~detail::MsgHeader::kSlab;
     m->first_block = m->last_block = shm::kNullOffset;
     m->nblocks = 0;
@@ -497,8 +584,48 @@ void Facility::free_message(ProcessId pid, detail::MsgHeader* m) {
     }
     platform_->unlock(cache.lock);
   }
+  const std::uint32_t home = home_shard(pid);
+  if (blocks_to_shard && header_->numa_nodes > 1) {
+    // Flushed blocks return to their *home-node* shards, not the freer's
+    // index-hash shard: a long-running receiver draining remote senders
+    // would otherwise slowly migrate their nodes' blocks to its own.  The
+    // chain is partitioned into same-node runs; each run goes to the home
+    // shard projected onto that node.  The fm record advances inside each
+    // push's critical section, so a death mid-partition leaves it
+    // covering exactly the unpushed remainder.
+    detail::ProcSlot& ps = pslot(pid);
+    shm::Offset run_head = m->first_block;
+    std::uint32_t remaining = m->nblocks;
+    while (remaining > 0 && run_head != shm::kNullOffset) {
+      const std::uint32_t nd = node_of_offset(run_head);
+      shm::Offset run_tail = run_head;
+      std::uint32_t run_count = 1;
+      // Capture each next link before the push below rewrites list words.
+      shm::Offset next = link_of(arena_, run_tail);
+      while (run_count < remaining && next != shm::kNullOffset &&
+             node_of_offset(next) == nd) {
+        run_tail = next;
+        next = link_of(arena_, run_tail);
+        ++run_count;
+      }
+      detail::PoolShard& shard = shards()[(home & ~header_->node_mask) | nd];
+      lock_shard(shard, pid);
+      shard.blocks.push_chain(arena_, run_head, run_tail, run_count);
+      remaining -= run_count;
+      if (remaining == 0) {
+        journal_free_blocks_done(pid);
+      } else {
+        ps.fm_head = next;
+        ps.fm_count = remaining;
+      }
+      shard.flushes.fetch_add(1, std::memory_order_relaxed);
+      platform_->unlock(shard.lock);
+      run_head = next;
+    }
+    blocks_to_shard = false;
+  }
   if (blocks_to_shard || msg_to_shard) {
-    detail::PoolShard& hs = shards()[home_shard(pid)];
+    detail::PoolShard& hs = shards()[home];
     lock_shard(hs, pid);
     if (blocks_to_shard) {
       hs.blocks.push_chain(arena_, m->first_block, m->last_block, m->nblocks);

@@ -240,8 +240,11 @@ void Facility::resolve_journal(ProcessId reaper, detail::ProcSlot& ps,
   if (fm != 0) {
     if (fm == 1) {
       if (ps.fm_slab != 0) {
-        // fm_head is one contiguous slab extent, not a block chain.
-        header_->slabs.push(arena_, ps.fm_head);
+        // fm_head is one contiguous slab extent, not a block chain.  It
+        // goes back to the sub-pool that carved it (FreeList::push is
+        // internally locked, so the reaper needs no pool lock here).
+        slab_pools()[node_of_offset(ps.fm_head)].slabs.push(arena_,
+                                                            ps.fm_head);
       } else if (ps.fm_count > 0) {
         home.blocks.push_chain(arena_, ps.fm_head, ps.fm_tail, ps.fm_count);
         header_->reclaimed_blocks.fetch_add(ps.fm_count,
@@ -362,7 +365,8 @@ void Facility::resolve_journal(ProcessId reaper, detail::ProcSlot& ps,
           continue;
         }
         if ((m->flags & detail::MsgHeader::kSlab) != 0) {
-          header_->slabs.push(arena_, m->first_block);
+          slab_pools()[node_of_offset(m->first_block)].slabs.push(
+              arena_, m->first_block);
         } else if (m->nblocks > 0) {
           home.blocks.push_chain(arena_, m->first_block, m->last_block,
                                  m->nblocks);
@@ -384,7 +388,7 @@ void Facility::resolve_journal(ProcessId reaper, detail::ProcSlot& ps,
   // back.  An enqueue that reached stage 1 already cleared it in the same
   // span as the stage store, so this never double-frees a linked slab.
   if (ps.slab != shm::kNullOffset) {
-    header_->slabs.push(arena_, ps.slab);
+    slab_pools()[node_of_offset(ps.slab)].slabs.push(arena_, ps.slab);
     ps.slab = shm::kNullOffset;
   }
   ps.op.store(static_cast<std::uint32_t>(detail::JournalOp::none),
@@ -590,7 +594,10 @@ BlockAudit Facility::block_audit() const {
   BlockAudit a;
   a.blocks_total = header_->blocks_total;
   a.slabs_total = header_->slabs_total;
-  a.slabs_free = header_->slabs.available();
+  const detail::SlabPool* sp = slab_pools();
+  for (std::uint32_t nd = 0; nd < header_->numa_nodes; ++nd) {
+    a.slabs_free += sp[nd].slabs.available();
+  }
   const detail::PoolShard* sh = shards();
   for (std::uint32_t i = 0; i < header_->n_shards; ++i) {
     a.blocks_free += sh[i].blocks.available();
@@ -725,6 +732,7 @@ std::vector<OrphanInfo> Facility::orphan_infos() const {
     OrphanInfo o;
     o.pid = p;
     o.os_pid = ps.os_pid;
+    o.node = ps.node;
     o.state = st;
     o.os_alive = process_alive(p);
     o.connections = conns[p];

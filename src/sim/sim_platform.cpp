@@ -80,6 +80,12 @@ void SimPlatform::charge_open_close() {
 void SimPlatform::charge_copy(std::size_t bytes, std::size_t nblocks) {
   sim_->charge_copy(bytes, nblocks);
 }
+void SimPlatform::charge_copy_nodes(std::size_t bytes, std::size_t nblocks,
+                                    std::uint32_t read_node,
+                                    std::uint32_t write_node,
+                                    std::uint32_t exec_node) {
+  sim_->charge_copy_numa(bytes, nblocks, read_node, write_node, exec_node);
+}
 void SimPlatform::charge_view(std::size_t bytes, std::size_t nblocks) {
   // Zero-copy: no bus/copy bytes move; the view walks the block chain.
   (void)bytes;

@@ -599,12 +599,30 @@ void Simulator::cond_notify_all(const void* cond_cell) {
 }
 
 void Simulator::charge_copy(std::uint64_t bytes, std::uint64_t nblocks) {
+  charge_copy_numa(bytes, nblocks, 0, 0, 0);
+}
+
+void Simulator::charge_copy_numa(std::uint64_t bytes, std::uint64_t nblocks,
+                                 std::uint32_t read_node,
+                                 std::uint32_t write_node,
+                                 std::uint32_t exec_node) {
   Process* self = current_checked();
   if (self == nullptr) return;
   std::unique_lock<std::mutex> lk(mu_);
+  const bool numa = model_.numa_nodes > 1;
+  const bool remote_read = numa && read_node != exec_node;
+  const bool remote_write = numa && write_node != exec_node;
   const double start = static_cast<double>(self->clock_);
+  // Remote legs scale the per-byte cost: reads are latency-bound (each
+  // line fill is a round trip), writes post and stream.  Both factors at
+  // 1.0 reproduce the flat model's arithmetic exactly.
+  double factor = 1.0;
+  if (remote_read) factor += model_.numa_remote_read_factor - 1.0;
+  if (remote_write) factor += model_.numa_remote_write_factor - 1.0;
+  double per_byte = model_.copy_ns_per_byte;
+  if (remote_read || remote_write) per_byte *= factor;
   const double cpu =
-      static_cast<double>(bytes) * model_.copy_ns_per_byte +
+      static_cast<double>(bytes) * per_byte +
       static_cast<double>(nblocks) * model_.block_overhead_ns;
   const double cpu_done = start + cpu;
   const double bus_bytes =
@@ -613,7 +631,27 @@ void Simulator::charge_copy(std::uint64_t bytes, std::uint64_t nblocks) {
   const double bus_done = bus_start + bus_bytes * model_.bus_ns_per_byte;
   bus_free_at_ = bus_done;
   bus_busy_ns_ += bus_done - bus_start;
-  self->clock_ = static_cast<Time>(std::max(cpu_done, bus_done));
+  double done = std::max(cpu_done, bus_done);
+  // Each remote leg also occupies the interconnect link between the two
+  // nodes — a reserved resource, so concurrent remote transfers over the
+  // same link queue in virtual time like bus contention.
+  auto reserve_link = [&](std::uint32_t far) {
+    const std::uint32_t lo = std::min(far, exec_node);
+    const std::uint32_t hi = std::max(far, exec_node);
+    const std::uint64_t key = (static_cast<std::uint64_t>(lo) << 32) | hi;
+    double& link_free = link_free_at_[key];
+    const double link_start = std::max(start, link_free);
+    const double link_done =
+        link_start + static_cast<double>(bytes) * model_.link_ns_per_byte;
+    link_free = link_done;
+    interconnect_busy_ns_ += link_done - link_start;
+    done = std::max(done, link_done);
+  };
+  if (remote_read) reserve_link(read_node);
+  if (remote_write && (!remote_read || write_node != read_node)) {
+    reserve_link(write_node);
+  }
+  self->clock_ = static_cast<Time>(done);
   if (trace_ != nullptr) {
     trace_->record(self->clock_, self->id_, TraceKind::copy, bytes);
   }

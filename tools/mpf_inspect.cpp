@@ -115,6 +115,31 @@ const char* slot_state_name(std::uint32_t st) {
   }
 }
 
+void dump_nodes(const mpf::Facility& facility) {
+  const mpf::FacilityStats stats = facility.stats();
+  std::printf("numa: %u node%s, prefer_receiver placement %s\n",
+              stats.numa_nodes, stats.numa_nodes == 1 ? "" : "s",
+              facility.numa_prefer_receiver() ? "on" : "off");
+  std::printf("%5s %6s %12s %12s %12s %10s %10s %8s\n", "node", "shards",
+              "blk_free", "slab_free", "local_pops", "remote_pops", "steals",
+              "procs");
+  for (const auto& n : facility.node_pool_infos()) {
+    // Count the live processes homed on this node alongside its pools.
+    std::uint32_t procs = 0;
+    for (const auto& o : facility.orphan_infos()) {
+      if (o.state == mpf::detail::ProcSlot::kLive && o.node == n.node) {
+        ++procs;
+      }
+    }
+    std::printf("%5u %6u %6zu/%-5zu %6zu/%-5zu %12llu %10llu %10llu %8u\n",
+                n.node, n.shards, n.free_blocks, n.block_capacity,
+                n.free_slabs, n.slab_capacity,
+                static_cast<unsigned long long>(n.local_pops),
+                static_cast<unsigned long long>(n.remote_pops),
+                static_cast<unsigned long long>(n.steals), procs);
+  }
+}
+
 void dump_orphans(const mpf::Facility& facility) {
   const auto orphans = facility.orphan_infos();
   if (orphans.empty()) {
@@ -136,11 +161,13 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s /shm-segment-name [--watch seconds] [--orphans] "
-                 "[--reap pid]\n"
+                 "[--nodes] [--reap pid]\n"
                  "Inspect a live MPF facility in a POSIX shared-memory "
                  "segment.\n"
                  "  --orphans    report per-process liveness and orphaned "
                  "state\n"
+                 "  --nodes      report per-NUMA-node pool occupancy and "
+                 "placement counters\n"
                  "  --reap pid   run the recovery sweep for a dead "
                  "participant\n",
                  argv[0]);
@@ -148,12 +175,15 @@ int main(int argc, char** argv) {
   }
   double watch = 0;
   bool orphans = false;
+  bool nodes = false;
   int reap_pid = -1;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--watch") == 0 && i + 1 < argc) {
       watch = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--orphans") == 0) {
       orphans = true;
+    } else if (std::strcmp(argv[i], "--nodes") == 0) {
+      nodes = true;
     } else if (std::strcmp(argv[i], "--reap") == 0 && i + 1 < argc) {
       reap_pid = std::atoi(argv[++i]);
     } else {
@@ -180,6 +210,8 @@ int main(int argc, char** argv) {
     for (;;) {
       if (orphans) {
         dump_orphans(facility);
+      } else if (nodes) {
+        dump_nodes(facility);
       } else {
         dump(facility);
       }
