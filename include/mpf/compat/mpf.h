@@ -47,6 +47,7 @@ extern "C" {
 #define MPF_ETIMEDOUT -10
 #define MPF_EPEERFAILED -11 /* blocked call abandoned: peer process died */
 #define MPF_EORPHANED -12   /* receive on an LNVC whose last sender died */
+#define MPF_EAGAIN -13      /* admission control rejected the send */
 #define MPF_ENOTINIT -100
 
 /* Initialize the facility; sizes the shared region from the two maxima
@@ -62,6 +63,13 @@ int mpf_close_send(int process_id, int lnvc_id);
 int mpf_close_receive(int process_id, int lnvc_id);
 int mpf_message_send(int process_id, int lnvc_id, const char* send_buffer,
                      int buffer_length);
+/* Send with a deadline.  When the LNVC's admission quota (or the buffer
+ * pool) keeps the message out for timeout_ns nanoseconds, returns
+ * MPF_ETIMEDOUT; under a fail-fast admission policy an over-quota send
+ * returns MPF_EAGAIN immediately.  timeout_ns = 0 polls. */
+int mpf_message_send_timed(int process_id, int lnvc_id,
+                           const char* send_buffer, int buffer_length,
+                           unsigned long long timeout_ns);
 /* buffer_length: in = capacity of receive_buffer, out = bytes transferred. */
 int mpf_message_receive(int process_id, int lnvc_id, char* receive_buffer,
                         int* buffer_length);

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <span>
 
+#include "mpf/core/errors.hpp"
 #include "mpf/core/platform.hpp"
 
 namespace mpf {
@@ -47,6 +48,13 @@ class Channel {
   /// Blocking send of one message (spins with platform yield when full).
   /// Messages larger than capacity/2 are rejected.
   bool send(std::span<const std::byte> payload);
+  /// Send that gives up once `timeout_ns` of platform time passes without
+  /// room in the ring (Status::timed_out; virtual time under the
+  /// simulator, wall time natively).  timeout_ns == 0 polls: a full ring
+  /// fails immediately.  Oversized messages are invalid_argument, as for
+  /// send().
+  Status send_for(std::span<const std::byte> payload,
+                  std::uint64_t timeout_ns);
   /// Blocking receive of one message; returns bytes copied.  A short
   /// buffer receives the prefix and the rest of the record is discarded —
   /// same contract as Facility::receive, which copies the prefix and

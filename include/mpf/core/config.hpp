@@ -16,6 +16,15 @@ enum class BlockPolicy : std::uint32_t {
   fail,  ///< return Status::out_of_blocks immediately
 };
 
+/// What message_send() does when the LNVC's quota would be exceeded.
+enum class AdmissionPolicy : std::uint32_t {
+  block,        ///< park the sender (FIFO) until quota frees; send_timed
+                ///  bounds the park by its deadline (default)
+  shed_newest,  ///< drop the incoming (newest) message, report Status::ok;
+                ///  counted in FacilityStats::sends_shed
+  fail_fast,    ///< return Status::rejected immediately
+};
+
 struct Config {
   /// Maximum number of simultaneously existing LNVCs (paper: init arg 1).
   std::uint32_t max_lnvcs = 64;
@@ -80,6 +89,19 @@ struct Config {
   /// copy-out is the cheap local read.  false is the node-blind control:
   /// always sender-local (the ablation_numa baseline).
   bool numa_prefer_receiver = true;
+
+  /// Per-LNVC block budget: the most pool blocks one circuit's queued
+  /// (undelivered) messages may hold at once.  0 (default) is unlimited —
+  /// the pre-quota behaviour, bit-identical on every existing bench.  A
+  /// send that would push the circuit past its budget is admitted,
+  /// parked, shed or rejected per `admission_policy`.  Per-circuit
+  /// overrides: Facility::set_admission.
+  std::uint32_t lnvc_quota_blocks = 0;
+  /// Per-LNVC slab budget (contiguous extents); 0 = unlimited.
+  std::uint32_t lnvc_quota_slabs = 0;
+  /// Default admission policy applied when a send would exceed the quota
+  /// (see AdmissionPolicy; per-circuit overrides via set_admission).
+  AdmissionPolicy admission_policy = AdmissionPolicy::block;
 
   /// Failure-suspicion threshold in nanoseconds (wall time natively,
   /// virtual time under the simulator).  A waiter that has watched the

@@ -24,6 +24,7 @@ enum class Status : int {
   timed_out,          ///< receive_for deadline expired
   peer_failed,        ///< blocked op abandoned: the peer(s) it needed died
   lnvc_orphaned,      ///< receive on a circuit whose last sender died
+  rejected,           ///< send refused by admission control (quota exceeded)
 };
 
 /// Human-readable name of a status code.

@@ -42,6 +42,15 @@ struct LnvcInfo {
   std::uint32_t pinned = 0;  ///< receiver pins (copy-outs + held views)
   std::uint64_t total_messages = 0;
   std::uint64_t total_bytes = 0;
+  // Admission-control ledger (0 quota = unlimited).
+  std::uint32_t quota_blocks = 0;
+  std::uint32_t quota_slabs = 0;
+  std::uint32_t used_blocks = 0;  ///< blocks charged to queued messages
+  std::uint32_t used_slabs = 0;
+  std::uint32_t hw_blocks = 0;  ///< lifetime high-water of used_blocks
+  std::uint32_t hw_slabs = 0;
+  AdmissionPolicy policy = AdmissionPolicy::block;
+  std::uint32_t parked = 0;  ///< senders currently in the park FIFO
 };
 
 /// A zero-copy receive: the message stays pinned in the arena and the
@@ -110,6 +119,11 @@ struct FacilityStats {
   std::uint64_t numa_local_pops = 0;   ///< served from the target node
   std::uint64_t numa_remote_pops = 0;  ///< target node dry, served remote
   std::uint64_t numa_node_steals = 0;  ///< remote pops on the steal path
+  // Admission-control counters (see DESIGN.md §11).
+  std::uint64_t sends_rejected = 0;   ///< fail_fast quota refusals
+  std::uint64_t sends_shed = 0;       ///< shed_newest drops
+  std::uint64_t sends_timed_out = 0;  ///< send deadlines that expired
+  std::uint64_t quota_parks = 0;      ///< senders that parked on a quota
 };
 
 /// Snapshot of one NUMA node's sub-pools (mpf_inspect --nodes).
@@ -224,6 +238,18 @@ class Facility {
   /// Scatter-gather send: the spans in `iov` are concatenated into one
   /// message (same semantics as send of the concatenation).
   Status send_v(ProcessId pid, LnvcId id, std::span<const ConstBuffer> iov);
+  /// Send with a deadline: if admission control parks the sender (quota,
+  /// AdmissionPolicy::block) or the pool is exhausted (BlockPolicy::wait),
+  /// give up after `timeout_ns` (virtual time under the simulator) with
+  /// Status::timed_out.  timeout_ns == 0 is a poll: any send that would
+  /// have to wait fails immediately.  A send that never needs to wait is
+  /// identical to send().
+  Status send_timed(ProcessId pid, LnvcId id, const void* data,
+                    std::size_t len, std::uint64_t timeout_ns);
+  /// Scatter-gather variant of send_timed.
+  Status sendv_timed(ProcessId pid, LnvcId id,
+                     std::span<const ConstBuffer> iov,
+                     std::uint64_t timeout_ns);
   /// Zero-copy receive: claim the next message exactly as receive() would,
   /// but pin it in place and return arena-relative spans instead of
   /// copying out.  The message (and its blocks) stays unreclaimable until
@@ -274,6 +300,14 @@ class Facility {
   Status receive_any(ProcessId pid, std::span<const LnvcId> ids, void* buf,
                      std::size_t cap, std::size_t* out_len,
                      std::size_t* out_index);
+  /// receive_any with a deadline: Status::timed_out if none of `ids`
+  /// delivers within `timeout_ns` (virtual time under the simulator).
+  /// The rotation cursor advances only on delivery, so a timeout does not
+  /// reset fairness: the next call resumes scanning where this one left
+  /// off.
+  Status receive_any_for(ProcessId pid, std::span<const LnvcId> ids,
+                         void* buf, std::size_t cap, std::size_t* out_len,
+                         std::size_t* out_index, std::uint64_t timeout_ns);
 
   // --- failure detection and recovery ----------------------------------
   /// Record `pid`'s participation (OS pid natively).  Called implicitly by
@@ -323,6 +357,12 @@ class Facility {
   /// Pin `pid` to `node` (masked into range), overriding the round-robin
   /// default.  Takes effect for subsequent placement decisions.
   void set_process_node(ProcessId pid, std::uint32_t node);
+  /// Override one LNVC's admission settings (quota in blocks / slab
+  /// extents, 0 = unlimited; policy for over-quota sends).  `pid` must
+  /// hold a connection on the LNVC.  Applies to subsequent sends; the
+  /// used counters are untouched.
+  Status set_admission(ProcessId pid, LnvcId id, std::uint32_t quota_blocks,
+                       std::uint32_t quota_slabs, AdmissionPolicy policy);
   /// Snapshots of every live LNVC (for tools/monitoring).
   [[nodiscard]] std::vector<LnvcInfo> lnvc_infos() const;
   /// Snapshot of one LNVC; Status::no_such_lnvc if the slot is dead.
@@ -369,7 +409,8 @@ class Facility {
   /// Honors BlockPolicy on true exhaustion.
   Status alloc_message(ProcessId pid, std::size_t need,
                        std::uint32_t target_node, shm::Offset* msg_off,
-                       shm::Offset* chain_head, shm::Offset* chain_tail);
+                       shm::Offset* chain_head, shm::Offset* chain_tail,
+                       std::uint64_t deadline_ns = kNoDeadline);
   /// One full acquisition sweep (magazine -> target shard -> steal ->
   /// raid); extends the partial (msg, chain) in place, true when fully
   /// satisfied.
@@ -392,10 +433,31 @@ class Facility {
                        std::uint32_t* out_gen);
   Status receive_view_impl(ProcessId pid, LnvcId id, MsgView* out,
                            bool blocking, bool* out_ready);
+  Status receive_any_impl(ProcessId pid, std::span<const LnvcId> ids,
+                          void* buf, std::size_t cap, std::size_t* out_len,
+                          std::size_t* out_index, std::uint64_t deadline_ns);
   /// Build the send-side message (slab or chain) and enqueue it; shared by
-  /// send / send_v.
+  /// send / send_v / the timed variants.  `deadline_ns` is absolute
+  /// platform time (kNoDeadline = wait forever) bounding both the quota
+  /// park and the pool-exhaustion wait.
   Status send_impl(ProcessId pid, LnvcId id,
-                   std::span<const ConstBuffer> iov, std::size_t total);
+                   std::span<const ConstBuffer> iov, std::size_t total,
+                   std::uint64_t deadline_ns);
+  /// Admission check against `d`'s quota ledger, with the descriptor lock
+  /// held.  Returns ok with the charge taken (and the quota journal
+  /// armed), or rejected / timed_out / closed / peer_failed per policy and
+  /// deadline; on non-ok the lock is still held and nothing is charged.
+  /// Parks (FIFO) under AdmissionPolicy::block, waiting on d.park_cond.
+  Status quota_admit(ProcessId pid, detail::LnvcDesc& d, LnvcId id,
+                     std::uint32_t need_blocks, std::uint32_t need_slabs,
+                     std::uint64_t deadline_ns);
+  /// Release a queued message's quota charge (descriptor lock held).
+  void quota_release(detail::LnvcDesc& d, const detail::MsgHeader& m);
+  /// Refund an admission charge that never became a queued message
+  /// (descriptor lock held); disarms the quota journal.
+  void quota_refund(ProcessId pid, detail::LnvcDesc& d);
+  /// Wake the park FIFO if anyone is parked (call with no locks held).
+  void park_ripple(detail::LnvcDesc& d);
   /// Drop one pin under the LNVC slot lock; frees the message if it was
   /// detached and this was the last pin.  Core of release_view and of the
   /// reap-time view sweep.
@@ -406,6 +468,8 @@ class Facility {
 
   // Failure recovery (recovery.cpp).
   static constexpr ProcessId kNoProcess = ~ProcessId{0};
+  /// Absolute-deadline sentinel: wait forever.
+  static constexpr std::uint64_t kNoDeadline = ~std::uint64_t{0};
   detail::ProcSlot* procs() const noexcept;
   detail::ProcSlot& pslot(ProcessId pid) const noexcept;
   static bool probe_alive(void* ctx, std::uint32_t holder_tag);

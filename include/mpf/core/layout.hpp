@@ -112,6 +112,30 @@ struct LnvcDesc {
   std::uint64_t seq_counter;
   std::uint64_t total_msgs;   ///< lifetime stats
   std::uint64_t total_bytes;  ///< lifetime stats
+
+  // Admission-control ledger (all under `lock` unless noted).  A send
+  // charges its message's cost (blocks_for(len) blocks, or one slab)
+  // before allocating; the charge travels with the queued message and is
+  // released where the message's storage returns to the pools.  0 quota =
+  // unlimited (every check short-circuits; the pre-quota fast path).
+  std::uint32_t quota_blocks;    ///< block budget; 0 = unlimited
+  std::uint32_t quota_slabs;     ///< slab budget; 0 = unlimited
+  std::uint32_t policy;          ///< AdmissionPolicy for over-quota sends
+  std::uint32_t used_blocks;     ///< blocks charged to queued msgs + journals
+  std::uint32_t used_slabs;      ///< slabs charged likewise
+  std::uint32_t hw_blocks;       ///< lifetime high-water of used_blocks
+  std::uint32_t hw_slabs;        ///< lifetime high-water of used_slabs
+  /// Parked-sender FIFO (policy == block, quota exceeded): arrivals take
+  /// park_next_ticket under `lock` and sleep on park_cond; the head — the
+  /// smallest ticket among live parked members (ProcSlot::park_*) — admits
+  /// when the quota fits.  Head-by-scan rather than a served-ticket
+  /// cursor: reaping a dead member silently promotes the next ticket,
+  /// with no cursor to repair.  park_waiters is atomic so releasers can
+  /// peek it after unlocking (the notify-only-when-someone-waits ripple
+  /// discipline).
+  std::uint64_t park_next_ticket;
+  std::atomic<std::uint32_t> park_waiters;
+  sync::EventCount park_cond;  ///< parked senders sleep; releasers notify
 };
 
 /// A caller-owned chain of blocks being assembled (or returned) by the
@@ -301,6 +325,28 @@ struct alignas(64) ProcSlot {
   /// counters a death would leak.
   std::atomic<std::uint32_t> in_exhaustion;
   std::atomic<std::uint32_t> in_activity;
+
+  /// Quota-reservation journal: a send's admission charge between the
+  /// moment it lands on the LnvcDesc ledger and the moment the enqueued
+  /// message takes ownership of it (enqueue stage 1).  Armed under the
+  /// LNVC lock — operands first, q_active last (release); a reaper refunds
+  /// an armed charge unless the enqueue journal committed the message into
+  /// the FIFO (then the charge belongs to the message and is only
+  /// unmarked).
+  std::atomic<std::uint32_t> q_active;
+  std::uint32_t q_lnvc;
+  std::uint32_t q_gen;
+  std::uint32_t q_blocks;
+  std::uint32_t q_slabs;
+
+  /// Parked-sender membership: set (under the LNVC lock) while this
+  /// process holds a ticket in the circuit's park FIFO.  Clearing it (by
+  /// the owner or by reap()) removes the ticket from head-by-scan
+  /// contention, so a dead member silently promotes its successor.
+  std::atomic<std::uint32_t> park_active;
+  std::uint32_t park_lnvc;
+  std::uint32_t park_gen;
+  std::uint64_t park_ticket;
 };
 
 /// Root object of an MPF facility, at a fixed offset in the arena.
@@ -382,6 +428,19 @@ struct FacilityHeader {
   std::atomic<std::uint64_t> reclaimed_blocks;  ///< blocks recovered by reap
   std::atomic<std::uint64_t> peer_failures;     ///< ops ended peer_failed
   std::atomic<std::uint64_t> orphaned_receives;  ///< ops ended lnvc_orphaned
+
+  /// Admission-control defaults (Config::lnvc_quota_*): copied into every
+  /// freshly opened LnvcDesc; 0 = unlimited.  Shared here so attachers see
+  /// the creator's values.
+  std::uint32_t lnvc_quota_blocks;
+  std::uint32_t lnvc_quota_slabs;
+  std::uint32_t admission_policy;  ///< AdmissionPolicy default
+
+  // Admission-control observability (FacilityStats / mpf_inspect --quotas).
+  std::atomic<std::uint64_t> sends_rejected;   ///< fail_fast refusals
+  std::atomic<std::uint64_t> sends_shed;       ///< shed_newest drops
+  std::atomic<std::uint64_t> sends_timed_out;  ///< send deadlines expired
+  std::atomic<std::uint64_t> quota_parks;      ///< senders that ever parked
 };
 
 }  // namespace mpf::detail

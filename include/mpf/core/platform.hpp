@@ -182,6 +182,12 @@ class NativePlatform final : public Platform {
   bool wait_for(sync::SpinLock& mutex_cell, sync::EventCount& cond_cell,
                 std::uint64_t timeout_ns, RobustOp* op = nullptr) override {
     const auto ticket = cond_cell.prepare_wait();
+    // Bounded poll rounds with a clock check between batches: the
+    // deadline is enforced against now_ns() at ~µs granularity, and the
+    // wait stays pure polling (no yields or naps) — on a loaded machine a
+    // sleeping waiter turns a pipeline of µs handoffs into a convoy of
+    // sleep quanta.  Callers that want a sleeping wait use
+    // EventCount::wait_deadline directly.
     const std::uint64_t deadline = now_ns() + timeout_ns;
     mutex_cell.unlock();
     bool notified = false;

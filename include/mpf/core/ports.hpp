@@ -80,6 +80,25 @@ class SendPort {
     throw_if_error(facility_.send(pid_, id_, &value, sizeof(T)),
                    "SendPort::send_value");
   }
+  /// Send with a deadline: false if the circuit's admission quota or the
+  /// buffer pool kept the message out for `timeout_ns` (virtual time
+  /// under the simulator).  A rejection under a fail-fast admission
+  /// policy also reports false — both mean "not accepted, try later".
+  /// Other failures still throw.
+  bool send_for(std::span<const std::byte> payload,
+                std::uint64_t timeout_ns) {
+    const Status s = facility_.send_timed(pid_, id_, payload.data(),
+                                          payload.size(), timeout_ns);
+    if (s == Status::timed_out || s == Status::rejected) return false;
+    throw_if_error(s, "SendPort::send_for");
+    return true;
+  }
+  bool send_for(std::string_view text, std::uint64_t timeout_ns) {
+    return send_for(
+        std::span<const std::byte>(
+            reinterpret_cast<const std::byte*>(text.data()), text.size()),
+        timeout_ns);
+  }
 
   void close() {
     if (id_ != kInvalidLnvc) {
@@ -320,6 +339,31 @@ inline ReceivedAny receive_any(Facility& facility, ProcessId pid,
   if (s == Status::truncated) return {index, len, true};
   throw_if_error(s, "receive_any");
   return {index, len, false};
+}
+
+/// Timed variant of receive_any: false if no port delivered within
+/// `timeout_ns`.  The facility's rotation cursor persists across timed-out
+/// calls, so fairness is preserved when the caller retries.
+inline bool receive_any_for(Facility& facility, ProcessId pid,
+                            std::span<ReceivePort* const> ports,
+                            std::span<std::byte> buffer,
+                            std::uint64_t timeout_ns, ReceivedAny* out) {
+  std::vector<LnvcId> ids;
+  ids.reserve(ports.size());
+  for (const ReceivePort* p : ports) ids.push_back(p->id());
+  std::size_t len = 0;
+  std::size_t index = 0;
+  const Status s = facility.receive_any_for(pid, ids, buffer.data(),
+                                            buffer.size(), &len, &index,
+                                            timeout_ns);
+  if (s == Status::timed_out) return false;
+  if (s == Status::truncated) {
+    if (out != nullptr) *out = {index, len, true};
+    return true;
+  }
+  throw_if_error(s, "receive_any_for");
+  if (out != nullptr) *out = {index, len, false};
+  return true;
 }
 
 inline SendPort Participant::open_send(std::string_view name) {

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <span>
 
+#include "mpf/core/errors.hpp"
 #include "mpf/core/platform.hpp"
 #include "mpf/sync/event_count.hpp"
 #include "mpf/sync/spinlock.hpp"
@@ -45,6 +46,14 @@ class Rendezvous {
 
   /// Block until a receiver has taken the payload (one direct copy).
   void send(std::span<const std::byte> payload);
+  /// Timed variant: Status::timed_out if no receiver completed the
+  /// hand-off within `timeout_ns` (virtual time under the simulator).
+  /// An expired offer is withdrawn under the cell lock, so a later
+  /// receiver never sees a stale buffer pointer; once a receiver has
+  /// started the copy the send completes normally regardless of the
+  /// deadline (synchronous semantics — the buffer was already read).
+  Status send_for(std::span<const std::byte> payload,
+                  std::uint64_t timeout_ns);
   /// Block until a sender offers; copy directly from its buffer.
   /// Returns bytes copied (a short buffer receives the prefix; when
   /// `truncated` is non-null it reports whether that happened — same

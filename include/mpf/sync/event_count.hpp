@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 
 #include "mpf/sync/backoff.hpp"
@@ -45,6 +46,57 @@ class EventCount {
     while (gen_.load(std::memory_order_acquire) == ticket) {
       if (backoff.rounds() >= max_rounds) return false;
       backoff.pause();
+    }
+    return true;
+  }
+
+  /// Like wait() but gives up once the steady clock reaches `deadline_ns`
+  /// (nanoseconds on std::chrono::steady_clock, the same epoch
+  /// NativePlatform::now_ns reports); returns true if the generation
+  /// moved.  wait_rounds counts backoff *rounds*, whose wall duration
+  /// grows with contention, so deadlines enforced in rounds drift; here
+  /// expiry is decided against the clock.  Unlike the platform's
+  /// pure-polling timed wait this variant eventually sleeps, trading
+  /// wakeup latency for a bounded CPU bill — the right shape for waits
+  /// expected to last far longer than a pipeline handoff.
+  bool wait_deadline(Ticket ticket, std::uint64_t deadline_ns) const noexcept {
+    // Two-phase wait.  Hot window first: pure cpu_relax polling, so a
+    // notify lands in nanoseconds — pipelines hand messages between
+    // processes at that cadence, and parking every hop on a scheduler
+    // sleep collapses their throughput.  Only a wait that outlives the
+    // window (a parked sender, a long send deadline) escalates to yields
+    // and then exponentially growing naps, so it stops burning a core.
+    static constexpr std::uint64_t kHotWindowNs = 4'000'000;
+    const BackoffPolicy policy;
+    Backoff backoff;
+    std::uint64_t sleep_ns = policy.sleep_min_ns;
+    std::uint64_t hot_until = 0;
+    while (gen_.load(std::memory_order_acquire) == ticket) {
+      const auto now = std::chrono::steady_clock::now().time_since_epoch();
+      const std::uint64_t now_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+      if (now_ns >= deadline_ns) return false;
+      if (hot_until == 0) hot_until = now_ns + kHotWindowNs;
+      if (now_ns < hot_until) {
+        // Stay in the pause-cluster stage: re-arming the backoff before
+        // it would escalate keeps every round a cpu_relax burst.
+        if (backoff.rounds() >= policy.spin_limit) backoff.reset();
+        backoff.pause();
+        continue;
+      }
+      if (backoff.rounds() < policy.spin_limit + policy.yield_limit) {
+        backoff.pause();
+        continue;
+      }
+      // Sleep stage: clip each nap to the time remaining so expiry lands
+      // on the deadline, not a sleep-quantum boundary past it.
+      const std::uint64_t remaining = deadline_ns - now_ns;
+      const std::uint64_t nap = sleep_ns < remaining ? sleep_ns : remaining;
+      timespec ts{static_cast<time_t>(nap / 1'000'000'000),
+                  static_cast<long>(nap % 1'000'000'000)};
+      ::nanosleep(&ts, nullptr);
+      sleep_ns = sleep_ns * 2 > policy.sleep_max_ns ? policy.sleep_max_ns
+                                                    : sleep_ns * 2;
     }
     return true;
   }

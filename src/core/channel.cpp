@@ -78,6 +78,27 @@ bool Channel::send(std::span<const std::byte> payload) {
   return true;
 }
 
+Status Channel::send_for(std::span<const std::byte> payload,
+                         std::uint64_t timeout_ns) {
+  const std::size_t record = kLenBytes + payload.size();
+  if (record > header_->capacity / 2) return Status::invalid_argument;
+  platform_->charge_ops(kChannelFixedOps);
+  std::uint64_t deadline = platform_->now_ns() + timeout_ns;
+  if (deadline < timeout_ns) deadline = ~std::uint64_t{0};  // saturate
+  const std::uint64_t tail = header_->tail.load(std::memory_order_relaxed);
+  while (tail + record - header_->head.load(std::memory_order_acquire) >
+         header_->capacity) {
+    if (platform_->now_ns() >= deadline) return Status::timed_out;
+    platform_->yield();
+  }
+  const auto len32 = static_cast<std::uint32_t>(payload.size());
+  write_wrapped(tail, &len32, kLenBytes);
+  write_wrapped(tail + kLenBytes, payload.data(), payload.size());
+  platform_->charge_copy(payload.size(), 0);
+  header_->tail.store(tail + record, std::memory_order_release);
+  return Status::ok;
+}
+
 bool Channel::ready() const noexcept {
   return header_->head.load(std::memory_order_relaxed) !=
          header_->tail.load(std::memory_order_acquire);

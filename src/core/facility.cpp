@@ -65,6 +65,7 @@ const char* to_string(Status s) noexcept {
     case Status::timed_out: return "timed out";
     case Status::peer_failed: return "peer process failed";
     case Status::lnvc_orphaned: return "LNVC orphaned (last sender died)";
+    case Status::rejected: return "rejected by admission control";
   }
   return "unknown status";
 }
@@ -245,6 +246,9 @@ Facility Facility::create(const Config& config, shm::Region& region,
     pslots[p].node = p & hdr->node_mask;  // round-robin node assignment
   }
   hdr->suspicion_ns = c.suspicion_ns;
+  hdr->lnvc_quota_blocks = c.lnvc_quota_blocks;
+  hdr->lnvc_quota_slabs = c.lnvc_quota_slabs;
+  hdr->admission_policy = static_cast<std::uint32_t>(c.admission_policy);
 
   hdr->magic = detail::kFacilityMagic;  // published last
   return Facility(arena, hdr, platform);
@@ -334,6 +338,15 @@ Status Facility::open_common(ProcessId pid, std::string_view name,
     d->seq_counter = 0;
     d->total_msgs = 0;
     d->total_bytes = 0;
+    // Fresh quota ledger: the facility-wide defaults apply until a
+    // set_admission override; the park queue starts empty.
+    d->quota_blocks = header_->lnvc_quota_blocks;
+    d->quota_slabs = header_->lnvc_quota_slabs;
+    d->policy = header_->admission_policy;
+    d->used_blocks = d->used_slabs = 0;
+    d->hw_blocks = d->hw_slabs = 0;
+    d->park_next_ticket = 0;
+    d->park_waiters.store(0, std::memory_order_relaxed);
     d->in_use = 1;  // commit point: a death above leaves the slot free
   } else {
     const ProcessId dead2 = alock_lnvc(*d, pid);
@@ -496,6 +509,12 @@ void Facility::destroy_lnvc(ProcessId pid, detail::LnvcDesc& d) {
   d.in_use = 0;
   std::memset(d.name, 0, sizeof(d.name));
   ++d.generation;
+  // The circuit's quota dies with it: reset the ledger and the park queue.
+  // Parked senders observe the generation bump, clear their own membership
+  // flag without touching these counters, and return closed.
+  d.used_blocks = d.used_slabs = 0;
+  d.park_next_ticket = 0;
+  d.park_waiters.store(0, std::memory_order_release);
   while (m_off != shm::kNullOffset) {
     auto* m = static_cast<detail::MsgHeader*>(arena_.raw(m_off));
     const shm::Offset next = m->next_msg;
@@ -520,6 +539,32 @@ void Facility::destroy_lnvc(ProcessId pid, detail::LnvcDesc& d) {
   journal_clear(pid);
   // Anyone blocked with a stale handle must wake and observe the death.
   platform_->notify_all(d.cond);
+  platform_->notify_all(d.park_cond);
+}
+
+Status Facility::set_admission(ProcessId pid, LnvcId id,
+                               std::uint32_t quota_blocks,
+                               std::uint32_t quota_slabs,
+                               AdmissionPolicy policy) {
+  detail::LnvcDesc* d = slot(id);
+  if (d == nullptr || pid >= header_->max_processes) {
+    return Status::invalid_argument;
+  }
+  alock_lnvc(*d, pid);
+  if (d->in_use == 0) {
+    platform_->unlock(d->lock);
+    reap_if_dead(pid, kNoProcess);
+    return Status::no_such_lnvc;
+  }
+  d->quota_blocks = quota_blocks;
+  d->quota_slabs = quota_slabs;
+  d->policy = static_cast<std::uint32_t>(policy);
+  platform_->unlock(d->lock);
+  // A loosened (or lifted) quota may admit senders parked under the old
+  // one.
+  park_ripple(*d);
+  reap_if_dead(pid, kNoProcess);
+  return Status::ok;
 }
 
 std::size_t Facility::queued(LnvcId id) const {
@@ -576,6 +621,14 @@ Status Facility::lnvc_info(LnvcId id, LnvcInfo* out) const {
   }
   out->total_messages = d->total_msgs;
   out->total_bytes = d->total_bytes;
+  out->quota_blocks = d->quota_blocks;
+  out->quota_slabs = d->quota_slabs;
+  out->used_blocks = d->used_blocks;
+  out->used_slabs = d->used_slabs;
+  out->hw_blocks = d->hw_blocks;
+  out->hw_slabs = d->hw_slabs;
+  out->policy = static_cast<AdmissionPolicy>(d->policy);
+  out->parked = d->park_waiters.load(std::memory_order_relaxed);
   self->platform_->unlock(d->lock);
   return Status::ok;
 }
@@ -635,6 +688,11 @@ FacilityStats Facility::stats() const {
   s.view_bytes = header_->view_bytes.load(std::memory_order_relaxed);
   s.slab_sends = header_->slab_sends.load(std::memory_order_relaxed);
   s.slab_fallbacks = header_->slab_fallbacks.load(std::memory_order_relaxed);
+  s.sends_rejected = header_->sends_rejected.load(std::memory_order_relaxed);
+  s.sends_shed = header_->sends_shed.load(std::memory_order_relaxed);
+  s.sends_timed_out =
+      header_->sends_timed_out.load(std::memory_order_relaxed);
+  s.quota_parks = header_->quota_parks.load(std::memory_order_relaxed);
   s.slabs_total = header_->slabs_total;
   const detail::SlabPool* sp = slab_pools();
   const detail::NodeStats* ns = node_stats();

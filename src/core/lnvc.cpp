@@ -36,26 +36,226 @@ void Facility::reclaim(ProcessId pid, detail::LnvcDesc& d) {
     }
     d.msg_head = shm::Ref<detail::MsgHeader>{m->next_msg};
     if (!d.msg_head) d.msg_tail = shm::Ref<detail::MsgHeader>{};
+    quota_release(d, *m);
     free_message(pid, m);
   }
+}
+
+void Facility::quota_release(detail::LnvcDesc& d, const detail::MsgHeader& m) {
+  // Saturating: a quota set after messages were already queued (or cleared
+  // while they drain) leaves the ledger counting only the charged ones.
+  if ((m.flags & detail::MsgHeader::kSlab) != 0) {
+    if (d.used_slabs > 0) --d.used_slabs;
+  } else {
+    d.used_blocks = d.used_blocks >= m.nblocks ? d.used_blocks - m.nblocks : 0;
+  }
+}
+
+void Facility::quota_refund(ProcessId pid, detail::LnvcDesc& d) {
+  detail::ProcSlot& ps = pslot(pid);
+  if (ps.q_active.load(std::memory_order_acquire) == 0) return;
+  d.used_blocks =
+      d.used_blocks >= ps.q_blocks ? d.used_blocks - ps.q_blocks : 0;
+  d.used_slabs = d.used_slabs >= ps.q_slabs ? d.used_slabs - ps.q_slabs : 0;
+  ps.q_active.store(0, std::memory_order_release);
+}
+
+void Facility::park_ripple(detail::LnvcDesc& d) {
+  // Cheap when nobody is parked (the default-config case): one load.
+  // Waiters register under the descriptor lock before sleeping and
+  // re-check the quota under it after waking, so a notify here (after any
+  // release done under that lock) cannot be lost.
+  if (d.park_waiters.load(std::memory_order_acquire) > 0) {
+    platform_->notify_all(d.park_cond);
+  }
+}
+
+Status Facility::quota_admit(ProcessId pid, detail::LnvcDesc& d, LnvcId id,
+                             std::uint32_t need_blocks,
+                             std::uint32_t need_slabs,
+                             std::uint64_t deadline_ns) {
+  // Descriptor lock held.  Unlimited circuits skip the ledger entirely —
+  // the pre-quota fast path is one pair of loads.
+  if (d.quota_blocks == 0 && d.quota_slabs == 0) return Status::ok;
+  const std::uint32_t generation = d.generation;
+  const auto fits = [&d, need_blocks, need_slabs]() noexcept {
+    return (d.quota_blocks == 0 ||
+            d.used_blocks + need_blocks <= d.quota_blocks) &&
+           (d.quota_slabs == 0 || d.used_slabs + need_slabs <= d.quota_slabs);
+  };
+  detail::ProcSlot& ps = pslot(pid);
+  bool parked = false;
+  std::uint64_t ticket = 0;
+  // Head = the smallest ticket among LIVE parked members of this circuit.
+  // A scan beats a served-ticket cursor here: when a parked process dies
+  // and is reaped (its membership flag cleared), the next ticket becomes
+  // head with no cursor to repair — the queue cannot wedge on the dead.
+  const auto is_head = [&]() {
+    for (ProcessId p = 0; p < header_->max_processes; ++p) {
+      if (p == pid) continue;
+      const detail::ProcSlot& q = pslot(p);
+      if (q.park_active.load(std::memory_order_acquire) != 0 &&
+          q.park_lnvc == static_cast<std::uint32_t>(id) &&
+          q.park_gen == generation && q.park_ticket < ticket) {
+        return false;
+      }
+    }
+    return true;
+  };
+  // Leave the park FIFO (lock held); the caller ripples park_cond once
+  // unlocked so the next ticket re-checks.
+  const auto unpark = [&]() {
+    ps.park_active.store(0, std::memory_order_release);
+    d.park_waiters.fetch_sub(1, std::memory_order_acq_rel);
+    parked = false;
+  };
+  for (;;) {
+    // Admission is FIFO: an arrival may only pass when nobody is parked
+    // ahead of it, and a parked sender only when it reaches the head.
+    if (fits() &&
+        (parked ? is_head()
+                : d.park_waiters.load(std::memory_order_relaxed) == 0)) {
+      break;
+    }
+    if (static_cast<AdmissionPolicy>(d.policy) != AdmissionPolicy::block) {
+      // shed_newest / fail_fast never park; the caller maps the refusal.
+      return Status::rejected;
+    }
+    if (!parked) {
+      ticket = d.park_next_ticket++;
+      d.park_waiters.fetch_add(1, std::memory_order_acq_rel);
+      ps.park_lnvc = static_cast<std::uint32_t>(id);
+      ps.park_gen = generation;
+      ps.park_ticket = ticket;
+      ps.park_active.store(1, std::memory_order_release);
+      parked = true;
+      header_->quota_parks.fetch_add(1, std::memory_order_relaxed);
+    }
+    const std::uint64_t now = platform_->now_ns();
+    if (deadline_ns != kNoDeadline && now >= deadline_ns) {
+      unpark();
+      return Status::timed_out;
+    }
+    // Sleep bounded by the deadline and the suspicion threshold, so a dead
+    // head (or a dead receiver that will never drain the quota) cannot
+    // wedge the queue: an un-notified expiry probes and reaps.
+    const std::uint64_t suspicion = header_->suspicion_ns;
+    std::uint64_t wait_ns =
+        suspicion != 0 ? suspicion : std::uint64_t{1} << 62;
+    if (deadline_ns != kNoDeadline && deadline_ns - now < wait_ns) {
+      wait_ns = deadline_ns - now;
+    }
+    bool notified = false;
+    const ProcessId dead =
+        await_for(d.lock, d.park_cond, pid, wait_ns, &notified);
+    if (dead != kNoProcess) repair_lnvc(d);
+    if (d.in_use == 0 || d.generation != generation) {
+      // The circuit died while we were parked; destroy already reset the
+      // park counters and the ledger, so only our membership flag remains.
+      ps.park_active.store(0, std::memory_order_release);
+      return Status::closed;
+    }
+    if (find_conn(d, pid, /*sender=*/true) == nullptr) {
+      unpark();
+      return Status::closed;
+    }
+    if (!notified && suspicion != 0) {
+      // Liveness sweep: reap dead connection holders (a dead receiver can
+      // never drain the quota) and dead parked peers (a dead head blocks
+      // everyone behind it until its membership flag clears).
+      ProcessId suspect = kNoProcess;
+      shm::Offset c_off = d.connections.off;
+      while (c_off != shm::kNullOffset) {
+        auto* sc = static_cast<detail::Connection*>(arena_.raw(c_off));
+        if (sc->process_id != pid && !process_alive(sc->process_id)) {
+          suspect = sc->process_id;
+          break;
+        }
+        c_off = sc->next;
+      }
+      if (suspect == kNoProcess) {
+        for (ProcessId p = 0; p < header_->max_processes; ++p) {
+          detail::ProcSlot& q = pslot(p);
+          if (p != pid &&
+              q.park_active.load(std::memory_order_acquire) != 0 &&
+              q.park_lnvc == static_cast<std::uint32_t>(id) &&
+              q.park_gen == generation && !process_alive(p)) {
+            suspect = p;
+            break;
+          }
+        }
+      }
+      if (suspect != kNoProcess) {
+        platform_->unlock(d.lock);
+        reap_if_dead(pid, suspect);
+        alock_lnvc(d, pid);
+        if (d.in_use == 0 || d.generation != generation) {
+          ps.park_active.store(0, std::memory_order_release);
+          return Status::closed;
+        }
+      } else if (d.n_fcfs == 0 && d.n_bcast == 0 && !fits()) {
+        // Quota full and no receiver exists to drain it: parking any
+        // longer waits on a peer that is not there (the quota-park
+        // analogue of the exhaustion monitor's verdict).
+        unpark();
+        header_->peer_failures.fetch_add(1, std::memory_order_relaxed);
+        return Status::peer_failed;
+      }
+    }
+  }
+  if (parked) unpark();
+  // Admitted: charge the ledger and arm the reservation journal before
+  // the lock drops, so a death between here and the enqueue commit is
+  // refunded by the reaper (operands first, q_active last).
+  d.used_blocks += need_blocks;
+  d.used_slabs += need_slabs;
+  if (d.used_blocks > d.hw_blocks) d.hw_blocks = d.used_blocks;
+  if (d.used_slabs > d.hw_slabs) d.hw_slabs = d.used_slabs;
+  ps.q_lnvc = static_cast<std::uint32_t>(id);
+  ps.q_gen = generation;
+  ps.q_blocks = need_blocks;
+  ps.q_slabs = need_slabs;
+  ps.q_active.store(1, std::memory_order_release);
+  return Status::ok;
 }
 
 Status Facility::send(ProcessId pid, LnvcId id, const void* data,
                       std::size_t len) {
   const ConstBuffer one{data, len};
-  return send_impl(pid, id, std::span<const ConstBuffer>(&one, 1), len);
+  return send_impl(pid, id, std::span<const ConstBuffer>(&one, 1), len,
+                   kNoDeadline);
 }
 
 Status Facility::send_v(ProcessId pid, LnvcId id,
                         std::span<const ConstBuffer> iov) {
   std::size_t total = 0;
   for (const ConstBuffer& b : iov) total += b.len;
-  return send_impl(pid, id, iov, total);
+  return send_impl(pid, id, iov, total, kNoDeadline);
+}
+
+Status Facility::send_timed(ProcessId pid, LnvcId id, const void* data,
+                            std::size_t len, std::uint64_t timeout_ns) {
+  const ConstBuffer one{data, len};
+  return sendv_timed(pid, id, std::span<const ConstBuffer>(&one, 1),
+                     timeout_ns);
+}
+
+Status Facility::sendv_timed(ProcessId pid, LnvcId id,
+                             std::span<const ConstBuffer> iov,
+                             std::uint64_t timeout_ns) {
+  std::size_t total = 0;
+  for (const ConstBuffer& b : iov) total += b.len;
+  // timeout 0 = poll: the deadline is "now", so any would-block point
+  // (quota park, pool exhaustion) expires immediately instead of sleeping.
+  const std::uint64_t now = platform_->now_ns();
+  std::uint64_t deadline = now + timeout_ns;
+  if (deadline < now) deadline = kNoDeadline;  // saturate huge timeouts
+  return send_impl(pid, id, iov, total, deadline);
 }
 
 Status Facility::send_impl(ProcessId pid, LnvcId id,
-                           std::span<const ConstBuffer> iov,
-                           std::size_t len) {
+                           std::span<const ConstBuffer> iov, std::size_t len,
+                           std::uint64_t deadline_ns) {
   detail::LnvcDesc* d = slot(id);
   if (d == nullptr || pid >= header_->max_processes ||
       len > kMaxMessageBytes) {
@@ -65,6 +265,13 @@ Status Facility::send_impl(ProcessId pid, LnvcId id,
     if (b.data == nullptr && b.len > 0) return Status::invalid_argument;
   }
   platform_->charge_send_fixed();
+
+  // The slab-versus-chain choice depends only on the length and the pool
+  // geometry, so the admission cost is known before taking any lock.
+  const bool want_slab = header_->slab_threshold != 0 &&
+                         len >= header_->slab_threshold &&
+                         len <= header_->slab_bytes;
+  const std::size_t need_chain = blocks_for(len, header_->block_payload);
 
   // Validate the connection before paying for allocation and copy-in.
   alock_lnvc(*d, pid);
@@ -78,6 +285,35 @@ Status Facility::send_impl(ProcessId pid, LnvcId id,
     platform_->unlock(d->lock);
     reap_if_dead(pid, kNoProcess);
     return Status::not_connected;
+  }
+  // Admission control: charge this message against the circuit's quota (a
+  // no-op on unlimited circuits).  quota_admit may drop and retake the
+  // lock while parked; on ok the state has been re-validated under the
+  // re-taken lock, so the node pick below still sees a consistent list.
+  {
+    const Status admit = quota_admit(
+        pid, *d, id, want_slab ? 0 : static_cast<std::uint32_t>(need_chain),
+        want_slab ? 1 : 0, deadline_ns);
+    if (admit != Status::ok) {
+      const auto policy = static_cast<AdmissionPolicy>(d->policy);
+      platform_->unlock(d->lock);
+      park_ripple(*d);
+      reap_if_dead(pid, kNoProcess);
+      if (admit == Status::rejected) {
+        if (policy == AdmissionPolicy::shed_newest) {
+          // Shed: the newest message (this one) is silently dropped; the
+          // sender observes success, the counter observes the loss.
+          header_->sends_shed.fetch_add(1, std::memory_order_relaxed);
+          return Status::ok;
+        }
+        header_->sends_rejected.fetch_add(1, std::memory_order_relaxed);
+        return Status::rejected;
+      }
+      if (admit == Status::timed_out) {
+        header_->sends_timed_out.fetch_add(1, std::memory_order_relaxed);
+      }
+      return admit;
+    }
   }
   // Pick the memory node for the message body while the descriptor lock
   // pins the connection list: an FCFS message is consumed by exactly one
@@ -103,11 +339,53 @@ Status Facility::send_impl(ProcessId pid, LnvcId id,
   // one to spare; everything else (and slab-pool exhaustion) takes the
   // paper's block chain.
   shm::Offset extent = shm::kNullOffset;
-  if (header_->slab_threshold != 0 && len >= header_->slab_threshold &&
-      len <= header_->slab_bytes) {
+  if (want_slab) {
     extent = slab_alloc(pid, target_node);
     if (extent == shm::kNullOffset) {
       header_->slab_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      // The admission charge reserved a slab; the fallback consumes chain
+      // blocks instead.  Convert the reservation under the lock — refund
+      // the slab, re-admit for the chain (which may park again).
+      if (pslot(pid).q_active.load(std::memory_order_acquire) != 0) {
+        alock_lnvc(*d, pid);
+        if (d->in_use == 0 || d->generation != generation ||
+            find_conn(*d, pid, /*sender=*/true) == nullptr) {
+          if (d->in_use != 0 && d->generation == generation) {
+            quota_refund(pid, *d);
+          } else {
+            // Destroy already reset the ledger; only disarm the journal.
+            pslot(pid).q_active.store(0, std::memory_order_release);
+          }
+          platform_->unlock(d->lock);
+          park_ripple(*d);
+          reap_if_dead(pid, kNoProcess);
+          return Status::closed;
+        }
+        quota_refund(pid, *d);
+        const Status admit =
+            quota_admit(pid, *d, id, static_cast<std::uint32_t>(need_chain),
+                        0, deadline_ns);
+        if (admit != Status::ok) {
+          const auto policy = static_cast<AdmissionPolicy>(d->policy);
+          platform_->unlock(d->lock);
+          park_ripple(*d);
+          reap_if_dead(pid, kNoProcess);
+          if (admit == Status::rejected) {
+            if (policy == AdmissionPolicy::shed_newest) {
+              header_->sends_shed.fetch_add(1, std::memory_order_relaxed);
+              return Status::ok;
+            }
+            header_->sends_rejected.fetch_add(1, std::memory_order_relaxed);
+            return Status::rejected;
+          }
+          if (admit == Status::timed_out) {
+            header_->sends_timed_out.fetch_add(1, std::memory_order_relaxed);
+          }
+          return admit;
+        }
+        platform_->unlock(d->lock);
+        park_ripple(*d);
+      }
     }
   }
   const bool slab = extent != shm::kNullOffset;
@@ -117,15 +395,28 @@ Status Facility::send_impl(ProcessId pid, LnvcId id,
   // monitor-disciplined exhaustion wait (pool.cpp).  On success the gather
   // journal record stays armed — the nodes are in our hands until the
   // enqueue record supersedes it below.  A slab message needs no chain.
-  const std::size_t need =
-      slab ? 0 : blocks_for(len, header_->block_payload);
+  const std::size_t need = slab ? 0 : need_chain;
   shm::Offset msg_off = shm::kNullOffset;
   shm::Offset chain = shm::kNullOffset;
   shm::Offset chain_tail = shm::kNullOffset;
-  const Status alloc_status =
-      alloc_message(pid, need, target_node, &msg_off, &chain, &chain_tail);
+  const Status alloc_status = alloc_message(pid, need, target_node, &msg_off,
+                                            &chain, &chain_tail, deadline_ns);
   if (alloc_status != Status::ok) {
     if (slab) slab_free(pid, extent);
+    // Undo the admission charge: the message never reached the FIFO.
+    if (pslot(pid).q_active.load(std::memory_order_acquire) != 0) {
+      alock_lnvc(*d, pid);
+      if (d->in_use != 0 && d->generation == generation) {
+        quota_refund(pid, *d);
+      } else {
+        pslot(pid).q_active.store(0, std::memory_order_release);
+      }
+      platform_->unlock(d->lock);
+      park_ripple(*d);
+    }
+    if (alloc_status == Status::timed_out) {
+      header_->sends_timed_out.fetch_add(1, std::memory_order_relaxed);
+    }
     reap_if_dead(pid, kNoProcess);
     return alloc_status;
   }
@@ -196,7 +487,16 @@ Status Facility::send_impl(ProcessId pid, LnvcId id,
   alock_lnvc(*d, pid);
   if (d->in_use == 0 || d->generation != generation ||
       find_conn(*d, pid, /*sender=*/true) == nullptr) {
+    // Undo the admission charge first: same circuit, refund the ledger;
+    // recycled slot, the ledger was reset with the old circuit and the
+    // journal just disarms.
+    if (d->in_use != 0 && d->generation == generation) {
+      quota_refund(pid, *d);
+    } else {
+      pslot(pid).q_active.store(0, std::memory_order_release);
+    }
     platform_->unlock(d->lock);
+    park_ripple(*d);
     // The LNVC died (or our connection was closed) during the copy.  The
     // stage-0 enqueue record hands off to free_message's own record in
     // the same inter-sim-point span.
@@ -239,9 +539,12 @@ Status Facility::send_impl(ProcessId pid, LnvcId id,
   // Linked: mark the record stage 1 in the same inter-sim-point span as
   // the link itself, so a reaper never rolls back a reachable message.
   // The slab operand hands off to the FIFO in the same span: from here on
-  // the message (reachable, stage 1) owns the extent.
+  // the message (reachable, stage 1) owns the extent — and the quota
+  // charge transfers from the reservation journal to the queued message
+  // (quota_release pays it back when the message leaves the FIFO).
   journal_stage(pid, 1);
   pslot(pid).slab = shm::kNullOffset;
+  pslot(pid).q_active.store(0, std::memory_order_release);
   ++d->total_msgs;
   d->total_bytes += len;
   // A message nobody will ever deliver (no receivers under the reclaim
@@ -257,6 +560,8 @@ Status Facility::send_impl(ProcessId pid, LnvcId id,
   header_->bytes_sent.fetch_add(len, std::memory_order_relaxed);
   if (slab) header_->slab_sends.fetch_add(1, std::memory_order_relaxed);
   platform_->notify_all(d->cond);
+  // The undeliverable-reclaim above may have freed quota; pass the baton.
+  park_ripple(*d);
   if (header_->activity_waiters.load(std::memory_order_acquire) > 0) {
     // A multi-waiter may have scanned this LNVC before our enqueue; the
     // empty lock/unlock orders us against its check-then-sleep, so the
@@ -272,12 +577,38 @@ Status Facility::send_impl(ProcessId pid, LnvcId id,
 Status Facility::receive_any(ProcessId pid, std::span<const LnvcId> ids,
                              void* buf, std::size_t cap,
                              std::size_t* out_len, std::size_t* out_index) {
+  return receive_any_impl(pid, ids, buf, cap, out_len, out_index,
+                          kNoDeadline);
+}
+
+Status Facility::receive_any_for(ProcessId pid, std::span<const LnvcId> ids,
+                                 void* buf, std::size_t cap,
+                                 std::size_t* out_len, std::size_t* out_index,
+                                 std::uint64_t timeout_ns) {
+  // timeout 0 = one full nonblocking sweep, then timed_out: the deadline
+  // "now" expires after the first scan inside the impl.
+  const std::uint64_t now = platform_->now_ns();
+  std::uint64_t deadline = now + timeout_ns;
+  if (deadline < now) deadline = kNoDeadline;  // saturate huge timeouts
+  return receive_any_impl(pid, ids, buf, cap, out_len, out_index, deadline);
+}
+
+Status Facility::receive_any_impl(ProcessId pid, std::span<const LnvcId> ids,
+                                  void* buf, std::size_t cap,
+                                  std::size_t* out_len,
+                                  std::size_t* out_index,
+                                  std::uint64_t deadline_ns) {
   if (ids.empty() || out_len == nullptr || out_index == nullptr) {
     return Status::invalid_argument;
   }
   if (ids.size() == 1) {
     *out_index = 0;
-    return receive(pid, ids[0], buf, cap, out_len);
+    if (deadline_ns == kNoDeadline) {
+      return receive(pid, ids[0], buf, cap, out_len);
+    }
+    const std::uint64_t now = platform_->now_ns();
+    return receive_for(pid, ids[0], buf, cap, out_len,
+                       deadline_ns > now ? deadline_ns - now : 0);
   }
   if (pid >= header_->max_processes) return Status::invalid_argument;
   // The rotation cursor persists across calls (in this process's ProcCache
@@ -325,6 +656,13 @@ Status Facility::receive_any(ProcessId pid, std::span<const LnvcId> ids,
       reap_if_dead(pid, kNoProcess);
       return Status::lnvc_orphaned;
     }
+    // Deadline check sits between scan and sleep: expiry still gets one
+    // final full sweep above, and the cursor keeps whatever value the
+    // last delivery left (a timeout must not re-bias the rotation).
+    if (deadline_ns != kNoDeadline && platform_->now_ns() >= deadline_ns) {
+      reap_if_dead(pid, kNoProcess);
+      return Status::timed_out;
+    }
     // Nothing ready anywhere: sleep on the facility-wide activity signal.
     // Counter before flag: if we die in between, the stale registration
     // only costs spurious ripples until the reap repairs it.
@@ -347,7 +685,16 @@ Status Facility::receive_any(ProcessId pid, std::span<const LnvcId> ids,
       return probe;
     }
     if (!ready) {
-      await(header_->activity_lock, header_->activity_cond, pid);
+      if (deadline_ns == kNoDeadline) {
+        await(header_->activity_lock, header_->activity_cond, pid);
+      } else {
+        const std::uint64_t now = platform_->now_ns();
+        if (now < deadline_ns) {
+          bool notified = false;
+          await_for(header_->activity_lock, header_->activity_cond, pid,
+                    deadline_ns - now, &notified);
+        }
+      }
     }
     platform_->unlock(header_->activity_lock);
     pslot(pid).in_activity.store(0, std::memory_order_release);
@@ -566,6 +913,8 @@ Status Facility::receive_impl(ProcessId pid, LnvcId id, void* buf,
   journal_clear(pid);
   unpin(pid, *d, m, generation, bcast);
   platform_->unlock(d->lock);
+  // unpin may have reclaimed (quota_release): wake any parked sender.
+  park_ripple(*d);
 
   header_->receives.fetch_add(1, std::memory_order_relaxed);
   header_->bytes_delivered.fetch_add(copied, std::memory_order_relaxed);
@@ -702,6 +1051,7 @@ Status Facility::release_view(ProcessId pid, MsgView* view) {
   v.msg = shm::kNullOffset;
   unpin(pid, *d, m, claim_gen, bcast);
   platform_->unlock(d->lock);
+  park_ripple(*d);
   view->slot = -1;
   view->spans.clear();
   view->msg = shm::kNullOffset;

@@ -434,7 +434,8 @@ void Facility::slab_free(ProcessId pid, shm::Offset extent) {
 Status Facility::alloc_message(ProcessId pid, std::size_t need,
                                std::uint32_t target_node,
                                shm::Offset* msg_off, shm::Offset* chain_head,
-                               shm::Offset* chain_tail) {
+                               shm::Offset* chain_tail,
+                               std::uint64_t deadline_ns) {
   shm::Offset msg = shm::kNullOffset;
   Chain chain;
   // Arm the gather record before any block can leave a pool; try_gather
@@ -450,7 +451,9 @@ Status Facility::alloc_message(ProcessId pid, std::size_t need,
     // Monitor discipline for true exhaustion: register, re-sweep, sleep.
     // Sleeps are bounded by the suspicion threshold: a waiter that times
     // out hunts for dead peers to reap, and gives up with peer_failed
-    // when no live receiver exists to ever drain the pool.
+    // when no live receiver exists to ever drain the pool.  A send
+    // deadline bounds the whole wait: expiry deregisters and reports
+    // timed_out with every fragment already returned.
     header_->exhaustion_waits.fetch_add(1, std::memory_order_relaxed);
     alock(header_->blocks_lock, pid);
     header_->exhaustion_waiters.fetch_add(1, std::memory_order_acq_rel);
@@ -459,14 +462,29 @@ Status Facility::alloc_message(ProcessId pid, std::size_t need,
       if (try_gather(pid, need, target_node, msg, chain)) break;
       return_gather(pid, msg, chain);
       const std::uint64_t suspicion = header_->suspicion_ns;
-      if (suspicion == 0) {
+      std::uint64_t now = 0;
+      if (deadline_ns != kNoDeadline &&
+          (now = platform_->now_ns()) >= deadline_ns) {
+        pslot(pid).in_exhaustion.store(0, std::memory_order_release);
+        header_->exhaustion_waiters.fetch_sub(1, std::memory_order_acq_rel);
+        platform_->unlock(header_->blocks_lock);
+        journal_clear(pid);
+        return Status::timed_out;
+      }
+      if (suspicion == 0 && deadline_ns == kNoDeadline) {
         await(header_->blocks_lock, header_->blocks_cond, pid);
         continue;
       }
+      std::uint64_t wait_ns =
+          suspicion != 0 ? suspicion : std::uint64_t{1} << 62;
+      if (deadline_ns != kNoDeadline && deadline_ns - now < wait_ns) {
+        wait_ns = deadline_ns - now;
+      }
       bool notified = false;
-      await_for(header_->blocks_lock, header_->blocks_cond, pid, suspicion,
+      await_for(header_->blocks_lock, header_->blocks_cond, pid, wait_ns,
                 &notified);
       if (notified) continue;
+      if (suspicion == 0) continue;  // deadline-bounded nap; re-check above
       // A full suspicion window with no free: deregister and check for
       // dead peers (their journals, magazines, and queues may hold every
       // block we are waiting for).

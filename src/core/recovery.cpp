@@ -227,6 +227,36 @@ void Facility::repair_lnvc(detail::LnvcDesc& d) {
   d.msg_tail = shm::Ref<detail::MsgHeader>{last};
   d.fcfs_head = shm::Ref<detail::MsgHeader>{first_unconsumed};
   d.n_queued = unconsumed;
+  // The quota ledger is derived state too: recompute it from the FIFO
+  // (each queued message carries its own cost) plus every armed
+  // reservation journal on this circuit and generation.  Journals arm and
+  // disarm only under this descriptor's lock, which we hold.
+  if (d.quota_blocks != 0 || d.quota_slabs != 0) {
+    std::uint32_t used_blocks = 0;
+    std::uint32_t used_slabs = 0;
+    for (off = d.msg_head.off; off != shm::kNullOffset;) {
+      const auto* m = static_cast<const detail::MsgHeader*>(arena_.raw(off));
+      if ((m->flags & detail::MsgHeader::kSlab) != 0) {
+        ++used_slabs;
+      } else {
+        used_blocks += m->nblocks;
+      }
+      off = m->next_msg;
+    }
+    const auto id = static_cast<std::uint32_t>(&d - table());
+    for (ProcessId p = 0; p < header_->max_processes; ++p) {
+      const detail::ProcSlot& q = pslot(p);
+      if (q.q_active.load(std::memory_order_acquire) != 0 &&
+          q.q_lnvc == id && q.q_gen == d.generation) {
+        used_blocks += q.q_blocks;
+        used_slabs += q.q_slabs;
+      }
+    }
+    d.used_blocks = used_blocks;
+    d.used_slabs = used_slabs;
+    if (used_blocks > d.hw_blocks) d.hw_blocks = used_blocks;
+    if (used_slabs > d.hw_slabs) d.hw_slabs = used_slabs;
+  }
 }
 
 void Facility::resolve_journal(ProcessId reaper, detail::ProcSlot& ps,
@@ -381,6 +411,33 @@ void Facility::resolve_journal(ProcessId reaper, detail::ProcSlot& ps,
                                             std::memory_order_relaxed);
       }
       break;
+    }
+  }
+  // Quota-reservation journal: refund an armed admission charge unless
+  // the enqueue committed the message into the FIFO (stage 1), in which
+  // case the linked message owns the charge (quota_release pays it back
+  // when the message leaves the queue) and the journal only disarms.
+  // Both the refund and the disarm happen under the descriptor lock so a
+  // concurrent repair_lnvc recompute never sees a refunded-but-armed
+  // journal (which would double-count the charge).
+  if (ps.q_active.load(std::memory_order_acquire) != 0) {
+    const bool message_kept =
+        op == detail::JournalOp::enqueue && ps.stage == 1;
+    detail::LnvcDesc* qd = slot(static_cast<LnvcId>(ps.q_lnvc));
+    if (qd != nullptr) {
+      alock_lnvc(*qd, reaper);
+      if (!message_kept && qd->in_use != 0 && qd->generation == ps.q_gen) {
+        qd->used_blocks = qd->used_blocks >= ps.q_blocks
+                              ? qd->used_blocks - ps.q_blocks
+                              : 0;
+        qd->used_slabs =
+            qd->used_slabs >= ps.q_slabs ? qd->used_slabs - ps.q_slabs : 0;
+      }
+      ps.q_active.store(0, std::memory_order_release);
+      platform_->unlock(qd->lock);
+      park_ripple(*qd);
+    } else {
+      ps.q_active.store(0, std::memory_order_release);
     }
   }
   // Slab extent in hand (standalone operand: armed by slab_alloc, cleared
@@ -541,6 +598,21 @@ Status Facility::reap(ProcessId reaper, ProcessId pid) {
   }
   if (ps.in_activity.exchange(0, std::memory_order_acq_rel) != 0) {
     header_->activity_waiters.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  if (ps.park_active.exchange(0, std::memory_order_acq_rel) != 0) {
+    // Died parked in a quota FIFO: clearing the membership flag above
+    // already promoted the next ticket (head is chosen by scanning live
+    // members); drop the waiter count and wake the queue.
+    detail::LnvcDesc* pd = slot(static_cast<LnvcId>(ps.park_lnvc));
+    if (pd != nullptr) {
+      alock_lnvc(*pd, reaper);
+      if (pd->in_use != 0 && pd->generation == ps.park_gen &&
+          pd->park_waiters.load(std::memory_order_acquire) > 0) {
+        pd->park_waiters.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      platform_->unlock(pd->lock);
+      park_ripple(*pd);
+    }
   }
   alock(header_->blocks_lock, reaper);
   platform_->unlock(header_->blocks_lock);

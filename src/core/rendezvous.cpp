@@ -23,6 +23,48 @@ void Rendezvous::send(std::span<const std::byte> payload) {
   p.unlock(c.lock);
 }
 
+Status Rendezvous::send_for(std::span<const std::byte> payload,
+                            std::uint64_t timeout_ns) {
+  Platform& p = *platform_;
+  RendezvousCell& c = *cell_;
+  std::uint64_t deadline = p.now_ns() + timeout_ns;
+  if (deadline < timeout_ns) deadline = ~std::uint64_t{0};  // saturate
+  p.lock(c.lock);
+  // Phase 1: wait for the slot, bounded.  Nothing to roll back yet.
+  while (c.state != 0) {
+    const std::uint64_t now = p.now_ns();
+    if (now >= deadline) {
+      p.unlock(c.lock);
+      return Status::timed_out;
+    }
+    p.wait_for(c.lock, c.cond, deadline - now);
+  }
+  c.state = 1;
+  c.length = static_cast<std::uint32_t>(payload.size());
+  c.sender_buf = payload.data();
+  p.notify_all(c.cond);
+  // Phase 2: wait for a receiver, bounded.  Receivers copy and flip the
+  // state to 2 while holding the cell lock, so observing state == 1 here
+  // (lock held) means no copy is in progress and the offer can be
+  // withdrawn safely.
+  while (c.state != 2) {
+    const std::uint64_t now = p.now_ns();
+    if (now >= deadline) {
+      c.state = 0;
+      c.sender_buf = nullptr;
+      p.notify_all(c.cond);  // admit the next offer
+      p.unlock(c.lock);
+      return Status::timed_out;
+    }
+    p.wait_for(c.lock, c.cond, deadline - now);
+  }
+  c.state = 0;
+  c.sender_buf = nullptr;
+  p.notify_all(c.cond);
+  p.unlock(c.lock);
+  return Status::ok;
+}
+
 std::size_t Rendezvous::receive(std::span<std::byte> buffer,
                                 bool* truncated) {
   Platform& p = *platform_;

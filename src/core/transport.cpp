@@ -21,6 +21,14 @@ Status Transport::send_v(std::span<const ConstBuffer> iov) {
   return send(staged.data(), staged.size());
 }
 
+Status Transport::send_timed(const void* data, std::size_t len,
+                             std::uint64_t timeout_ns) {
+  // Policies without a bounded path just block; callers that need the
+  // deadline honored probe caps().timed_send first.
+  (void)timeout_ns;
+  return send(data, len);
+}
+
 Status Transport::receive_view(MsgView* out) {
   (void)out;
   return Status::invalid_argument;  // probe caps().zero_copy_view first
@@ -40,6 +48,11 @@ std::vector<ConstBuffer> Transport::materialize(const MsgView& view) const {
 
 Status LnvcTransport::send(const void* data, std::size_t len) {
   return facility_->send(pid_, tx_, data, len);
+}
+
+Status LnvcTransport::send_timed(const void* data, std::size_t len,
+                                 std::uint64_t timeout_ns) {
+  return facility_->send_timed(pid_, tx_, data, len, timeout_ns);
 }
 
 Status LnvcTransport::send_v(std::span<const ConstBuffer> iov) {
@@ -77,6 +90,12 @@ Status ChannelTransport::send(const void* data, std::size_t len) {
   return Status::ok;
 }
 
+Status ChannelTransport::send_timed(const void* data, std::size_t len,
+                                    std::uint64_t timeout_ns) {
+  const auto* p = static_cast<const std::byte*>(data);
+  return tx_.send_for({p, len}, timeout_ns);
+}
+
 Status ChannelTransport::receive(void* buf, std::size_t cap,
                                  RecvResult* out) {
   bool truncated = false;
@@ -94,6 +113,12 @@ Status ChannelTransport::receive(void* buf, std::size_t cap,
 Status RendezvousTransport::send(const void* data, std::size_t len) {
   tx_.send({static_cast<const std::byte*>(data), len});
   return Status::ok;
+}
+
+Status RendezvousTransport::send_timed(const void* data, std::size_t len,
+                                       std::uint64_t timeout_ns) {
+  return tx_.send_for({static_cast<const std::byte*>(data), len},
+                      timeout_ns);
 }
 
 Status RendezvousTransport::receive(void* buf, std::size_t cap,

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include "mpf/compat/mpf.h"
+#include "mpf/core/errors.hpp"
 
 namespace {
 
@@ -156,6 +157,40 @@ TEST_F(CApi, ZeroLengthMessages) {
   int len = 0;
   EXPECT_EQ(mpf_message_receive(1, rx, buf, &len), 0);
   EXPECT_EQ(len, 0);
+}
+
+TEST(CApiCodes, AdmissionCodesMirrorStatusEnum) {
+  // The C codes are defined as -(int)Status; a drift in the enum order
+  // would silently re-number the whole error surface.
+  EXPECT_EQ(MPF_ETIMEDOUT, -static_cast<int>(mpf::Status::timed_out));
+  EXPECT_EQ(MPF_EAGAIN, -static_cast<int>(mpf::Status::rejected));
+  EXPECT_EQ(MPF_EPEERFAILED, -static_cast<int>(mpf::Status::peer_failed));
+  EXPECT_EQ(MPF_EORPHANED, -static_cast<int>(mpf::Status::lnvc_orphaned));
+}
+
+TEST_F(CApi, TimedSendDeliversAndTimesOutOnExhaustion) {
+  ASSERT_EQ(mpf_message_send_timed(0, 0, "x", 1, 1000000),
+            MPF_ENOLNVC);  // validated like the untimed path
+  const int tx = mpf_open_send(0, "conv");
+  const int rx = mpf_open_receive(1, "conv", MPF_FCFS);
+  ASSERT_GE(tx, 0);
+  ASSERT_EQ(mpf_message_send_timed(0, tx, "hello", 5, 1000000000ull), 0);
+  char buf[8] = {};
+  int len = sizeof(buf);
+  ASSERT_EQ(mpf_message_receive(1, rx, buf, &len), 0);
+  EXPECT_EQ(std::string(buf, static_cast<size_t>(len)), "hello");
+
+  // Nobody drains: large sends exhaust the block pool, and the timed send
+  // gives up at its deadline instead of blocking forever.
+  static char big[1000] = {};
+  int rc = 0;
+  int sent = 0;
+  for (int i = 0; i < 200 && rc == 0; ++i) {
+    rc = mpf_message_send_timed(0, tx, big, sizeof(big), 50000000ull);
+    if (rc == 0) ++sent;
+  }
+  EXPECT_EQ(rc, MPF_ETIMEDOUT);
+  EXPECT_GT(sent, 0);
 }
 
 }  // namespace

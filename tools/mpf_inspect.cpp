@@ -155,19 +155,73 @@ void dump_orphans(const mpf::Facility& facility) {
   }
 }
 
+const char* policy_name(mpf::AdmissionPolicy p) {
+  switch (p) {
+    case mpf::AdmissionPolicy::block: return "block";
+    case mpf::AdmissionPolicy::shed_newest: return "shed";
+    case mpf::AdmissionPolicy::fail_fast: return "fail";
+  }
+  return "?";
+}
+
+void dump_quotas(const mpf::Facility& facility) {
+  const mpf::FacilityStats stats = facility.stats();
+  std::printf(
+      "admission: %llu rejected, %llu shed, %llu send timeouts, "
+      "%llu parks\n",
+      static_cast<unsigned long long>(stats.sends_rejected),
+      static_cast<unsigned long long>(stats.sends_shed),
+      static_cast<unsigned long long>(stats.sends_timed_out),
+      static_cast<unsigned long long>(stats.quota_parks));
+  const auto infos = facility.lnvc_infos();
+  if (infos.empty()) {
+    std::printf("no live LNVCs\n");
+    return;
+  }
+  std::printf("%4s  %-24s %6s %11s %11s %11s %11s %6s\n", "id", "name",
+              "policy", "quota_blk", "used_blk", "quota_slab", "used_slab",
+              "parked");
+  for (const auto& info : infos) {
+    char qb[32];
+    char qs[32];
+    const bool unlimited = info.quota_blocks == 0 && info.quota_slabs == 0;
+    if (unlimited) {
+      std::snprintf(qb, sizeof qb, "-");
+      std::snprintf(qs, sizeof qs, "-");
+    } else {
+      std::snprintf(qb, sizeof qb, "%u", info.quota_blocks);
+      std::snprintf(qs, sizeof qs, "%u", info.quota_slabs);
+    }
+    // used column shows lifetime high-water alongside the instantaneous
+    // value so a drained circuit still tells its overload story.
+    char ub[32];
+    char us[32];
+    std::snprintf(ub, sizeof ub, "%u(hw %u)", info.used_blocks,
+                  info.hw_blocks);
+    std::snprintf(us, sizeof us, "%u(hw %u)", info.used_slabs,
+                  info.hw_slabs);
+    std::printf("%4d  %-24s %6s %11s %11s %11s %11s %6u\n", info.id,
+                info.name.c_str(),
+                unlimited ? "-" : policy_name(info.policy), qb, ub, qs, us,
+                info.parked);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s /shm-segment-name [--watch seconds] [--orphans] "
-                 "[--nodes] [--reap pid]\n"
+                 "[--nodes] [--quotas] [--reap pid]\n"
                  "Inspect a live MPF facility in a POSIX shared-memory "
                  "segment.\n"
                  "  --orphans    report per-process liveness and orphaned "
                  "state\n"
                  "  --nodes      report per-NUMA-node pool occupancy and "
                  "placement counters\n"
+                 "  --quotas     report per-LNVC admission quotas, ledger "
+                 "occupancy and parked senders\n"
                  "  --reap pid   run the recovery sweep for a dead "
                  "participant\n",
                  argv[0]);
@@ -176,6 +230,7 @@ int main(int argc, char** argv) {
   double watch = 0;
   bool orphans = false;
   bool nodes = false;
+  bool quotas = false;
   int reap_pid = -1;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--watch") == 0 && i + 1 < argc) {
@@ -184,6 +239,8 @@ int main(int argc, char** argv) {
       orphans = true;
     } else if (std::strcmp(argv[i], "--nodes") == 0) {
       nodes = true;
+    } else if (std::strcmp(argv[i], "--quotas") == 0) {
+      quotas = true;
     } else if (std::strcmp(argv[i], "--reap") == 0 && i + 1 < argc) {
       reap_pid = std::atoi(argv[++i]);
     } else {
@@ -212,6 +269,8 @@ int main(int argc, char** argv) {
         dump_orphans(facility);
       } else if (nodes) {
         dump_nodes(facility);
+      } else if (quotas) {
+        dump_quotas(facility);
       } else {
         dump(facility);
       }

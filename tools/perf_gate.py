@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Performance-regression gate over the checked-in bench JSON figures.
+
+Re-runs each figure bench with --json and compares every (series, x)
+point against the checked-in reference.  Throughput-style series must not
+drop more than the tolerance below the reference; latency-style series
+(label containing "p99" or "latency") must not rise more than the
+tolerance above it.  The simulated benches are deterministic, so on an
+unchanged tree the comparison is exact and the gate is noise-free.
+
+Usage:
+    perf_gate.py --bench-dir BUILD/bench --ref-dir REPO \
+                 bench_binary:REFERENCE.json [...]
+
+Exit status 0 when every point passes, 1 on any regression, 2 on usage /
+missing-file errors.  Stdlib only.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TOLERANCE = 0.10
+
+
+def lower_is_better(label):
+    label = label.lower()
+    return "p99" in label or "latency" in label
+
+
+def load_points(figure):
+    """{(series_label, x): y} for one figure dict."""
+    points = {}
+    for series in figure.get("series", []):
+        for x, y in series.get("points", []):
+            points[(series["label"], float(x))] = float(y)
+    return points
+
+
+def check_figure(name, ref, new, tolerance):
+    failures = []
+    ref_points = load_points(ref)
+    new_points = load_points(new)
+    missing = sorted(set(ref_points) - set(new_points))
+    for key in missing:
+        failures.append("%s: point %r disappeared" % (name, key))
+    for key, ref_y in sorted(ref_points.items()):
+        if key not in new_points:
+            continue
+        new_y = new_points[key]
+        label, x = key
+        if lower_is_better(label):
+            limit = ref_y * (1 + tolerance)
+            if new_y > limit:
+                failures.append(
+                    "%s: %s @ x=%g rose %.6g -> %.6g (limit %.6g)"
+                    % (name, label, x, ref_y, new_y, limit))
+        else:
+            limit = ref_y * (1 - tolerance)
+            if new_y < limit:
+                failures.append(
+                    "%s: %s @ x=%g fell %.6g -> %.6g (limit %.6g)"
+                    % (name, label, x, ref_y, new_y, limit))
+    return failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench-dir", required=True,
+                        help="directory holding the bench binaries")
+    parser.add_argument("--ref-dir", required=True,
+                        help="directory holding the reference JSON files")
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE,
+                        help="allowed fractional regression per point")
+    parser.add_argument("pairs", nargs="+",
+                        help="bench_binary:reference.json")
+    args = parser.parse_args(argv)
+
+    failures = []
+    for pair in args.pairs:
+        try:
+            binary, ref_name = pair.split(":", 1)
+        except ValueError:
+            print("perf_gate: malformed pair %r" % pair, file=sys.stderr)
+            return 2
+        bench = os.path.join(args.bench_dir, binary)
+        ref_path = os.path.join(args.ref_dir, ref_name)
+        if not os.path.exists(bench):
+            print("perf_gate: no bench binary %s" % bench, file=sys.stderr)
+            return 2
+        if not os.path.exists(ref_path):
+            print("perf_gate: no reference %s" % ref_path, file=sys.stderr)
+            return 2
+        with open(ref_path) as f:
+            ref = json.load(f)
+        fd, out_path = tempfile.mkstemp(prefix=binary + ".", suffix=".json")
+        os.close(fd)
+        try:
+            proc = subprocess.run([bench, "--json", out_path],
+                                  stdout=subprocess.DEVNULL,
+                                  stderr=subprocess.PIPE)
+            if proc.returncode != 0:
+                print("perf_gate: %s exited %d\n%s"
+                      % (binary, proc.returncode,
+                         proc.stderr.decode(errors="replace")),
+                      file=sys.stderr)
+                return 2
+            with open(out_path) as f:
+                new = json.load(f)
+        finally:
+            os.unlink(out_path)
+        figure_failures = check_figure(binary, ref, new, args.tolerance)
+        failures.extend(figure_failures)
+        status = "FAIL" if figure_failures else "ok"
+        print("perf_gate: %s vs %s: %s (%d ref points)"
+              % (binary, ref_name, status, len(load_points(ref))))
+
+    for failure in failures:
+        print("perf_gate: REGRESSION %s" % failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
