@@ -359,8 +359,10 @@ class Facility {
   void set_process_node(ProcessId pid, std::uint32_t node);
   /// Override one LNVC's admission settings (quota in blocks / slab
   /// extents, 0 = unlimited; policy for over-quota sends).  `pid` must
-  /// hold a connection on the LNVC.  Applies to subsequent sends; the
-  /// used counters are untouched.
+  /// hold a connection on the LNVC (else Status::not_connected).
+  /// Applies to subsequent sends; the used counters are untouched.
+  /// Switching away from AdmissionPolicy::block evicts parked senders,
+  /// which resolve via the new policy's rejection path.
   Status set_admission(ProcessId pid, LnvcId id, std::uint32_t quota_blocks,
                        std::uint32_t quota_slabs, AdmissionPolicy policy);
   /// Snapshots of every live LNVC (for tools/monitoring).

@@ -556,6 +556,14 @@ Status Facility::set_admission(ProcessId pid, LnvcId id,
     reap_if_dead(pid, kNoProcess);
     return Status::no_such_lnvc;
   }
+  // Only a connection holder may rewrite the circuit's quota and policy
+  // (the header's contract); an unrelated pid gets not_connected.
+  if (find_conn(*d, pid, /*sender=*/true) == nullptr &&
+      find_conn(*d, pid, /*sender=*/false) == nullptr) {
+    platform_->unlock(d->lock);
+    reap_if_dead(pid, kNoProcess);
+    return Status::not_connected;
+  }
   d->quota_blocks = quota_blocks;
   d->quota_slabs = quota_slabs;
   d->policy = static_cast<std::uint32_t>(policy);

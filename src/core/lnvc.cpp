@@ -118,8 +118,20 @@ Status Facility::quota_admit(ProcessId pid, detail::LnvcDesc& d, LnvcId id,
       break;
     }
     if (static_cast<AdmissionPolicy>(d.policy) != AdmissionPolicy::block) {
-      // shed_newest / fail_fast never park; the caller maps the refusal.
+      // shed_newest / fail_fast never park — and a mid-park policy switch
+      // (set_admission while senders wait) evicts anyone already parked:
+      // leaving the membership flag set on a live process would wedge the
+      // FIFO for the circuit's lifetime.  The caller ripples park_cond so
+      // the next ticket re-checks, and maps the refusal per policy.
+      if (parked) unpark();
       return Status::rejected;
+    }
+    // Deadline before ticket: an already-expired deadline (the timeout-0
+    // poll) returns without ever joining the FIFO or counting a park.
+    const std::uint64_t now = platform_->now_ns();
+    if (deadline_ns != kNoDeadline && now >= deadline_ns) {
+      if (parked) unpark();
+      return Status::timed_out;
     }
     if (!parked) {
       ticket = d.park_next_ticket++;
@@ -130,11 +142,6 @@ Status Facility::quota_admit(ProcessId pid, detail::LnvcDesc& d, LnvcId id,
       ps.park_active.store(1, std::memory_order_release);
       parked = true;
       header_->quota_parks.fetch_add(1, std::memory_order_relaxed);
-    }
-    const std::uint64_t now = platform_->now_ns();
-    if (deadline_ns != kNoDeadline && now >= deadline_ns) {
-      unpark();
-      return Status::timed_out;
     }
     // Sleep bounded by the deadline and the suspicion threshold, so a dead
     // head (or a dead receiver that will never drain the quota) cannot

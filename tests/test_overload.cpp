@@ -117,8 +117,50 @@ TEST_F(QuotaTest, ZeroTimeoutSendIsAPoll) {
   rt::WallTimer timer;
   EXPECT_EQ(f.send_timed(1, tx, buf, kMsg, 0), Status::timed_out);
   EXPECT_LT(timer.elapsed_s(), 1.0);
+  // A poll never joins the park FIFO: no ticket taken, no park counted.
+  EXPECT_EQ(f.stats().quota_parks, 0u);
+  LnvcInfo info{};
+  ASSERT_EQ(f.lnvc_info(tx, &info), Status::ok);
+  EXPECT_EQ(info.parked, 0u);
   ASSERT_EQ(drain_one(), Status::ok);
   EXPECT_EQ(f.send_timed(1, tx, buf, kMsg, 0), Status::ok);
+}
+
+TEST_F(QuotaTest, PolicySwitchWhileParkedEvictsParkedSenders) {
+  // set_admission may flip a circuit from block to fail_fast while senders
+  // are parked; they must be cleanly evicted (rejected), not left with a
+  // live membership flag that wedges the admission FIFO forever.
+  open_pair(1, AdmissionPolicy::block);
+  ASSERT_EQ(f.send(1, tx, buf, kMsg), Status::ok);  // quota now full
+
+  const auto parked_count = [&] {
+    LnvcInfo info{};
+    EXPECT_EQ(f.lnvc_info(tx, &info), Status::ok);
+    return info.parked;
+  };
+  LnvcId tx2 = kInvalidLnvc;
+  ASSERT_EQ(f.open_send(2, "q", &tx2), Status::ok);
+  Status got = Status::ok;
+  std::thread waiter([&] {
+    char b[kMsg] = {'X'};
+    got = f.send_timed(2, tx2, b, kMsg, 20'000'000'000ull);
+  });
+  rt::WallTimer timer;
+  while (parked_count() != 1 && timer.elapsed_s() < 10.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(parked_count(), 1u);
+
+  ASSERT_EQ(f.set_admission(1, tx, 1, 0, AdmissionPolicy::fail_fast),
+            Status::ok);
+  waiter.join();
+  EXPECT_EQ(got, Status::rejected);
+  EXPECT_EQ(f.stats().sends_rejected, 1u);
+  EXPECT_EQ(parked_count(), 0u);
+
+  // The FIFO did not wedge: once quota frees, new arrivals are admitted.
+  ASSERT_EQ(drain_one(), Status::ok);
+  EXPECT_EQ(f.send(1, tx, buf, kMsg), Status::ok);
 }
 
 TEST_F(QuotaTest, BlockPolicyWakesParkedSendersInFifoOrder) {
@@ -200,6 +242,9 @@ TEST_F(QuotaTest, SetAdmissionValidatesAndReflects) {
   ASSERT_NE(unused, tx);
   EXPECT_EQ(f.set_admission(1, unused, 1, 0, AdmissionPolicy::block),
             Status::no_such_lnvc);
+  // An in-range pid with no connection on the circuit cannot rewrite it.
+  EXPECT_EQ(f.set_admission(2, tx, 1, 0, AdmissionPolicy::block),
+            Status::not_connected);
   ASSERT_EQ(f.set_admission(1, tx, 4, 2, AdmissionPolicy::shed_newest),
             Status::ok);
   LnvcInfo info{};
