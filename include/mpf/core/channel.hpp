@@ -81,6 +81,10 @@ class Channel {
   }
   void write_wrapped(std::uint64_t pos, const void* src, std::size_t len);
   void read_wrapped(std::uint64_t pos, void* dst, std::size_t len) const;
+  /// Shared body of send / send_for: one room-wait loop, deadline-bounded
+  /// unless timeout_ns is the no-deadline sentinel (~0).
+  Status send_impl(std::span<const std::byte> payload,
+                   std::uint64_t timeout_ns);
 
   ChannelHeader* header_ = nullptr;
   Platform* platform_ = nullptr;

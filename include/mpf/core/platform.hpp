@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "mpf/sync/event_count.hpp"
+#include "mpf/sync/parker.hpp"
 #include "mpf/sync/spinlock.hpp"
 
 namespace mpf {
@@ -100,6 +101,24 @@ class Platform {
                         sync::EventCount& cond_cell, std::uint64_t timeout_ns,
                         RobustOp* op = nullptr) = 0;
   virtual void notify_all(sync::EventCount& cond_cell) = 0;
+
+  // --- one-claimant parking (the futex-class seam; DESIGN.md §12) -------
+  /// Sleep until `node.epoch` moves past `expected` or the clock (wall or
+  /// virtual per platform) reaches `deadline_ns`
+  /// (sync::kNoParkDeadline = wait forever).  Called with NO lock held —
+  /// lost-wakeup protection comes from the epoch snapshot: take `expected`
+  /// with Parker::prepare *before* publishing the intent to park, and any
+  /// unpark issued after that publication is observed as an epoch move.
+  /// Returns true if the epoch moved, false on deadline.  A parked
+  /// simulated process consumes zero virtual CPU.
+  virtual bool park(sync::WaitNode& node, std::uint32_t expected,
+                    std::uint64_t deadline_ns, std::uint64_t spin_ns) {
+    return sync::Parker::park(node, expected, deadline_ns, spin_ns);
+  }
+  /// Bump the node's epoch and rouse its (at most one) parked owner.
+  /// Unlike notify_all this targets exactly one claimant — wakers pick
+  /// their successor first, so there is no thundering herd.
+  virtual void unpark(sync::WaitNode& node) { sync::Parker::wake(node); }
 
   // --- liveness ---------------------------------------------------------
   /// Platform-level liveness of an MPF ProcessId.  The default says

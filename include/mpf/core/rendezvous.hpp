@@ -61,6 +61,13 @@ class Rendezvous {
   std::size_t receive(std::span<std::byte> buffer, bool* truncated = nullptr);
 
  private:
+  /// Shared body of send / send_for: the same two-phase hand-off, with
+  /// both waits bounded when deadline_ns is not the no-deadline sentinel.
+  Status send_impl(std::span<const std::byte> payload,
+                   std::uint64_t deadline_ns);
+  /// Wait (cell lock held) until state == want; false on deadline expiry.
+  bool await_state(std::uint32_t want, std::uint64_t deadline_ns);
+
   RendezvousCell* cell_ = nullptr;
   Platform* platform_ = nullptr;
 };

@@ -25,6 +25,9 @@ class SimPlatform final : public Platform {
   bool wait_for(sync::SpinLock& mutex_cell, sync::EventCount& cond_cell,
                 std::uint64_t timeout_ns, RobustOp* op = nullptr) override;
   void notify_all(sync::EventCount& cond_cell) override;
+  bool park(sync::WaitNode& node, std::uint32_t expected,
+            std::uint64_t deadline_ns, std::uint64_t spin_ns) override;
+  void unpark(sync::WaitNode& node) override;
   [[nodiscard]] bool is_alive(std::uint32_t pid) const override;
 
   void charge_send_fixed() override;

@@ -163,6 +163,21 @@ class Simulator {
                      std::uint64_t timeout_ns, RobustOp* op = nullptr);
   void cond_notify_all(const void* cond_cell);
 
+  // ---- virtual one-claimant parks (keyed by wait-node address) ---------
+  /// Block the current process until park_wake(node_cell) fires or
+  /// `timeout_ns` of virtual time passes (~0 = untimed); returns false on
+  /// timeout.  Called with no virtual mutex held.  A parked process is
+  /// simply Blocked — it consumes zero virtual CPU and cannot perturb the
+  /// conductor's min-(clock, id) order, and FaultPlan kills landing during
+  /// the park are delivered by the same timed-promotion path as condition
+  /// sleeps, so replays stay bit-identical.  The wait queue rides on the
+  /// condition map keyed by the WaitNode's address: each node has at most
+  /// one waiter, so a park_wake transfers the baton to exactly that
+  /// process (no herd to thunder).
+  bool park_wait(const void* node_cell, std::uint64_t timeout_ns);
+  /// Wake the (at most one) process parked on `node_cell`; no-op if none.
+  void park_wake(const void* node_cell);
+
   // ---- fault injection -------------------------------------------------
   /// Install a fault plan; applied when run() starts.  Faults fire only at
   /// sim points, so a given (workload, plan) replays bit-identically.

@@ -89,9 +89,17 @@ class EventCount {
         continue;
       }
       // Sleep stage: clip each nap to the time remaining so expiry lands
-      // on the deadline, not a sleep-quantum boundary past it.
+      // on the deadline, not a sleep-quantum boundary past it — but round
+      // sub-tick remainders *up* to the policy floor.  nanosleep (and a
+      // coarse simulated clock) resolve in ticks: a remainder smaller than
+      // one tick would otherwise sleep zero ticks, re-read a clock that
+      // has not advanced, and either spin on sub-tick naps or report a
+      // timeout one tick early (a deadline 1 ns past a tick boundary must
+      // not expire at the boundary).  Oversleeping is harmless — the loop
+      // top re-checks the clock before declaring a timeout.
       const std::uint64_t remaining = deadline_ns - now_ns;
-      const std::uint64_t nap = sleep_ns < remaining ? sleep_ns : remaining;
+      std::uint64_t nap = sleep_ns < remaining ? sleep_ns : remaining;
+      if (nap < policy.sleep_min_ns) nap = policy.sleep_min_ns;
       timespec ts{static_cast<time_t>(nap / 1'000'000'000),
                   static_cast<long>(nap % 1'000'000'000)};
       ::nanosleep(&ts, nullptr);

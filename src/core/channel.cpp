@@ -18,6 +18,8 @@ std::size_t round_pow2(std::size_t v) {
 /// lock, no descriptor walk (vs ~3 ms for the general LNVC path).
 constexpr double kChannelFixedOps = 150;
 
+constexpr std::uint64_t kNoDeadline = ~std::uint64_t{0};
+
 }  // namespace
 
 std::size_t Channel::footprint(std::size_t ring_bytes) noexcept {
@@ -59,36 +61,23 @@ void Channel::read_wrapped(std::uint64_t pos, void* dst,
   std::memcpy(static_cast<std::byte*>(dst) + first, ring(), len - first);
 }
 
-bool Channel::send(std::span<const std::byte> payload) {
-  const std::size_t record = kLenBytes + payload.size();
-  if (record > header_->capacity / 2) return false;
-  platform_->charge_ops(kChannelFixedOps);
-  const std::uint64_t tail = header_->tail.load(std::memory_order_relaxed);
-  // Wait for room (SPSC: only the consumer moves head).
-  while (tail + record -
-             header_->head.load(std::memory_order_acquire) >
-         header_->capacity) {
-    platform_->yield();
-  }
-  const auto len32 = static_cast<std::uint32_t>(payload.size());
-  write_wrapped(tail, &len32, kLenBytes);
-  write_wrapped(tail + kLenBytes, payload.data(), payload.size());
-  platform_->charge_copy(payload.size(), 0);
-  header_->tail.store(tail + record, std::memory_order_release);
-  return true;
-}
-
-Status Channel::send_for(std::span<const std::byte> payload,
-                         std::uint64_t timeout_ns) {
+Status Channel::send_impl(std::span<const std::byte> payload,
+                          std::uint64_t timeout_ns) {
   const std::size_t record = kLenBytes + payload.size();
   if (record > header_->capacity / 2) return Status::invalid_argument;
   platform_->charge_ops(kChannelFixedOps);
-  std::uint64_t deadline = platform_->now_ns() + timeout_ns;
-  if (deadline < timeout_ns) deadline = ~std::uint64_t{0};  // saturate
+  std::uint64_t deadline = kNoDeadline;
+  if (timeout_ns != kNoDeadline) {
+    deadline = platform_->now_ns() + timeout_ns;
+    if (deadline < timeout_ns) deadline = kNoDeadline;  // saturate
+  }
   const std::uint64_t tail = header_->tail.load(std::memory_order_relaxed);
+  // Wait for room (SPSC: only the consumer moves head).
   while (tail + record - header_->head.load(std::memory_order_acquire) >
          header_->capacity) {
-    if (platform_->now_ns() >= deadline) return Status::timed_out;
+    if (deadline != kNoDeadline && platform_->now_ns() >= deadline) {
+      return Status::timed_out;
+    }
     platform_->yield();
   }
   const auto len32 = static_cast<std::uint32_t>(payload.size());
@@ -97,6 +86,15 @@ Status Channel::send_for(std::span<const std::byte> payload,
   platform_->charge_copy(payload.size(), 0);
   header_->tail.store(tail + record, std::memory_order_release);
   return Status::ok;
+}
+
+bool Channel::send(std::span<const std::byte> payload) {
+  return send_impl(payload, kNoDeadline) == Status::ok;
+}
+
+Status Channel::send_for(std::span<const std::byte> payload,
+                         std::uint64_t timeout_ns) {
+  return send_impl(payload, timeout_ns);
 }
 
 bool Channel::ready() const noexcept {

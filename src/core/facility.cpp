@@ -249,6 +249,8 @@ Facility Facility::create(const Config& config, shm::Region& region,
   hdr->lnvc_quota_blocks = c.lnvc_quota_blocks;
   hdr->lnvc_quota_slabs = c.lnvc_quota_slabs;
   hdr->admission_policy = static_cast<std::uint32_t>(c.admission_policy);
+  hdr->lockfree_fcfs = c.lockfree_fcfs ? 1 : 0;
+  hdr->park_spin_ns = c.park_spin_ns;
 
   hdr->magic = detail::kFacilityMagic;  // published last
   return Facility(arena, hdr, platform);
@@ -393,6 +395,10 @@ Status Facility::open_common(ProcessId pid, std::string_view name,
   if (status != Status::ok && d->n_senders + d->n_fcfs + d->n_bcast == 0) {
     destroy_lnvc(pid, *d);
   }
+  // Any connection change invalidates cached fast-path validations (a
+  // joining BROADCAST receiver, in particular, must stop in-flight CAS
+  // pushes before it can miss a fan-out).
+  update_fast_state(*d);
   platform_->unlock(d->lock);
   platform_->unlock(header_->registry_lock);
   reap_if_dead(pid, dead);
@@ -472,6 +478,10 @@ Status Facility::close_common(ProcessId pid, LnvcId id, bool sender) {
     destroy_lnvc(pid, *d);
   } else {
     reclaim(pid, *d);
+    // The departed connection invalidates cached fast-path validations
+    // (the closer itself must not CAS-push on a connection it just shed),
+    // and a leaving BROADCAST receiver may restore eligibility.
+    update_fast_state(*d);
     // Receivers blocked on this LNVC may need to reconsider (e.g. the
     // closing process was expected to send).
     platform_->notify_all(d->cond);
@@ -498,6 +508,21 @@ Status Facility::close_receive(ProcessId pid, LnvcId id) {
 }
 
 void Facility::destroy_lnvc(ProcessId pid, detail::LnvcDesc& d) {
+  if (header_->lockfree_fcfs != 0) {
+    // Seal the fast path, then drain — in that order.  The seq_cst total
+    // order gives the Dekker guarantee: a CAS push whose post-push
+    // validation read the pre-seal word landed before the drain's head
+    // snapshot, so the drain splices (and the walk below frees) it; a
+    // push that lands after the snapshot reads the sealed word and
+    // reconciles under the lock instead of trusting its cache.  Sealing
+    // also wakes parked receivers so they observe the death.  Everything
+    // up to here mutates nothing destroy must finish — a death at the
+    // wake's platform call leaves an intact circuit for repair_lnvc.
+    const std::uint64_t old = d.fast_state.load(std::memory_order_relaxed);
+    d.fast_state.store(((old >> 1) + 1) << 1, std::memory_order_seq_cst);
+    if ((old & 1) != 0) rpark_wake(d, d.generation, /*all=*/true);
+    drain_injection(d);
+  }
   shm::Offset m_off = d.msg_head.off;
   // Journal the retained FIFO, then detach it and kill the slot with no
   // intervening platform call: at every subsequent suspension point the
@@ -567,6 +592,11 @@ Status Facility::set_admission(ProcessId pid, LnvcId id,
   d->quota_blocks = quota_blocks;
   d->quota_slabs = quota_slabs;
   d->policy = static_cast<std::uint32_t>(policy);
+  // A nonzero quota disqualifies the CAS path (pushes bypass admission);
+  // lifting it back to 0/0 restores eligibility.  Drain first so messages
+  // already pushed under the old validation land on the ledger.
+  if (header_->lockfree_fcfs != 0) drain_injection(*d);
+  update_fast_state(*d);
   platform_->unlock(d->lock);
   // A loosened (or lifted) quota may admit senders parked under the old
   // one.
@@ -580,6 +610,9 @@ std::size_t Facility::queued(LnvcId id) const {
   detail::LnvcDesc* d = slot(id);
   if (d == nullptr) return 0;
   self->platform_->lock(d->lock);
+  if (header_->lockfree_fcfs != 0 && d->in_use != 0) {
+    self->drain_injection(*d);  // count in-flight fast pushes too
+  }
   const std::size_t n = d->in_use ? d->n_queued : 0;
   self->platform_->unlock(d->lock);
   return n;
@@ -615,6 +648,7 @@ Status Facility::lnvc_info(LnvcId id, LnvcInfo* out) const {
     self->platform_->unlock(d->lock);
     return Status::no_such_lnvc;
   }
+  if (header_->lockfree_fcfs != 0) self->drain_injection(*d);
   out->id = id;
   out->name.assign(d->name, ::strnlen(d->name, detail::kNameMax));
   out->senders = d->n_senders;
@@ -637,8 +671,51 @@ Status Facility::lnvc_info(LnvcId id, LnvcInfo* out) const {
   out->hw_slabs = d->hw_slabs;
   out->policy = static_cast<AdmissionPolicy>(d->policy);
   out->parked = d->park_waiters.load(std::memory_order_relaxed);
+  out->parked_receivers = 0;
+  const auto gen = d->generation;
+  for (ProcessId p = 0; p < header_->max_processes; ++p) {
+    const detail::ProcSlot& q = pslot(p);
+    if (q.rpark_active.load(std::memory_order_acquire) != 0 &&
+        q.rpark_lnvc.load(std::memory_order_relaxed) ==
+            static_cast<std::uint32_t>(id) &&
+        q.rpark_gen.load(std::memory_order_relaxed) == gen) {
+      ++out->parked_receivers;
+    }
+  }
   self->platform_->unlock(d->lock);
   return Status::ok;
+}
+
+std::vector<ParkedInfo> Facility::parked_infos() const {
+  // Advisory snapshot (mpf_inspect --parked): membership flags are read
+  // lock-free, exactly as wakers read them, so a row may already be on its
+  // way out — fine for a diagnostic tool.
+  std::vector<ParkedInfo> infos;
+  for (ProcessId p = 0; p < header_->max_processes; ++p) {
+    const detail::ProcSlot& q = pslot(p);
+    if (q.park_active.load(std::memory_order_acquire) != 0) {
+      ParkedInfo info;
+      info.pid = p;
+      info.id = static_cast<LnvcId>(q.park_lnvc);
+      info.receiver = false;
+      info.ticket = q.park_ticket;
+      info.node_epoch = q.park_node.epoch.load(std::memory_order_relaxed);
+      info.alive = process_alive(p);
+      infos.push_back(info);
+    }
+    if (q.rpark_active.load(std::memory_order_acquire) != 0) {
+      ParkedInfo info;
+      info.pid = p;
+      info.id =
+          static_cast<LnvcId>(q.rpark_lnvc.load(std::memory_order_relaxed));
+      info.receiver = true;
+      info.ticket = q.rpark_ticket.load(std::memory_order_relaxed);
+      info.node_epoch = q.park_node.epoch.load(std::memory_order_relaxed);
+      info.alive = process_alive(p);
+      infos.push_back(info);
+    }
+  }
+  return infos;
 }
 
 std::vector<LnvcInfo> Facility::lnvc_infos() const {
@@ -701,6 +778,12 @@ FacilityStats Facility::stats() const {
   s.sends_timed_out =
       header_->sends_timed_out.load(std::memory_order_relaxed);
   s.quota_parks = header_->quota_parks.load(std::memory_order_relaxed);
+  s.parks = header_->parks.load(std::memory_order_relaxed);
+  s.wakes = header_->wakes.load(std::memory_order_relaxed);
+  s.spurious_wakes = header_->spurious_wakes.load(std::memory_order_relaxed);
+  s.lockfree_fast_sends =
+      header_->lockfree_fast_sends.load(std::memory_order_relaxed);
+  s.any_rescans = header_->any_rescans.load(std::memory_order_relaxed);
   s.slabs_total = header_->slabs_total;
   const detail::SlabPool* sp = slab_pools();
   const detail::NodeStats* ns = node_stats();

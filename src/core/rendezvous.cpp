@@ -4,65 +4,68 @@
 
 namespace mpf {
 
-void Rendezvous::send(std::span<const std::byte> payload) {
+namespace {
+constexpr std::uint64_t kNoDeadline = ~std::uint64_t{0};
+}  // namespace
+
+bool Rendezvous::await_state(std::uint32_t want, std::uint64_t deadline_ns) {
+  Platform& p = *platform_;
+  RendezvousCell& c = *cell_;
+  while (c.state != want) {
+    if (deadline_ns == kNoDeadline) {
+      p.wait(c.lock, c.cond);
+      continue;
+    }
+    const std::uint64_t now = p.now_ns();
+    if (now >= deadline_ns) return false;
+    p.wait_for(c.lock, c.cond, deadline_ns - now);
+  }
+  return true;
+}
+
+Status Rendezvous::send_impl(std::span<const std::byte> payload,
+                             std::uint64_t deadline_ns) {
   Platform& p = *platform_;
   RendezvousCell& c = *cell_;
   p.lock(c.lock);
-  // One offer at a time: wait for the slot to be idle.
-  while (c.state != 0) p.wait(c.lock, c.cond);
+  // Phase 1: one offer at a time — wait for the slot to be idle.  Nothing
+  // to roll back yet on a deadline.
+  if (!await_state(0, deadline_ns)) {
+    p.unlock(c.lock);
+    return Status::timed_out;
+  }
   c.state = 1;
   c.length = static_cast<std::uint32_t>(payload.size());
   c.sender_buf = payload.data();
   p.notify_all(c.cond);
-  // Block until a receiver has completed the direct copy (synchronous
-  // semantics: the send buffer may be reused as soon as send() returns).
-  while (c.state != 2) p.wait(c.lock, c.cond);
+  // Phase 2: block until a receiver has completed the direct copy
+  // (synchronous semantics: the send buffer may be reused as soon as the
+  // send returns).  Receivers copy and flip the state to 2 while holding
+  // the cell lock, so observing state == 1 here (lock held) means no copy
+  // is in progress and an expired offer can be withdrawn safely.
+  if (!await_state(2, deadline_ns)) {
+    c.state = 0;
+    c.sender_buf = nullptr;
+    p.notify_all(c.cond);  // admit the next offer
+    p.unlock(c.lock);
+    return Status::timed_out;
+  }
   c.state = 0;
   c.sender_buf = nullptr;
   p.notify_all(c.cond);  // admit the next offer
   p.unlock(c.lock);
+  return Status::ok;
+}
+
+void Rendezvous::send(std::span<const std::byte> payload) {
+  send_impl(payload, kNoDeadline);
 }
 
 Status Rendezvous::send_for(std::span<const std::byte> payload,
                             std::uint64_t timeout_ns) {
-  Platform& p = *platform_;
-  RendezvousCell& c = *cell_;
-  std::uint64_t deadline = p.now_ns() + timeout_ns;
-  if (deadline < timeout_ns) deadline = ~std::uint64_t{0};  // saturate
-  p.lock(c.lock);
-  // Phase 1: wait for the slot, bounded.  Nothing to roll back yet.
-  while (c.state != 0) {
-    const std::uint64_t now = p.now_ns();
-    if (now >= deadline) {
-      p.unlock(c.lock);
-      return Status::timed_out;
-    }
-    p.wait_for(c.lock, c.cond, deadline - now);
-  }
-  c.state = 1;
-  c.length = static_cast<std::uint32_t>(payload.size());
-  c.sender_buf = payload.data();
-  p.notify_all(c.cond);
-  // Phase 2: wait for a receiver, bounded.  Receivers copy and flip the
-  // state to 2 while holding the cell lock, so observing state == 1 here
-  // (lock held) means no copy is in progress and the offer can be
-  // withdrawn safely.
-  while (c.state != 2) {
-    const std::uint64_t now = p.now_ns();
-    if (now >= deadline) {
-      c.state = 0;
-      c.sender_buf = nullptr;
-      p.notify_all(c.cond);  // admit the next offer
-      p.unlock(c.lock);
-      return Status::timed_out;
-    }
-    p.wait_for(c.lock, c.cond, deadline - now);
-  }
-  c.state = 0;
-  c.sender_buf = nullptr;
-  p.notify_all(c.cond);
-  p.unlock(c.lock);
-  return Status::ok;
+  std::uint64_t deadline = platform_->now_ns() + timeout_ns;
+  if (deadline < timeout_ns) deadline = kNoDeadline;  // saturate
+  return send_impl(payload, deadline);
 }
 
 std::size_t Rendezvous::receive(std::span<std::byte> buffer,
@@ -70,7 +73,7 @@ std::size_t Rendezvous::receive(std::span<std::byte> buffer,
   Platform& p = *platform_;
   RendezvousCell& c = *cell_;
   p.lock(c.lock);
-  while (c.state != 1) p.wait(c.lock, c.cond);
+  await_state(1, kNoDeadline);
   if (truncated != nullptr) *truncated = c.length > buffer.size();
   const std::size_t copy = std::min<std::size_t>(c.length, buffer.size());
   std::memcpy(buffer.data(), c.sender_buf, copy);

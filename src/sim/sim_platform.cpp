@@ -54,6 +54,36 @@ bool SimPlatform::wait_for(sync::SpinLock& mutex_cell,
   return sim_->cond_wait_for(&mutex_cell, &cond_cell, timeout_ns, op);
 }
 
+bool SimPlatform::park(sync::WaitNode& node, std::uint32_t expected,
+                       std::uint64_t deadline_ns, std::uint64_t spin_ns) {
+  if (Simulator::current() == nullptr) {
+    return sync::Parker::park(node, expected, deadline_ns, spin_ns);
+  }
+  // The spin phase is a real-hardware latency dodge; under the virtual
+  // clock the park itself is free, so go straight to the wait resource.
+  (void)spin_ns;
+  for (;;) {
+    if (node.epoch.load(std::memory_order_acquire) != expected) return true;
+    std::uint64_t timeout = ~std::uint64_t{0};
+    if (deadline_ns != sync::kNoParkDeadline) {
+      const std::uint64_t now = sim_->now();
+      if (now >= deadline_ns) return false;
+      timeout = deadline_ns - now;
+    }
+    if (!sim_->park_wait(&node.epoch, timeout)) {
+      // Timed out — but an unpark may have bumped the epoch at exactly the
+      // promotion instant; the epoch is the source of truth.
+      return node.epoch.load(std::memory_order_acquire) != expected;
+    }
+  }
+}
+
+void SimPlatform::unpark(sync::WaitNode& node) {
+  node.epoch.fetch_add(1, std::memory_order_seq_cst);
+  if (Simulator::current() == nullptr) return;
+  sim_->park_wake(&node.epoch);
+}
+
 bool SimPlatform::is_alive(std::uint32_t pid) const {
   return sim_->process_alive(static_cast<int>(pid));
 }

@@ -598,6 +598,52 @@ void Simulator::cond_notify_all(const void* cond_cell) {
   reschedule(lk, self);
 }
 
+bool Simulator::park_wait(const void* node_cell, std::uint64_t timeout_ns) {
+  Process* self = current_checked();
+  if (self == nullptr) return true;
+  std::unique_lock<std::mutex> lk(mu_);
+  // Like cond_wait_for but with no mutex to release and a single waiter:
+  // the node's queue holds at most this process.
+  if (trace_ != nullptr) {
+    trace_->record(self->clock_, self->id_, TraceKind::cond_sleep, timeout_ns);
+  }
+  conds_[node_cell].waiters.push_back(self);
+  if (timeout_ns != ~std::uint64_t{0}) {
+    self->timed_ = true;
+    self->timed_out_ = false;
+    self->wake_at_ = self->clock_ + timeout_ns;
+  }
+  self->waiting_cond_ = node_cell;
+  self->state_ = Process::State::Blocked;
+  reschedule(lk, self);
+  const bool notified = !self->timed_out_;
+  self->timed_ = false;
+  self->timed_out_ = false;
+  self->waiting_cond_ = nullptr;
+  if (notified) self->clock_ += static_cast<Time>(model_.wake_ns);
+  if (trace_ != nullptr) {
+    trace_->record(self->clock_, self->id_, TraceKind::cond_wake,
+                   notified ? 1 : 0);
+  }
+  self->state_ = Process::State::Runnable;
+  reschedule(lk, self);
+  return notified;
+}
+
+void Simulator::park_wake(const void* node_cell) {
+  Process* self = current_checked();
+  if (self == nullptr) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = conds_.find(node_cell);
+  if (it != conds_.end() && !it->second.waiters.empty()) {
+    Process* w = it->second.waiters.front();
+    it->second.waiters.pop_front();
+    wake(w, self->clock_);
+  }
+  self->state_ = Process::State::Runnable;
+  reschedule(lk, self);
+}
+
 void Simulator::charge_copy(std::uint64_t bytes, std::uint64_t nblocks) {
   charge_copy_numa(bytes, nblocks, 0, 0, 0);
 }

@@ -1,0 +1,133 @@
+// Parker: futex(2) backend with a portable poll/nap fallback.
+//
+// The spin phase runs first in both backends — a hand-off that lands
+// within Config::park_spin_ns never touches the kernel.  After that the
+// Linux path FUTEX_WAITs on the epoch word itself (process-shared: no
+// FUTEX_PRIVATE_FLAG, the node lives in the mapped arena), so a parked
+// process costs zero CPU until Parker::wake FUTEX_WAKEs it.  The fallback
+// reuses the EventCount escalation shape: yields, then exponentially
+// growing naps clipped to the deadline.
+#include "mpf/sync/parker.hpp"
+
+#include <chrono>
+#include <ctime>
+
+#include "mpf/sync/backoff.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace mpf::sync {
+
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+#if defined(__linux__)
+long futex_call(const std::atomic<std::uint32_t>* cell, int op,
+                std::uint32_t val, const timespec* timeout) noexcept {
+  // The cast is sound: std::atomic<uint32_t> is lock-free and layout
+  // compatible with the futex word (static_assert in the header keeps the
+  // node at exactly 4 bytes).
+  return ::syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(cell), op,
+                   val, timeout, nullptr, 0);
+}
+#endif
+
+}  // namespace
+
+bool Parker::has_futex() noexcept {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool Parker::park(const WaitNode& node, std::uint32_t expected,
+                  std::uint64_t deadline_ns, std::uint64_t spin_ns) noexcept {
+  // Phase 1: spin.  Same rationale as EventCount's hot window — pipeline
+  // hand-offs complete at nanosecond cadence and must not pay a syscall.
+  if (spin_ns != 0) {
+    const std::uint64_t spin_until = steady_now_ns() + spin_ns;
+    Backoff backoff;
+    const BackoffPolicy policy;
+    do {
+      if (node.epoch.load(std::memory_order_acquire) != expected) return true;
+      if (backoff.rounds() >= policy.spin_limit) backoff.reset();
+      backoff.pause();
+    } while (steady_now_ns() < spin_until);
+  }
+
+#if defined(__linux__)
+  // Phase 2 (futex): block on the epoch word.  FUTEX_WAIT re-checks the
+  // word under the kernel's bucket lock, so a wake racing the final user
+  // space check cannot be lost.
+  for (;;) {
+    if (node.epoch.load(std::memory_order_acquire) != expected) return true;
+    timespec ts;
+    timespec* timeout = nullptr;
+    if (deadline_ns != kNoParkDeadline) {
+      const std::uint64_t now_ns = steady_now_ns();
+      if (now_ns >= deadline_ns) {
+        return node.epoch.load(std::memory_order_acquire) != expected;
+      }
+      const std::uint64_t remaining = deadline_ns - now_ns;
+      ts.tv_sec = static_cast<time_t>(remaining / 1'000'000'000);
+      ts.tv_nsec = static_cast<long>(remaining % 1'000'000'000);
+      timeout = &ts;
+    }
+    const long rc = futex_call(&node.epoch, FUTEX_WAIT, expected, timeout);
+    if (rc == -1 && errno == ETIMEDOUT) {
+      return node.epoch.load(std::memory_order_acquire) != expected;
+    }
+    // EAGAIN (word already moved), EINTR (signal), or a wake: loop and
+    // re-check the epoch.
+  }
+#else
+  // Phase 2 (portable): yield, then nap with exponential backoff clipped
+  // to the deadline.  Naps never shrink below the policy floor — see
+  // EventCount::wait_deadline for the sub-tick round-up argument.
+  const BackoffPolicy policy;
+  Backoff backoff;
+  std::uint64_t sleep_ns = policy.sleep_min_ns;
+  for (;;) {
+    if (node.epoch.load(std::memory_order_acquire) != expected) return true;
+    const std::uint64_t now_ns = steady_now_ns();
+    if (deadline_ns != kNoParkDeadline && now_ns >= deadline_ns) return false;
+    if (backoff.rounds() < policy.spin_limit + policy.yield_limit) {
+      backoff.pause();
+      continue;
+    }
+    std::uint64_t nap = sleep_ns;
+    if (deadline_ns != kNoParkDeadline) {
+      const std::uint64_t remaining = deadline_ns - now_ns;
+      if (nap > remaining) nap = remaining;
+      if (nap < policy.sleep_min_ns) nap = policy.sleep_min_ns;
+    }
+    timespec ts{static_cast<time_t>(nap / 1'000'000'000),
+                static_cast<long>(nap % 1'000'000'000)};
+    ::nanosleep(&ts, nullptr);
+    sleep_ns = sleep_ns * 2 > policy.sleep_max_ns ? policy.sleep_max_ns
+                                                  : sleep_ns * 2;
+  }
+#endif
+}
+
+void Parker::wake(WaitNode& node) noexcept {
+  node.epoch.fetch_add(1, std::memory_order_seq_cst);
+#if defined(__linux__)
+  futex_call(&node.epoch, FUTEX_WAKE, 1, nullptr);
+#endif
+}
+
+}  // namespace mpf::sync

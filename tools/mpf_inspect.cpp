@@ -207,6 +207,39 @@ void dump_quotas(const mpf::Facility& facility) {
   }
 }
 
+void dump_parked(const mpf::Facility& facility) {
+  const mpf::FacilityStats stats = facility.stats();
+  std::printf(
+      "parking: backend=%s, %llu parks, %llu wakes, %llu spurious, "
+      "%llu lock-free fast sends, %llu any rescans\n",
+      mpf::sync::Parker::has_futex() ? "futex" : "fallback",
+      static_cast<unsigned long long>(stats.parks),
+      static_cast<unsigned long long>(stats.wakes),
+      static_cast<unsigned long long>(stats.spurious_wakes),
+      static_cast<unsigned long long>(stats.lockfree_fast_sends),
+      static_cast<unsigned long long>(stats.any_rescans));
+  const auto parked = facility.parked_infos();
+  if (parked.empty()) {
+    std::printf("no parked processes\n");
+    return;
+  }
+  std::printf("%5s %4s %9s %10s %11s %6s\n", "pid", "lnvc", "role", "ticket",
+              "node_epoch", "alive");
+  for (const auto& p : parked) {
+    std::printf("%5u %4d %9s %10llu %11u %6s\n", p.pid, p.id,
+                p.receiver ? "receiver" : "sender",
+                static_cast<unsigned long long>(p.ticket), p.node_epoch,
+                p.alive ? "yes" : "NO");
+  }
+  // Per-circuit parked counts round out the picture.
+  for (const auto& info : facility.lnvc_infos()) {
+    if (info.parked == 0 && info.parked_receivers == 0) continue;
+    std::printf("lnvc %d (%s): %u parked senders, %u parked receivers\n",
+                info.id, info.name.c_str(), info.parked,
+                info.parked_receivers);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -222,6 +255,8 @@ int main(int argc, char** argv) {
                  "placement counters\n"
                  "  --quotas     report per-LNVC admission quotas, ledger "
                  "occupancy and parked senders\n"
+                 "  --parked     report parked processes (quota senders + "
+                 "lock-free FCFS receivers) and wait-node state\n"
                  "  --reap pid   run the recovery sweep for a dead "
                  "participant\n",
                  argv[0]);
@@ -231,6 +266,7 @@ int main(int argc, char** argv) {
   bool orphans = false;
   bool nodes = false;
   bool quotas = false;
+  bool parked = false;
   int reap_pid = -1;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--watch") == 0 && i + 1 < argc) {
@@ -241,6 +277,8 @@ int main(int argc, char** argv) {
       nodes = true;
     } else if (std::strcmp(argv[i], "--quotas") == 0) {
       quotas = true;
+    } else if (std::strcmp(argv[i], "--parked") == 0) {
+      parked = true;
     } else if (std::strcmp(argv[i], "--reap") == 0 && i + 1 < argc) {
       reap_pid = std::atoi(argv[++i]);
     } else {
@@ -271,6 +309,8 @@ int main(int argc, char** argv) {
         dump_nodes(facility);
       } else if (quotas) {
         dump_quotas(facility);
+      } else if (parked) {
+        dump_parked(facility);
       } else {
         dump(facility);
       }

@@ -67,6 +67,40 @@ def check_figure(name, ref, new, tolerance):
     return failures
 
 
+def delta_stats(ref, new):
+    """(worst, best, n) signed fractional deltas over the shared points.
+
+    Latency-style series are sign-flipped so that negative always means
+    "got worse" and positive always means "got better", whichever way the
+    series gates."""
+    worst = best = None
+    n = 0
+    ref_points = load_points(ref)
+    new_points = load_points(new)
+    for key, ref_y in ref_points.items():
+        if key not in new_points or ref_y == 0:
+            continue
+        delta = (new_points[key] - ref_y) / ref_y
+        if lower_is_better(key[0]):
+            delta = -delta
+        n += 1
+        worst = delta if worst is None else min(worst, delta)
+        best = delta if best is None else max(best, delta)
+    return worst, best, n
+
+
+def print_delta_table(rows):
+    """Per-bench summary: worst/best point delta vs the reference."""
+    header = "%-22s %7s %8s %8s  %s" % (
+        "bench", "points", "worst", "best", "status")
+    print("perf_gate: " + header)
+    print("perf_gate: " + "-" * len(header))
+    for name, worst, best, n, ok in rows:
+        fmt = lambda d: "-" if d is None else "%+.1f%%" % (d * 100)
+        print("perf_gate: %-22s %7d %8s %8s  %s"
+              % (name, n, fmt(worst), fmt(best), "ok" if ok else "FAIL"))
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench-dir", required=True,
@@ -80,6 +114,7 @@ def main(argv):
     args = parser.parse_args(argv)
 
     failures = []
+    table = []
     for pair in args.pairs:
         try:
             binary, ref_name = pair.split(":", 1)
@@ -117,7 +152,10 @@ def main(argv):
         status = "FAIL" if figure_failures else "ok"
         print("perf_gate: %s vs %s: %s (%d ref points)"
               % (binary, ref_name, status, len(load_points(ref))))
+        worst, best, n = delta_stats(ref, new)
+        table.append((binary, worst, best, n, not figure_failures))
 
+    print_delta_table(table)
     for failure in failures:
         print("perf_gate: REGRESSION %s" % failure, file=sys.stderr)
     return 1 if failures else 0
