@@ -402,6 +402,10 @@ class Facility {
   void set_platform(Platform& p) noexcept { platform_ = &p; }
 
  private:
+  /// White-box invariant checker (invariants.hpp): the single sanctioned
+  /// way for tests and tools to reach the raw arena structures.
+  friend class InvariantOracle;
+
   Facility(shm::Arena arena, detail::FacilityHeader* header,
            Platform& platform)
       : arena_(arena), header_(header), platform_(&platform) {}

@@ -36,12 +36,18 @@ struct FaultPlan {
   /// Seed-derived random plan (SplitMix64): between 1 and `max_kills`
   /// distinct victims from [first_victim, nprocs), each killed by a
   /// randomly chosen trigger within `horizon_ns`.  At least one process
-  /// always survives.  The same (seed, nprocs, max_kills, horizon_ns,
-  /// first_victim) tuple yields the same plan on every platform.
+  /// always survives.  With `max_pauses > 0`, up to that many additional
+  /// processes (picked from the same range, possibly overlapping the
+  /// victims) get a pause window inside the horizon — a frozen process
+  /// stresses the suspicion/seizure paths without dying.  The same
+  /// argument tuple yields the same plan on every platform; passing
+  /// max_pauses = 0 reproduces the historical kill-only plans bit for
+  /// bit.
   [[nodiscard]] static FaultPlan random(std::uint64_t seed, int nprocs,
                                         int max_kills,
                                         std::uint64_t horizon_ns,
-                                        int first_victim = 0);
+                                        int first_victim = 0,
+                                        int max_pauses = 0);
 };
 
 }  // namespace mpf::sim

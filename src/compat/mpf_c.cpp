@@ -7,11 +7,7 @@
 
 #include "mpf/core/facility.hpp"
 #include "mpf/shm/region.hpp"
-
-/* The opaque C view handle wraps the C++ view object. */
-struct mpf_view {
-  mpf::MsgView v;
-};
+#include "view_handle.hpp"
 
 namespace {
 
@@ -202,7 +198,13 @@ int mpf_view_release(int process_id, mpf_view* view) {
   if (process_id < 0 || view == nullptr) return MPF_EINVAL;
   const mpf::Status s =
       f->release_view(static_cast<mpf::ProcessId>(process_id), &view->v);
-  if (s == mpf::Status::ok) delete view;
+  /* A stale or already-released view comes back invalid_argument; the
+   * facility no longer tracks it, so keeping the heap wrapper alive only
+   * leaks it.  Free the wrapper on any terminal outcome: the caller must
+   * treat the handle as consumed whenever this returns 0 or MPF_EINVAL. */
+  if (s == mpf::Status::ok || s == mpf::Status::invalid_argument) {
+    delete view;
+  }
   return status_code(s);
 }
 

@@ -1,0 +1,11 @@
+// Definition of the opaque C view handle (mpf.h's `mpf_view`).  Lives in
+// its own header so whitebox tests can construct handles and exercise the
+// release-path ownership rules; C callers only ever see the opaque
+// forward declaration.
+#pragma once
+
+#include "mpf/core/facility.hpp"
+
+struct mpf_view {
+  mpf::MsgView v;
+};

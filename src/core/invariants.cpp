@@ -1,0 +1,639 @@
+// Invariant oracle (DESIGN.md §13): every global invariant the facility's
+// correctness argument rests on, checked against a live arena.
+//
+// The checks mirror the authoritative recomputations recovery already
+// performs — repair_lnvc's head-walk for (msg_tail, fcfs_head, n_queued)
+// and the quota ledger, block_audit for conservation — plus the structural
+// facts no repair path recomputes because they are never supposed to break
+// (chain shapes, sequence monotonicity, connection counts, park membership
+// vs. waiter counters, view/pin pairing).
+//
+// Locking: one descriptor lock at a time, exactly like block_audit.  The
+// quota journals, park membership and connection lists of a circuit are
+// all mutated under its descriptor lock, so each per-circuit snapshot is
+// internally consistent even on a live arena.  Cross-circuit facts
+// (conservation, quiescence of process slots) are only exact when the
+// caller guarantees quiescence.
+#include "mpf/core/invariants.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mpf/shm/arena.hpp"
+
+namespace mpf {
+
+namespace {
+
+/// Blocks a chain message of `len` bytes occupies (mirror of the sender's
+/// sizing in lnvc.cpp).
+std::size_t blocks_needed(std::size_t len, std::uint32_t payload) {
+  return payload == 0 ? 0 : (len + payload - 1) / payload;
+}
+
+std::string format_u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+const char* invariant_name(Invariant c) noexcept {
+  switch (c) {
+    case Invariant::conservation:
+      return "conservation";
+    case Invariant::fifo:
+      return "fifo";
+    case Invariant::ledger:
+      return "ledger";
+    case Invariant::parking:
+      return "parking";
+    case Invariant::views:
+      return "views";
+    case Invariant::quiescence:
+      return "quiescence";
+  }
+  return "unknown";
+}
+
+std::string InvariantReport::summary() const {
+  std::string out;
+  for (const InvariantViolation& v : violations) {
+    out += invariant_name(v.cls);
+    if (v.id != kInvalidLnvc) {
+      out += " lnvc=";
+      out += format_u64(v.id);
+    }
+    if (v.pid != ~ProcessId{0}) {
+      out += " pid=";
+      out += format_u64(v.pid);
+    }
+    out += ": ";
+    out += v.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+detail::FacilityHeader& InvariantOracle::header(const Facility& f) {
+  return *f.header_;
+}
+
+detail::LnvcDesc& InvariantOracle::lnvc(const Facility& f, LnvcId id) {
+  return f.table()[id];
+}
+
+detail::ProcSlot& InvariantOracle::proc(const Facility& f, ProcessId pid) {
+  return f.pslot(pid);
+}
+
+detail::MsgHeader* InvariantOracle::msg_at(const Facility& f,
+                                           shm::Offset off) {
+  return off == shm::kNullOffset
+             ? nullptr
+             : static_cast<detail::MsgHeader*>(f.arena_.raw(off));
+}
+
+namespace {
+
+/// Snapshot of one FIFO-linked message, taken under the descriptor lock.
+struct MsgSnap {
+  shm::Offset off = shm::kNullOffset;
+  std::uint32_t nblocks = 0;
+  std::uint32_t flags = 0;
+  std::uint32_t pins = 0;
+  std::uint32_t fcfs_consumed = 0;
+  std::uint32_t bcast_remaining = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t length = 0;
+  /// Broadcast claims still owed per the receivers' cursors.
+  std::uint32_t expected_bcast = 0;
+  LnvcId id = kInvalidLnvc;
+  std::uint32_t gen = 0;
+};
+
+struct Checker {
+  const Facility& f;
+  detail::FacilityHeader& h;
+  bool quiescent;
+  InvariantReport rep;
+  /// Every message linked into a live FIFO (offset -> snapshot index).
+  std::unordered_map<shm::Offset, std::size_t> fifo_index;
+  std::vector<MsgSnap> msgs;
+
+  void fail(Invariant cls, LnvcId id, ProcessId pid, std::string detail) {
+    rep.violations.push_back(InvariantViolation{cls, id, pid,
+                                                std::move(detail)});
+  }
+  void fail(Invariant cls, LnvcId id, std::string detail) {
+    fail(cls, id, ~ProcessId{0}, std::move(detail));
+  }
+  void fail_global(Invariant cls, std::string detail) {
+    fail(cls, kInvalidLnvc, ~ProcessId{0}, std::move(detail));
+  }
+};
+
+}  // namespace
+
+InvariantReport InvariantOracle::check(const Facility& f, bool quiescent) {
+  auto* self = const_cast<Facility*>(&f);
+  detail::FacilityHeader& h = *f.header_;
+  Checker c{f, h, quiescent, {}, {}, {}};
+  c.rep.quiescent = quiescent;
+
+  const std::uint64_t msg_cap = h.msgs_total + 2;  // cycle guard
+  detail::LnvcDesc* table = f.table();
+  std::unordered_map<std::string, LnvcId> names;
+
+  for (std::uint32_t uid = 0; uid < h.max_lnvcs; ++uid) {
+    const auto id = static_cast<LnvcId>(uid);
+    detail::LnvcDesc& d = table[id];
+    self->platform_->lock(d.lock);
+    if (d.in_use == 0) {
+      if (h.lockfree_fcfs == 0 &&
+          d.inject_head.load(std::memory_order_seq_cst) != shm::kNullOffset) {
+        c.fail(Invariant::fifo, id,
+               "injection stack non-empty with lockfree_fcfs off");
+      }
+      self->platform_->unlock(d.lock);
+      continue;
+    }
+    ++c.rep.circuits_checked;
+
+    // Name: NUL-terminated, non-empty, unique among live circuits.
+    if (std::memchr(d.name, 0, detail::kNameMax + 1) == nullptr) {
+      c.fail(Invariant::fifo, id, "name not NUL-terminated");
+    } else if (d.name[0] == '\0') {
+      c.fail(Invariant::fifo, id, "live circuit with empty name");
+    } else {
+      auto [it, fresh] = names.emplace(d.name, id);
+      if (!fresh) {
+        c.fail(Invariant::fifo, id,
+               std::string("duplicate live name '") + d.name +
+                   "' (also lnvc " + format_u64(it->second) + ")");
+      }
+    }
+
+    // --- FIFO walk: chain shapes, seq order, derived fields -------------
+    const std::size_t first_snap = c.msgs.size();
+    std::uint64_t walked = 0;
+    shm::Offset last = shm::kNullOffset;
+    shm::Offset first_unconsumed = shm::kNullOffset;
+    std::uint32_t unconsumed = 0;
+    std::uint64_t prev_seq = 0;
+    bool have_prev_seq = false;
+    std::uint32_t fifo_blocks = 0;
+    std::uint32_t fifo_slabs = 0;
+    for (shm::Offset off = d.msg_head.off; off != shm::kNullOffset;) {
+      if (++walked > msg_cap) {
+        c.fail(Invariant::fifo, id, "FIFO walk exceeds msgs_total (cycle)");
+        break;
+      }
+      auto* m = static_cast<detail::MsgHeader*>(f.arena_.raw(off));
+      MsgSnap s;
+      s.off = off;
+      s.nblocks = m->nblocks;
+      s.flags = m->flags;
+      s.pins = m->pins;
+      s.fcfs_consumed = m->fcfs_consumed;
+      s.bcast_remaining = m->bcast_remaining.load(std::memory_order_acquire);
+      s.seq = m->seq;
+      s.length = m->length;
+      s.id = id;
+      s.gen = d.generation;
+      c.fifo_index.emplace(off, c.msgs.size());
+      c.msgs.push_back(s);
+      ++c.rep.messages_checked;
+
+      if ((m->flags & detail::MsgHeader::kDetached) != 0) {
+        c.fail(Invariant::views, id,
+               "detached message still linked in FIFO (seq " +
+                   format_u64(m->seq) + ")");
+      }
+      if ((m->flags & detail::MsgHeader::kSlab) != 0) {
+        ++fifo_slabs;
+        if (m->nblocks != 0) {
+          c.fail(Invariant::fifo, id,
+                 "slab message with nblocks=" + format_u64(m->nblocks));
+        }
+        if (m->first_block == shm::kNullOffset ||
+            m->first_block != m->last_block) {
+          c.fail(Invariant::fifo, id, "slab message chain pointers broken");
+        }
+        if (h.slab_bytes != 0 && m->length > h.slab_bytes) {
+          c.fail(Invariant::fifo, id,
+                 "slab message longer than an extent (len " +
+                     format_u64(m->length) + ")");
+        }
+      } else {
+        fifo_blocks += m->nblocks;
+        const std::size_t need = blocks_needed(m->length, h.block_payload);
+        if (m->nblocks != need) {
+          c.fail(Invariant::fifo, id,
+                 "chain message len " + format_u64(m->length) + " has " +
+                     format_u64(m->nblocks) + " blocks, expected " +
+                     format_u64(need));
+        }
+        // Walk the chain exactly nblocks links; the last must be
+        // last_block and the links must not run out early.
+        shm::Offset b = m->first_block;
+        std::uint32_t n = 0;
+        while (b != shm::kNullOffset && n < m->nblocks) {
+          ++n;
+          if (n == m->nblocks) break;
+          b = static_cast<const detail::Block*>(f.arena_.raw(b))->next;
+        }
+        if (n != m->nblocks) {
+          c.fail(Invariant::fifo, id,
+                 "block chain shorter than nblocks (seq " +
+                     format_u64(m->seq) + ")");
+        } else if (m->nblocks > 0 && b != m->last_block) {
+          c.fail(Invariant::fifo, id,
+                 "last_block does not terminate the chain (seq " +
+                     format_u64(m->seq) + ")");
+        }
+        if (m->nblocks == 0 && m->first_block != shm::kNullOffset) {
+          c.fail(Invariant::fifo, id, "empty message with a block chain");
+        }
+      }
+      if (have_prev_seq && m->seq <= prev_seq) {
+        c.fail(Invariant::fifo, id,
+               "sequence not strictly increasing (" + format_u64(prev_seq) +
+                   " then " + format_u64(m->seq) + ")");
+      }
+      prev_seq = m->seq;
+      have_prev_seq = true;
+      if (m->seq >= d.seq_counter) {
+        c.fail(Invariant::fifo, id,
+               "message seq " + format_u64(m->seq) +
+                   " >= seq_counter " + format_u64(d.seq_counter));
+      }
+      if (m->fcfs_consumed == 0) {
+        if (first_unconsumed == shm::kNullOffset) first_unconsumed = off;
+        ++unconsumed;
+      }
+      last = off;
+      off = m->next_msg;
+    }
+    if (d.msg_tail.off != last) {
+      c.fail(Invariant::fifo, id,
+             "msg_tail " + format_u64(d.msg_tail.off) +
+                 " != last FIFO message " + format_u64(last));
+    }
+    if (d.fcfs_head.off != first_unconsumed) {
+      c.fail(Invariant::fifo, id,
+             "fcfs_head " + format_u64(d.fcfs_head.off) +
+                 " != first unconsumed message " +
+                 format_u64(first_unconsumed));
+    }
+    if (d.n_queued != unconsumed) {
+      c.fail(Invariant::fifo, id,
+             "n_queued " + format_u64(d.n_queued) + " != " +
+                 format_u64(unconsumed) + " unconsumed messages");
+    }
+
+    // --- connection list: counts, duplicates, broadcast cursors ---------
+    std::uint32_t senders = 0, fcfs = 0, bcast = 0;
+    std::uint64_t conn_walked = 0;
+    const std::uint64_t conn_cap =
+        static_cast<std::uint64_t>(h.max_processes) * 2 + 2;
+    std::unordered_set<std::uint64_t> conn_seen;  // pid * 2 + is_sender
+    for (shm::Offset off = d.connections.off; off != shm::kNullOffset;) {
+      if (++conn_walked > conn_cap) {
+        c.fail(Invariant::fifo, id, "connection list cycle");
+        break;
+      }
+      auto* conn = static_cast<detail::Connection*>(f.arena_.raw(off));
+      if (conn->process_id >= h.max_processes) {
+        c.fail(Invariant::fifo, id, conn->process_id,
+               "connection with out-of-range pid");
+        off = conn->next;
+        continue;
+      }
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(conn->process_id) * 2 +
+          (conn->is_sender() ? 1 : 0);
+      if (!conn_seen.insert(key).second) {
+        c.fail(Invariant::fifo, id, conn->process_id,
+               conn->is_sender() ? "duplicate send connection"
+                                 : "duplicate receive connection");
+      }
+      if (conn->is_sender()) {
+        ++senders;
+        if (conn->bcast_head != shm::kNullOffset) {
+          c.fail(Invariant::views, id, conn->process_id,
+                 "send connection with a broadcast cursor");
+        }
+      } else if (conn->is_fcfs()) {
+        ++fcfs;
+      } else if (conn->is_bcast()) {
+        ++bcast;
+        if (conn->bcast_head != shm::kNullOffset) {
+          auto it = c.fifo_index.find(conn->bcast_head);
+          if (it == c.fifo_index.end() || it->second < first_snap) {
+            c.fail(Invariant::views, id, conn->process_id,
+                   "broadcast cursor points outside the FIFO");
+          } else {
+            // Everything from the cursor to the tail is still owed to
+            // this receiver.
+            for (std::size_t i = it->second; i < c.msgs.size(); ++i) {
+              ++c.msgs[i].expected_bcast;
+            }
+          }
+        }
+      } else {
+        c.fail(Invariant::fifo, id, conn->process_id,
+               "connection with unknown kind " + format_u64(conn->kind));
+      }
+      off = conn->next;
+    }
+    if (d.n_senders != senders || d.n_fcfs != fcfs || d.n_bcast != bcast) {
+      c.fail(Invariant::fifo, id,
+             "connection counts (" + format_u64(d.n_senders) + "s/" +
+                 format_u64(d.n_fcfs) + "f/" + format_u64(d.n_bcast) +
+                 "b) != list (" + format_u64(senders) + "s/" +
+                 format_u64(fcfs) + "f/" + format_u64(bcast) + "b)");
+    }
+    if (d.n_senders > 0 && d.last_sender_died != 0) {
+      c.fail(Invariant::fifo, id,
+             "last_sender_died set while senders are connected");
+    }
+
+    // --- broadcast remaining vs. cursors (lower bound; exact at rest
+    // once armed views are folded in, below) -----------------------------
+    for (std::size_t i = first_snap; i < c.msgs.size(); ++i) {
+      if (c.msgs[i].bcast_remaining < c.msgs[i].expected_bcast) {
+        c.fail(Invariant::views, id,
+               "bcast_remaining " + format_u64(c.msgs[i].bcast_remaining) +
+                   " < " + format_u64(c.msgs[i].expected_bcast) +
+                   " cursors owed (seq " + format_u64(c.msgs[i].seq) + ")");
+      }
+    }
+
+    // --- injection stack / orphan list (lock-free tier) -----------------
+    if (h.lockfree_fcfs == 0) {
+      if (d.inject_head.load(std::memory_order_seq_cst) != shm::kNullOffset ||
+          d.orphan_head != shm::kNullOffset) {
+        c.fail(Invariant::fifo, id,
+               "injection state non-empty with lockfree_fcfs off");
+      }
+    } else {
+      std::uint64_t stack_walked = 0;
+      for (shm::Offset off = d.inject_head.load(std::memory_order_seq_cst);
+           off != shm::kNullOffset;) {
+        if (++stack_walked > msg_cap) {
+          c.fail(Invariant::fifo, id, "injection stack cycle");
+          break;
+        }
+        const auto* m =
+            static_cast<const detail::MsgHeader*>(f.arena_.raw(off));
+        if (m->src_pid >= h.max_processes) {
+          c.fail(Invariant::fifo, id, "injected message with bad src_pid");
+          break;
+        }
+        off = m->inject_next;
+      }
+      std::uint64_t orphan_walked = 0;
+      for (shm::Offset off = d.orphan_head; off != shm::kNullOffset;) {
+        if (++orphan_walked > msg_cap) {
+          c.fail(Invariant::fifo, id, "orphan list cycle");
+          break;
+        }
+        off = static_cast<const detail::MsgHeader*>(f.arena_.raw(off))
+                  ->next_msg;
+      }
+    }
+
+    // --- quota ledger ----------------------------------------------------
+    // Messages enqueued while the circuit was unlimited carry no charge
+    // and set_admission never recharges, so the recomputed cost is an
+    // upper bound, not an equality (repair_lnvc resets used to exactly
+    // this bound).  Armed reservation journals (charges whose message is
+    // not linked yet) are part of the bound; they arm/disarm only under
+    // this descriptor lock.
+    std::uint32_t journaled_blocks = 0;
+    std::uint32_t journaled_slabs = 0;
+    std::uint32_t parked_senders = 0;
+    std::uint32_t parked_receivers = 0;
+    for (ProcessId p = 0; p < h.max_processes; ++p) {
+      detail::ProcSlot& ps = f.pslot(p);
+      if (ps.q_active.load(std::memory_order_acquire) != 0 &&
+          ps.q_lnvc == uid && ps.q_gen == d.generation) {
+        journaled_blocks += ps.q_blocks;
+        journaled_slabs += ps.q_slabs;
+      }
+      if (ps.park_active.load(std::memory_order_acquire) != 0 &&
+          ps.park_lnvc == uid && ps.park_gen == d.generation) {
+        ++parked_senders;
+        if (ps.park_ticket >= d.park_next_ticket) {
+          c.fail(Invariant::parking, id, p,
+                 "park ticket " + format_u64(ps.park_ticket) +
+                     " >= park_next_ticket " +
+                     format_u64(d.park_next_ticket));
+        }
+      }
+      if (ps.rpark_active.load(std::memory_order_seq_cst) != 0 &&
+          ps.rpark_lnvc.load(std::memory_order_relaxed) == uid &&
+          ps.rpark_gen.load(std::memory_order_relaxed) == d.generation) {
+        ++parked_receivers;
+        if (ps.rpark_ticket.load(std::memory_order_relaxed) >=
+            d.rpark_next_ticket) {
+          c.fail(Invariant::parking, id, p, "rpark ticket out of range");
+        }
+      }
+    }
+    if (d.used_blocks > fifo_blocks + journaled_blocks) {
+      c.fail(Invariant::ledger, id,
+             "used_blocks " + format_u64(d.used_blocks) + " > " +
+                 format_u64(fifo_blocks) + " queued + " +
+                 format_u64(journaled_blocks) + " journaled");
+    }
+    if (d.used_slabs > fifo_slabs + journaled_slabs) {
+      c.fail(Invariant::ledger, id,
+             "used_slabs " + format_u64(d.used_slabs) + " > " +
+                 format_u64(fifo_slabs) + " queued + " +
+                 format_u64(journaled_slabs) + " journaled");
+    }
+    if (d.hw_blocks < d.used_blocks || d.hw_slabs < d.used_slabs) {
+      c.fail(Invariant::ledger, id, "high-water mark below used");
+    }
+
+    // --- park/rpark: counters vs. membership -----------------------------
+    // A waiter decrements the counter after clearing its membership flag,
+    // so live the counter is an upper bound; at rest both must be zero.
+    const std::uint32_t pw = d.park_waiters.load(std::memory_order_seq_cst);
+    const std::uint32_t rw = d.rpark_waiters.load(std::memory_order_seq_cst);
+    if (pw < parked_senders) {
+      c.fail(Invariant::parking, id,
+             "park_waiters " + format_u64(pw) + " < " +
+                 format_u64(parked_senders) + " parked members");
+    }
+    if (rw < parked_receivers) {
+      c.fail(Invariant::parking, id,
+             "rpark_waiters " + format_u64(rw) + " < " +
+                 format_u64(parked_receivers) + " parked members");
+    }
+    if (quiescent) {
+      if (parked_senders != 0 || pw != 0) {
+        c.fail(Invariant::parking, id,
+               "parked senders at quiescence (" +
+                   format_u64(parked_senders) + " members, waiters " +
+                   format_u64(pw) + ")");
+      }
+      if (parked_receivers != 0 || rw != 0) {
+        c.fail(Invariant::parking, id,
+               "parked receivers at quiescence (" +
+                   format_u64(parked_receivers) + " members, waiters " +
+                   format_u64(rw) + ")");
+      }
+    }
+    self->platform_->unlock(d.lock);
+  }
+
+  // --- view tables: pins and broadcast claims --------------------------
+  // Armed views are published with release stores and only the owner (or
+  // its reaper) disarms them; the per-message comparison is exact only at
+  // rest, when no claim or release is mid-flight.
+  std::unordered_map<shm::Offset, std::uint32_t> view_pins;
+  std::unordered_map<shm::Offset, std::uint32_t> view_bcast;
+  for (ProcessId p = 0; p < h.max_processes; ++p) {
+    detail::ProcSlot& ps = f.pslot(p);
+    for (std::uint32_t vi = 0; vi < detail::kMaxViews; ++vi) {
+      const detail::ViewSlot& v = ps.views[vi];
+      if (v.active.load(std::memory_order_acquire) !=
+          detail::ViewSlot::kArmed) {
+        continue;
+      }
+      if (v.msg == shm::kNullOffset || v.lnvc_id >= h.max_lnvcs) {
+        c.fail(Invariant::views, kInvalidLnvc, p,
+               "armed view slot with invalid operands");
+        continue;
+      }
+      ++view_pins[v.msg];
+      if (v.bcast != 0) ++view_bcast[v.msg];
+      if (quiescent) {
+        auto it = c.fifo_index.find(v.msg);
+        const auto* m =
+            static_cast<const detail::MsgHeader*>(f.arena_.raw(v.msg));
+        const bool detached =
+            (m->flags & detail::MsgHeader::kDetached) != 0;
+        if (it == c.fifo_index.end() && !detached) {
+          c.fail(Invariant::views, v.lnvc_id, p,
+                 "armed view names a message in no FIFO and not detached");
+        } else if (it != c.fifo_index.end() &&
+                   static_cast<std::uint32_t>(c.msgs[it->second].id) !=
+                       v.lnvc_id) {
+          c.fail(Invariant::views, v.lnvc_id, p,
+                 "armed view names a message queued on lnvc " +
+                     format_u64(c.msgs[it->second].id));
+        }
+        if (detached && m->pins == 0) {
+          c.fail(Invariant::views, v.lnvc_id, p,
+                 "detached message with zero pins");
+        }
+      }
+    }
+  }
+  if (quiescent) {
+    // With no copy-out in flight, every pin is an armed view and every
+    // outstanding broadcast claim is a cursor or a held broadcast view.
+    for (const MsgSnap& s : c.msgs) {
+      auto it = view_pins.find(s.off);
+      const std::uint32_t pinned =
+          it == view_pins.end() ? 0 : it->second;
+      if (s.pins != pinned) {
+        c.fail(Invariant::views, s.id,
+               "message seq " + format_u64(s.seq) + " has pins " +
+                   format_u64(s.pins) + " but " + format_u64(pinned) +
+                   " armed views");
+      }
+      auto bit = view_bcast.find(s.off);
+      const std::uint32_t bviews =
+          bit == view_bcast.end() ? 0 : bit->second;
+      if (s.bcast_remaining != s.expected_bcast + bviews) {
+        c.fail(Invariant::views, s.id,
+               "message seq " + format_u64(s.seq) + " bcast_remaining " +
+                   format_u64(s.bcast_remaining) + " != " +
+                   format_u64(s.expected_bcast) + " cursors + " +
+                   format_u64(bviews) + " held broadcast views");
+      }
+    }
+  }
+
+  // --- process-slot quiescence -----------------------------------------
+  if (quiescent) {
+    for (ProcessId p = 0; p < h.max_processes; ++p) {
+      detail::ProcSlot& ps = f.pslot(p);
+      const std::uint32_t st = ps.state.load(std::memory_order_acquire);
+      if (st == detail::ProcSlot::kDead) {
+        c.fail(Invariant::quiescence, kInvalidLnvc, p,
+               "dead process not reaped");
+      }
+      if (ps.op.load(std::memory_order_acquire) !=
+          static_cast<std::uint32_t>(detail::JournalOp::none)) {
+        c.fail(Invariant::quiescence, kInvalidLnvc, p,
+               "armed intent journal (op " +
+                   format_u64(ps.op.load(std::memory_order_relaxed)) + ")");
+      }
+      if (ps.fm_stage.load(std::memory_order_acquire) != 0) {
+        c.fail(Invariant::quiescence, kInvalidLnvc, p,
+               "armed free_message record");
+      }
+      if (ps.q_active.load(std::memory_order_acquire) != 0) {
+        c.fail(Invariant::quiescence, kInvalidLnvc, p,
+               "armed quota reservation journal");
+      }
+      if (ps.slab != shm::kNullOffset) {
+        c.fail(Invariant::quiescence, kInvalidLnvc, p,
+               "slab extent still journaled in hand");
+      }
+      if (ps.refill_count != 0 || ps.refill_msg_count != 0) {
+        c.fail(Invariant::quiescence, kInvalidLnvc, p,
+               "refill batch still in the hand-off window");
+      }
+      if (ps.park_active.load(std::memory_order_acquire) != 0 ||
+          ps.rpark_active.load(std::memory_order_acquire) != 0) {
+        c.fail(Invariant::quiescence, kInvalidLnvc, p,
+               "process still parked");
+      }
+      if (ps.in_exhaustion.load(std::memory_order_acquire) != 0 ||
+          ps.in_activity.load(std::memory_order_acquire) != 0) {
+        c.fail(Invariant::quiescence, kInvalidLnvc, p,
+               "process still registered on a monitor");
+      }
+    }
+    if (h.exhaustion_waiters.load(std::memory_order_acquire) != 0) {
+      c.fail_global(Invariant::quiescence,
+                    "exhaustion_waiters non-zero at rest");
+    }
+    if (h.activity_waiters.load(std::memory_order_acquire) != 0) {
+      c.fail_global(Invariant::quiescence,
+                    "activity_waiters non-zero at rest");
+    }
+  }
+
+  // --- conservation -----------------------------------------------------
+  const BlockAudit audit = f.block_audit();
+  if (!audit.consistent()) {
+    c.fail_global(
+        Invariant::conservation,
+        "block ledger: free " + format_u64(audit.blocks_free) + " + cached " +
+            format_u64(audit.blocks_cached) + " + queued " +
+            format_u64(audit.blocks_queued) + " + journaled " +
+            format_u64(audit.blocks_journaled) + " != total " +
+            format_u64(audit.blocks_total) + "; slab ledger: free " +
+            format_u64(audit.slabs_free) + " + queued " +
+            format_u64(audit.slabs_queued) + " + journaled " +
+            format_u64(audit.slabs_journaled) + " != total " +
+            format_u64(audit.slabs_total));
+  }
+  if (quiescent && audit.in_flight() != 0) {
+    c.fail_global(Invariant::conservation,
+                  format_u64(audit.in_flight()) +
+                      " blocks in flight at rest (none attributable to a "
+                      "pool, FIFO, or journal)");
+  }
+
+  return c.rep;
+}
+
+}  // namespace mpf

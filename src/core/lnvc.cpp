@@ -1183,7 +1183,19 @@ Status Facility::claim_message(ProcessId pid, LnvcId id, bool blocking,
         // Claim the oldest unconsumed message for this FCFS receiver.
         m = arena_.get(d->fcfs_head);
         m->fcfs_consumed = 1;
-        d->fcfs_head = shm::Ref<detail::MsgHeader>{m->next_msg};
+        // Advance to the next *unconsumed* message, not blindly to
+        // next_msg: under reclaim_broadcast_only a message enqueued while
+        // the circuit had no FCFS receiver is born consumed, and parking
+        // the cursor on it would let reclaim() free the message under the
+        // cursor — the next claim would then deliver recycled storage.
+        shm::Offset n_off = m->next_msg;
+        while (n_off != shm::kNullOffset) {
+          const auto* n =
+              static_cast<const detail::MsgHeader*>(arena_.raw(n_off));
+          if (n->fcfs_consumed == 0) break;
+          n_off = n->next_msg;
+        }
+        d->fcfs_head = shm::Ref<detail::MsgHeader>{n_off};
         --d->n_queued;
         bcast = false;
       }

@@ -22,7 +22,8 @@ struct SplitMix64 {
 }  // namespace
 
 FaultPlan FaultPlan::random(std::uint64_t seed, int nprocs, int max_kills,
-                            std::uint64_t horizon_ns, int first_victim) {
+                            std::uint64_t horizon_ns, int first_victim,
+                            int max_pauses) {
   FaultPlan plan;
   if (nprocs <= 0 || max_kills <= 0 || first_victim >= nprocs) return plan;
   SplitMix64 rng(seed);
@@ -57,6 +58,26 @@ FaultPlan FaultPlan::random(std::uint64_t seed, int nprocs, int max_kills,
         break;
     }
     plan.actions.push_back(a);
+  }
+  // Pause windows are drawn after (and independently of) the kill set, so
+  // enabling them never perturbs which processes die for a given seed.
+  if (max_pauses > 0 && horizon_ns > 0) {
+    const int pauses =
+        static_cast<int>(rng.next() % (static_cast<std::uint64_t>(max_pauses) + 1));
+    for (int i = 0; i < pauses; ++i) {
+      FaultAction a;
+      a.kind = FaultAction::Kind::pause;
+      a.process = std::max(first_victim, 0) +
+                  static_cast<int>(rng.next() %
+                                   static_cast<std::uint64_t>(
+                                       nprocs - std::max(first_victim, 0)));
+      a.at_ns = rng.next() % horizon_ns;
+      // Freeze for up to a quarter horizon: long enough to trip the
+      // suspicion threshold in small configs, short enough that the run
+      // still terminates well inside the schedule budget.
+      a.resume_at_ns = a.at_ns + 1 + rng.next() % (horizon_ns / 4 + 1);
+      plan.actions.push_back(a);
+    }
   }
   return plan;
 }

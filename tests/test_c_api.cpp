@@ -10,6 +10,10 @@
 #include "mpf/compat/mpf.h"
 #include "mpf/core/errors.hpp"
 
+// Whitebox: the opaque handle's definition, so tests can duplicate one
+// and drive the release path's ownership rules.
+#include "../src/compat/view_handle.hpp"
+
 namespace {
 
 struct CApi : ::testing::Test {
@@ -111,6 +115,43 @@ TEST_F(CApi, CloseSemantics) {
 
 TEST(CApiRecovery, ReapRequiresInit) {
   EXPECT_EQ(mpf_reap(0, 1), MPF_ENOTINIT);
+}
+
+TEST_F(CApi, ViewRoundTripAndSpans) {
+  const int tx = mpf_open_send(0, "conv");
+  const int rx = mpf_open_receive(1, "conv", MPF_FCFS);
+  ASSERT_GE(tx, 0);
+  ASSERT_EQ(mpf_message_send(0, tx, "viewed", 6), 0);
+  mpf_view* view = nullptr;
+  ASSERT_EQ(mpf_message_view(1, rx, &view), 0);
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(mpf_view_length(view), 6);
+  mpf_iovec spans[4];
+  const int n = mpf_view_spans(view, spans, 4);
+  ASSERT_GT(n, 0);
+  std::string got;
+  for (int i = 0; i < n && i < 4; ++i) {
+    got.append(static_cast<const char*>(spans[i].data), spans[i].len);
+  }
+  EXPECT_EQ(got, "viewed");
+  EXPECT_EQ(mpf_view_release(1, view), 0);
+}
+
+TEST_F(CApi, ViewDoubleReleaseConsumesHandle) {
+  const int tx = mpf_open_send(0, "conv");
+  const int rx = mpf_open_receive(1, "conv", MPF_FCFS);
+  ASSERT_GE(tx, 0);
+  ASSERT_EQ(mpf_message_send(0, tx, "viewed", 6), 0);
+  mpf_view* view = nullptr;
+  ASSERT_EQ(mpf_message_view(1, rx, &view), 0);
+  // A caller double-tracking the view ends up releasing it twice.  The
+  // second release must report MPF_EINVAL and still free the wrapper:
+  // it used to leak on every non-ok status (caught by LeakSanitizer).
+  mpf_view* dup = new mpf_view{view->v};
+  ASSERT_EQ(mpf_view_release(1, view), 0);
+  EXPECT_EQ(mpf_view_release(1, dup), MPF_EINVAL);
+  // A handle that was never armed is consumed the same way.
+  EXPECT_EQ(mpf_view_release(1, new mpf_view{}), MPF_EINVAL);
 }
 
 TEST_F(CApi, ReapValidatesArguments) {

@@ -1,0 +1,192 @@
+// Invariant-oracle tests (DESIGN.md §13): a clean facility passes both
+// strictness levels, and a targeted corruption of each structure class is
+// reported under the right Invariant enumerator.  The corruptions go
+// through InvariantOracle's white-box accessors against a scratch heap
+// arena — never through the public API, which by construction cannot
+// produce them.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mpf/benchlib/fuzz.hpp"
+#include "mpf/core/facility.hpp"
+#include "mpf/core/invariants.hpp"
+#include "mpf/shm/region.hpp"
+
+namespace {
+
+using namespace mpf;
+
+struct InvariantsTest : ::testing::Test {
+  Config config = [] {
+    Config c;
+    c.max_lnvcs = 8;
+    c.max_processes = 8;
+    c.block_payload = 10;  // small blocks: every send chains
+    c.message_blocks = 2048;
+    return c;
+  }();
+  shm::HeapRegion region{config.derived_arena_bytes()};
+  Facility f{Facility::create(config, region)};
+
+  LnvcId open_pair(const std::string& name) {
+    LnvcId tx = kInvalidLnvc;
+    LnvcId rx = kInvalidLnvc;
+    EXPECT_EQ(f.open_send(0, name, &tx), Status::ok);
+    EXPECT_EQ(f.open_receive(1, name, Protocol::fcfs, &rx), Status::ok);
+    EXPECT_EQ(tx, rx);
+    return tx;
+  }
+  void send_bytes(LnvcId id, std::size_t len) {
+    std::string payload(len, 'x');
+    ASSERT_EQ(f.send(0, id, payload.data(), payload.size()), Status::ok);
+  }
+
+  /// True when some violation of class `cls` mentions `needle`.
+  static bool reported(const InvariantReport& rep, Invariant cls,
+                       const std::string& needle) {
+    for (const InvariantViolation& v : rep.violations) {
+      if (v.cls == cls && v.detail.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+TEST_F(InvariantsTest, CleanFacilityPassesBothLevels) {
+  const LnvcId id = open_pair("conv");
+  send_bytes(id, 25);
+  send_bytes(id, 4);
+  char buf[32];
+  std::size_t got = 0;
+  ASSERT_EQ(f.receive(1, id, buf, sizeof buf, &got), Status::ok);
+
+  InvariantReport live = InvariantOracle::check(f, /*quiescent=*/false);
+  EXPECT_TRUE(live.ok()) << live.summary();
+  InvariantReport rest = InvariantOracle::check(f, /*quiescent=*/true);
+  EXPECT_TRUE(rest.ok()) << rest.summary();
+  EXPECT_GE(rest.circuits_checked, 1u);
+  EXPECT_GE(rest.messages_checked, 1u);  // one message still queued
+}
+
+TEST_F(InvariantsTest, QueueCountCorruptionIsFifoViolation) {
+  const LnvcId id = open_pair("conv");
+  send_bytes(id, 12);
+  detail::LnvcDesc& d = InvariantOracle::lnvc(f, id);
+  ++d.n_queued;
+  InvariantReport rep = InvariantOracle::check(f, /*quiescent=*/false);
+  EXPECT_TRUE(reported(rep, Invariant::fifo, "n_queued")) << rep.summary();
+  --d.n_queued;
+}
+
+TEST_F(InvariantsTest, SequenceCorruptionIsFifoViolation) {
+  const LnvcId id = open_pair("conv");
+  send_bytes(id, 12);
+  send_bytes(id, 12);
+  detail::LnvcDesc& d = InvariantOracle::lnvc(f, id);
+  detail::MsgHeader* first = InvariantOracle::msg_at(f, d.msg_head.off);
+  ASSERT_NE(first, nullptr);
+  detail::MsgHeader* second = InvariantOracle::msg_at(f, first->next_msg);
+  ASSERT_NE(second, nullptr);
+  const std::uint64_t saved = second->seq;
+  second->seq = first->seq;  // duplicate: order no longer strict
+  InvariantReport rep = InvariantOracle::check(f, /*quiescent=*/false);
+  EXPECT_TRUE(reported(rep, Invariant::fifo, "strictly increasing"))
+      << rep.summary();
+  second->seq = saved;
+}
+
+TEST_F(InvariantsTest, LedgerCorruptionIsLedgerViolation) {
+  const LnvcId id = open_pair("conv");
+  send_bytes(id, 12);
+  detail::LnvcDesc& d = InvariantOracle::lnvc(f, id);
+  const std::uint32_t saved = d.used_blocks;
+  d.used_blocks = saved + 7;  // charges nobody can account for
+  InvariantReport rep = InvariantOracle::check(f, /*quiescent=*/false);
+  EXPECT_TRUE(reported(rep, Invariant::ledger, "used_blocks"))
+      << rep.summary();
+  d.used_blocks = saved;
+}
+
+TEST_F(InvariantsTest, PhantomParkedSenderIsParkingViolation) {
+  const LnvcId id = open_pair("conv");
+  detail::LnvcDesc& d = InvariantOracle::lnvc(f, id);
+  detail::ProcSlot& ps = InvariantOracle::proc(f, 3);
+  ps.park_lnvc = static_cast<std::uint32_t>(id);
+  ps.park_gen = d.generation;
+  ps.park_ticket = 5;  // >= park_next_ticket: never issued
+  ps.park_active.store(1, std::memory_order_release);
+  InvariantReport rep = InvariantOracle::check(f, /*quiescent=*/false);
+  EXPECT_TRUE(reported(rep, Invariant::parking, "park ticket"))
+      << rep.summary();
+  EXPECT_TRUE(reported(rep, Invariant::parking, "park_waiters"))
+      << rep.summary();
+  ps.park_active.store(0, std::memory_order_release);
+}
+
+TEST_F(InvariantsTest, PinCorruptionIsViewsViolation) {
+  const LnvcId id = open_pair("conv");
+  send_bytes(id, 12);
+  MsgView view;
+  bool ready = false;
+  ASSERT_EQ(f.try_receive_view(1, id, &view, &ready), Status::ok);
+  ASSERT_TRUE(ready);
+  detail::MsgHeader* m = InvariantOracle::msg_at(f, view.msg);
+  ASSERT_NE(m, nullptr);
+  ++m->pins;  // one armed view, two pins
+  InvariantReport rep = InvariantOracle::check(f, /*quiescent=*/true);
+  EXPECT_TRUE(reported(rep, Invariant::views, "armed views"))
+      << rep.summary();
+  --m->pins;
+  EXPECT_EQ(f.release_view(1, &view), Status::ok);
+}
+
+TEST_F(InvariantsTest, DeadUnreapedProcessIsQuiescenceViolation) {
+  open_pair("conv");
+  f.declare_dead(1);
+  InvariantReport rep = InvariantOracle::check(f, /*quiescent=*/true);
+  EXPECT_TRUE(reported(rep, Invariant::quiescence, "dead process not reaped"))
+      << rep.summary();
+  // The live-arena level does not demand reaped processes.
+  InvariantReport live = InvariantOracle::check(f, /*quiescent=*/false);
+  EXPECT_TRUE(live.ok()) << live.summary();
+  ASSERT_EQ(f.reap(0, 1), Status::ok);
+  InvariantReport after = InvariantOracle::check(f, /*quiescent=*/true);
+  EXPECT_TRUE(after.ok()) << after.summary();
+}
+
+TEST_F(InvariantsTest, BlockCountCorruptionBreaksConservation) {
+  const LnvcId id = open_pair("conv");
+  send_bytes(id, 35);  // 4 blocks at block_payload = 10
+  detail::LnvcDesc& d = InvariantOracle::lnvc(f, id);
+  detail::MsgHeader* m = InvariantOracle::msg_at(f, d.msg_head.off);
+  ASSERT_NE(m, nullptr);
+  ASSERT_GT(m->nblocks, 1u);
+  const std::uint32_t saved = m->nblocks;
+  --m->nblocks;  // a block vanishes from the queued-side ledger
+  InvariantReport rep = InvariantOracle::check(f, /*quiescent=*/false);
+  EXPECT_TRUE(reported(rep, Invariant::conservation, "block ledger"))
+      << rep.summary();
+  m->nblocks = saved;
+}
+
+// End-to-end: a fuzz case (random schedule, kills enabled, oracle at
+// every round barrier) runs oracle-clean.  This is the same harness the
+// fuzz ctest label drives at scale; one pinned case keeps the coupling
+// tested from the default suite too.
+TEST(InvariantsFuzz, ChaosScheduleRunsOracleClean) {
+  benchlib::FuzzParams p;
+  p.seed = 5;
+  p.procs = 6;
+  p.rounds = 2;
+  p.ops = 16;
+  p.max_kills = 1;
+  p.max_pauses = 0;
+  const benchlib::FuzzResult r = benchlib::run_fuzz_case(p);
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_GE(r.oracle_checks, 2u);
+  EXPECT_GT(r.receives, 0u);
+}
+
+}  // namespace

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "mpf/core/facility.hpp"
+#include "mpf/core/invariants.hpp"
 #include "mpf/shm/region.hpp"
 
 namespace {
@@ -258,7 +259,9 @@ int main(int argc, char** argv) {
                  "  --parked     report parked processes (quota senders + "
                  "lock-free FCFS receivers) and wait-node state\n"
                  "  --reap pid   run the recovery sweep for a dead "
-                 "participant\n",
+                 "participant\n"
+                 "  --check      run the invariant oracle (live-arena "
+                 "strictness) and exit non-zero on any violation\n",
                  argv[0]);
     return 2;
   }
@@ -267,6 +270,7 @@ int main(int argc, char** argv) {
   bool nodes = false;
   bool quotas = false;
   bool parked = false;
+  bool check = false;
   int reap_pid = -1;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--watch") == 0 && i + 1 < argc) {
@@ -279,6 +283,8 @@ int main(int argc, char** argv) {
       quotas = true;
     } else if (std::strcmp(argv[i], "--parked") == 0) {
       parked = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
     } else if (std::strcmp(argv[i], "--reap") == 0 && i + 1 < argc) {
       reap_pid = std::atoi(argv[++i]);
     } else {
@@ -301,6 +307,20 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("reaped process %d\n", reap_pid);
+    }
+    if (check) {
+      // Live-arena strictness: the facility keeps running, so only the
+      // always-true invariants are asserted (see invariants.hpp).
+      const mpf::InvariantReport report =
+          mpf::InvariantOracle::check(facility, /*quiescent=*/false);
+      std::printf("checked %zu circuits, %zu messages\n",
+                  report.circuits_checked, report.messages_checked);
+      if (!report.ok()) {
+        std::fputs(report.summary().c_str(), stdout);
+        return 1;
+      }
+      std::printf("all invariants hold\n");
+      return 0;
     }
     for (;;) {
       if (orphans) {

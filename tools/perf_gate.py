@@ -47,6 +47,14 @@ def check_figure(name, ref, new, tolerance):
     missing = sorted(set(ref_points) - set(new_points))
     for key in missing:
         failures.append("%s: point %r disappeared" % (name, key))
+    # A point the bench now emits but the reference lacks is a schema
+    # drift the gate cannot judge: the reference must be regenerated, not
+    # silently narrowed to its stale intersection.
+    appeared = sorted(set(new_points) - set(ref_points))
+    for key in appeared:
+        failures.append(
+            "%s: point %r appeared (not in reference; regenerate it)"
+            % (name, key))
     for key, ref_y in sorted(ref_points.items()):
         if key not in new_points:
             continue
@@ -59,6 +67,16 @@ def check_figure(name, ref, new, tolerance):
                     "%s: %s @ x=%g rose %.6g -> %.6g (limit %.6g)"
                     % (name, label, x, ref_y, new_y, limit))
         else:
+            if ref_y <= 0:
+                # limit would be <= 0 and every non-negative y would
+                # pass, including a total collapse.  A throughput-style
+                # reference of zero gives the gate no floor — reject the
+                # reference instead of passing vacuously.
+                failures.append(
+                    "%s: %s @ x=%g has non-positive reference %.6g "
+                    "(gate has no floor; fix the reference)"
+                    % (name, label, x, ref_y))
+                continue
             limit = ref_y * (1 - tolerance)
             if new_y < limit:
                 failures.append(

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Unit tests for perf_gate.py's comparison rules (stdlib only).
+
+Run directly or under ctest; no bench binaries are involved — the rules
+are exercised on hand-built figure dicts.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from perf_gate import check_figure, delta_stats, lower_is_better
+
+
+def figure(*series):
+    """figure dict from (label, [(x, y), ...]) pairs."""
+    return {"series": [{"label": label, "points": pts}
+                       for label, pts in series]}
+
+
+class CheckFigureTest(unittest.TestCase):
+    def test_identical_figures_pass(self):
+        ref = figure(("throughput", [(1, 100.0), (2, 200.0)]))
+        self.assertEqual(check_figure("b", ref, ref, 0.10), [])
+
+    def test_throughput_drop_beyond_tolerance_fails(self):
+        ref = figure(("throughput", [(1, 100.0)]))
+        new = figure(("throughput", [(1, 80.0)]))
+        failures = check_figure("b", ref, new, 0.10)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("fell", failures[0])
+
+    def test_throughput_drop_within_tolerance_passes(self):
+        ref = figure(("throughput", [(1, 100.0)]))
+        new = figure(("throughput", [(1, 95.0)]))
+        self.assertEqual(check_figure("b", ref, new, 0.10), [])
+
+    def test_latency_rise_beyond_tolerance_fails(self):
+        ref = figure(("p99 latency", [(1, 10.0)]))
+        new = figure(("p99 latency", [(1, 12.0)]))
+        failures = check_figure("b", ref, new, 0.10)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("rose", failures[0])
+
+    def test_latency_drop_passes(self):
+        ref = figure(("p99 latency", [(1, 10.0)]))
+        new = figure(("p99 latency", [(1, 1.0)]))
+        self.assertEqual(check_figure("b", ref, new, 0.10), [])
+
+    def test_disappeared_point_fails(self):
+        ref = figure(("throughput", [(1, 100.0), (2, 200.0)]))
+        new = figure(("throughput", [(1, 100.0)]))
+        failures = check_figure("b", ref, new, 0.10)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("disappeared", failures[0])
+
+    def test_appeared_point_fails(self):
+        # Regression guard: new points used to be silently ignored, so a
+        # bench whose x-axis drifted compared only the stale overlap.
+        ref = figure(("throughput", [(1, 100.0)]))
+        new = figure(("throughput", [(1, 100.0), (2, 50.0)]))
+        failures = check_figure("b", ref, new, 0.10)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("appeared", failures[0])
+
+    def test_zero_reference_throughput_fails_instead_of_vacuous_pass(self):
+        # Regression guard: ref_y == 0 made limit == 0, so even a bench
+        # that collapsed to zero output passed the gate.
+        ref = figure(("throughput", [(1, 0.0)]))
+        new = figure(("throughput", [(1, 0.0)]))
+        failures = check_figure("b", ref, new, 0.10)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("non-positive reference", failures[0])
+
+    def test_zero_reference_latency_still_gates(self):
+        # lower-is-better keeps a meaningful limit at ref 0: any rise
+        # fails, staying at zero passes.
+        ref = figure(("p99 latency", [(1, 0.0)]))
+        self.assertEqual(check_figure("b", ref, ref, 0.10), [])
+        new = figure(("p99 latency", [(1, 1.0)]))
+        self.assertEqual(len(check_figure("b", ref, new, 0.10)), 1)
+
+    def test_multiple_series_gate_independently(self):
+        ref = figure(("throughput", [(1, 100.0)]),
+                     ("p99 latency", [(1, 10.0)]))
+        new = figure(("throughput", [(1, 50.0)]),
+                     ("p99 latency", [(1, 30.0)]))
+        failures = check_figure("b", ref, new, 0.10)
+        self.assertEqual(len(failures), 2)
+
+
+class HelperTest(unittest.TestCase):
+    def test_lower_is_better_classification(self):
+        self.assertTrue(lower_is_better("p99 hand-off"))
+        self.assertTrue(lower_is_better("wake latency (us)"))
+        self.assertFalse(lower_is_better("messages/s"))
+
+    def test_delta_stats_sign_convention(self):
+        ref = figure(("throughput", [(1, 100.0)]),
+                     ("p99 latency", [(1, 10.0)]))
+        new = figure(("throughput", [(1, 90.0)]),
+                     ("p99 latency", [(1, 9.0)]))
+        worst, best, n = delta_stats(ref, new)
+        self.assertEqual(n, 2)
+        # throughput fell 10% -> -0.1 (worse); latency fell 10% -> +0.1
+        # (better, sign-flipped).
+        self.assertAlmostEqual(worst, -0.1)
+        self.assertAlmostEqual(best, 0.1)
+
+
+if __name__ == "__main__":
+    unittest.main()
