@@ -5,7 +5,10 @@
 // lockfree mode), the number of simulated processes, and a per-process op
 // script over a small universe of LNVC names (open/close, timed and
 // untimed sends, scatter-gather, copy-out and zero-copy receives,
-// receive_any, admission flips, reaps).  The case runs as a sequence of
+// receive_any, admission flips, reaps, pulses, poll sets).  Seeds may
+// shrink the name directory to 1-4 buckets, forcing every name into a
+// handful of chains so the collision paths and the bucket-shape oracle
+// get constant exercise.  The case runs as a sequence of
 // ROUNDS over one persistent arena: each round is a fresh deterministic
 // simulation (its own sim::Simulator + FaultPlan::random kills/pauses);
 // between rounds the main thread reaps every dead process and asserts the
@@ -50,6 +53,9 @@ enum FuzzOp : std::uint32_t {
   kFuzzCheck,
   kFuzzSetAdmission,  ///< random quota + policy flip
   kFuzzReap,          ///< probe a peer's liveness, declare_dead + reap
+  kFuzzSendPulse,     ///< send_pulse with a small code (coalescing path)
+  kFuzzRecvPulse,     ///< drain one pending pulse (non-blocking)
+  kFuzzPollSet,       ///< poll set lifecycle: create/add/remove/wait/destroy
   kFuzzOpCount,
 };
 

@@ -48,6 +48,7 @@ extern "C" {
 #define MPF_EPEERFAILED -11 /* blocked call abandoned: peer process died */
 #define MPF_EORPHANED -12   /* receive on an LNVC whose last sender died */
 #define MPF_EAGAIN -13      /* admission control rejected the send */
+#define MPF_EBUSY -14       /* poll set already has a waiter */
 #define MPF_ENOTINIT -100
 
 /* Initialize the facility; sizes the shared region from the two maxima
@@ -108,6 +109,45 @@ long mpf_view_length(const mpf_view* view);
 int mpf_view_spans(const mpf_view* view, mpf_iovec* spans, int max_spans);
 /* Unpin and free the handle.  The view must belong to `process_id`. */
 int mpf_view_release(int process_id, mpf_view* view);
+
+/* Poll sets: epoll-like wait objects over many receive circuits.  Senders
+ * on member circuits wake the set exactly once per arming via a lock-free
+ * ready push, so one server can wait on thousands of circuits without the
+ * O(n) rotation scan of a receive-any loop.  A circuit belongs to at most
+ * one poll set; membership requires a receive connection.  Waits are
+ * level-triggered (an undrained circuit is returned again) and single-
+ * waiter (MPF_EBUSY otherwise).  A poll set whose owner dies is destroyed
+ * by mpf_reap. */
+
+/* Wait-forever sentinel for mpf_pollset_wait. */
+#define MPF_NO_TIMEOUT (~0ULL)
+
+/* Create an empty poll set owned by process_id; returns its id (>= 0) or
+ * a negative error code. */
+int mpf_pollset_create(int process_id);
+/* Destroy a poll set: detaches every member and wakes any waiter (which
+ * returns MPF_ECLOSED). */
+int mpf_pollset_destroy(int process_id, int pollset_id);
+int mpf_pollset_add(int process_id, int pollset_id, int lnvc_id);
+int mpf_pollset_remove(int process_id, int pollset_id, int lnvc_id);
+/* Wait for a member circuit to become ready (deliverable message or
+ * pending pulse); returns its LNVC id (>= 0), MPF_ETIMEDOUT when nothing
+ * became ready within timeout_ns (0 polls; MPF_NO_TIMEOUT waits forever),
+ * or a negative error code. */
+int mpf_pollset_wait(int process_id, int pollset_id,
+                     unsigned long long timeout_ns);
+
+/* Pulses: tiny no-reply notifications carrying just a 32-bit code, riding
+ * fixed per-circuit slots (no buffer-pool traffic).  Repeats of a pending
+ * code coalesce into a count; a bounded number of distinct codes may be
+ * pending at once (MPF_ETABLEFULL beyond that).  A pulse wakes receivers
+ * and poll sets exactly like a message send. */
+int mpf_send_pulse(int process_id, int lnvc_id, unsigned int code);
+/* Drain one pending pulse (lowest slot): returns 1 and fills *out_code /
+ * *out_count (how many sends coalesced, >= 1) when one was pending, 0 when
+ * none, negative on error.  Non-blocking. */
+int mpf_receive_pulse(int process_id, int lnvc_id, unsigned int* out_code,
+                      unsigned int* out_count);
 
 /* Recovery sweep for a dead participant (e.g. a fork()ed worker that was
  * SIGKILLed): closes its connections, reclaims its blocks, and wakes any

@@ -103,6 +103,19 @@ struct Config {
   /// (see AdmissionPolicy; per-circuit overrides via set_admission).
   AdmissionPolicy admission_policy = AdmissionPolicy::block;
 
+  /// Buckets in the sharded LNVC name directory (rounded up to a power of
+  /// two).  Each bucket is a lock-protected intrusive chain of descriptors
+  /// hashed by name, so open/lookup touches one bucket instead of scanning
+  /// the whole table.  0 derives the default: next power of two >=
+  /// max_lnvcs / 4 (1 = a single chain, the linear-scan baseline).
+  std::uint32_t dir_buckets = 0;
+  /// Poll sets carved at init (epoll-like multi-circuit wait objects; see
+  /// Facility::pollset_create).  0 derives min(max_processes, 8).
+  std::uint32_t max_pollsets = 0;
+  /// Member circuits one poll set can hold.  0 derives
+  /// min(max_lnvcs, 65536).
+  std::uint32_t pollset_capacity = 0;
+
   /// Failure-suspicion threshold in nanoseconds (wall time natively,
   /// virtual time under the simulator).  A waiter that has watched the
   /// same holder sit on an arena lock for this long probes the holder's

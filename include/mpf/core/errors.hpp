@@ -25,6 +25,7 @@ enum class Status : int {
   peer_failed,        ///< blocked op abandoned: the peer(s) it needed died
   lnvc_orphaned,      ///< receive on a circuit whose last sender died
   rejected,           ///< send refused by admission control (quota exceeded)
+  busy,               ///< resource already in exclusive use (pollset waiter)
 };
 
 /// Human-readable name of a status code.

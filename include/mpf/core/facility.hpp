@@ -144,6 +144,26 @@ struct FacilityStats {
   std::uint64_t spurious_wakes = 0;  ///< woken parks that claimed nothing
   std::uint64_t lockfree_fast_sends = 0;  ///< sends that took the CAS path
   std::uint64_t any_rescans = 0;  ///< receive_any connection-snapshot refreshes
+  // Name-directory / pollset / pulse counters (see DESIGN.md §14).
+  std::uint64_t dir_lookups = 0;     ///< directory name probes
+  std::uint64_t dir_collisions = 0;  ///< extra chain nodes walked on probes
+  std::uint64_t pollset_wakes = 0;   ///< pollset ready pushes delivered
+  std::uint64_t pulses_sent = 0;     ///< send_pulse successes
+  std::uint64_t pulses_coalesced = 0;  ///< pulses merged into a pending code
+};
+
+/// Snapshot of the sharded name directory (mpf_inspect --names).
+struct DirectoryInfo {
+  std::uint32_t buckets = 0;      ///< configured bucket count
+  std::uint32_t live_names = 0;   ///< descriptors currently chained
+  std::uint32_t max_chain = 0;    ///< longest bucket chain
+  std::uint32_t free_slots = 0;   ///< descriptors on the freelist
+  std::uint64_t lock_seizures = 0;  ///< bucket locks taken from the dead
+  /// chain_histogram[n] = buckets holding exactly n names (last entry:
+  /// >= histogram size - 1).
+  std::vector<std::uint32_t> chain_histogram;
+  /// Per-bucket seizure counts for buckets with at least one seizure.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> seized_buckets;
 };
 
 /// Snapshot of one NUMA node's sub-pools (mpf_inspect --nodes).
@@ -329,6 +349,45 @@ class Facility {
                          void* buf, std::size_t cap, std::size_t* out_len,
                          std::size_t* out_index, std::uint64_t timeout_ns);
 
+  // --- poll sets and pulses (DESIGN.md §14) -----------------------------
+  /// Create an empty poll set owned by `pid`; its id is written to *out.
+  /// A poll set is an epoll-like wait object: senders on member circuits
+  /// wake it exactly once per arming via a lock-free ready push, so one
+  /// server can wait on thousands of circuits without receive_any
+  /// rotation.  Destroyed explicitly or when the owner is reaped.
+  Status pollset_create(ProcessId pid, PollSetId* out);
+  /// Destroy a poll set: detaches every member and wakes any waiter
+  /// (which returns Status::closed).  Any process may destroy.
+  Status pollset_destroy(ProcessId pid, PollSetId ps);
+  /// Add LNVC `id` to the poll set.  A circuit belongs to at most one
+  /// poll set (Status::rejected otherwise); `pid` must hold a receive
+  /// connection on it.  The circuit is primed ready, so a pollset_wait
+  /// issued after add never misses messages that were already queued.
+  Status pollset_add(ProcessId pid, PollSetId ps, LnvcId id);
+  /// Remove LNVC `id` from the poll set.
+  Status pollset_remove(ProcessId pid, PollSetId ps, LnvcId id);
+  /// Wait for a member circuit to become ready (deliverable FCFS message
+  /// or pending pulse); its id is written to *out.  Level-triggered: a
+  /// circuit left undrained is returned again by the next wait.  One
+  /// waiter at a time (Status::busy otherwise).  timeout_ns bounds the
+  /// wait (kNoTimeout = forever; 0 = poll).
+  Status pollset_wait(ProcessId pid, PollSetId ps, LnvcId* out,
+                      std::uint64_t timeout_ns);
+  /// Send a pulse: a tiny no-reply notification carrying just `code`.
+  /// Pulses ride fixed per-circuit slots (no block allocation) and
+  /// repeats of a pending code coalesce into its count; at most
+  /// detail::kPulseSlots distinct codes may be pending
+  /// (Status::table_full beyond that).  Wakes receivers and poll sets
+  /// like a send.  `pid` must hold a send connection.
+  Status send_pulse(ProcessId pid, LnvcId id, std::uint32_t code);
+  /// Drain one pending pulse (lowest slot): its code and coalesced count.
+  /// Non-blocking: *out_count = 0 when none are pending.  `pid` must hold
+  /// a receive connection.
+  Status receive_pulse(ProcessId pid, LnvcId id, std::uint32_t* out_code,
+                       std::uint32_t* out_count);
+  /// Wait-forever sentinel for pollset_wait.
+  static constexpr std::uint64_t kNoTimeout = ~std::uint64_t{0};
+
   // --- failure detection and recovery ----------------------------------
   /// Record `pid`'s participation (OS pid natively).  Called implicitly by
   /// every operation; exposed so supervisors can pre-register.
@@ -365,6 +424,8 @@ class Facility {
   /// Count of live LNVCs.
   [[nodiscard]] std::size_t lnvc_count() const;
   [[nodiscard]] FacilityStats stats() const;
+  /// Sharded name-directory snapshot (mpf_inspect --names).
+  [[nodiscard]] DirectoryInfo directory_info() const;
   /// Per-shard allocator state + contention counters.
   [[nodiscard]] std::vector<PoolShardInfo> pool_shard_infos() const;
   /// Per-process magazine state (entries with any activity or content).
@@ -413,7 +474,46 @@ class Facility {
   // Implementation helpers (facility.cpp / lnvc.cpp / pool.cpp).
   detail::LnvcDesc* table() const noexcept;
   detail::LnvcDesc* slot(LnvcId id) const noexcept;
-  detail::LnvcDesc* find_locked(std::string_view name) const noexcept;
+
+  // Sharded name directory + descriptor freelist (DESIGN.md §14).
+  detail::DirBucket* dir() const noexcept;
+  [[nodiscard]] static std::uint64_t name_hash(std::string_view name) noexcept;
+  detail::DirBucket& bucket_of(std::uint64_t hash) const noexcept;
+  /// Robust bucket lock tagged with `pid`; counts seizures on the bucket.
+  ProcessId lock_bucket(detail::DirBucket& b, ProcessId pid);
+  /// Find `name` in bucket `b` (bucket lock held); hash + length first,
+  /// then one memcmp — the strnlen-per-probe of the old linear scan is
+  /// gone (LnvcDesc::name_len is cached at create).
+  detail::LnvcDesc* dir_find(detail::DirBucket& b, std::string_view name,
+                             std::uint64_t hash) const noexcept;
+  /// Link / unlink `d` in bucket `b` (bucket + descriptor locks held).
+  /// Single-word chain edits: consistent at every store boundary.
+  void dir_insert(detail::DirBucket& b, detail::LnvcDesc& d) noexcept;
+  void dir_unlink(detail::DirBucket& b, detail::LnvcDesc& d) noexcept;
+  /// Lock the bucket owning `d`'s name, then `d` itself, re-verifying the
+  /// hash -> bucket mapping (slot recycling can move a descriptor to a
+  /// different bucket between the racy hash read and the lock).  Merges
+  /// any seized-from pid into *dead.
+  detail::DirBucket& lock_bucket_of(detail::LnvcDesc& d, ProcessId pid,
+                                    ProcessId* dead);
+  /// O(1) descriptor-slot allocation.  pop claims a slot for `pid`
+  /// (free_state kClaimed) and rebuilds from dead claimants' leaks on
+  /// exhaustion; push returns a retired slot.  Leaf lock discipline.
+  detail::LnvcDesc* free_pop(ProcessId pid, ProcessId* dead);
+  void free_push(ProcessId pid, detail::LnvcDesc& d);
+
+  // Poll sets + pulses (lnvc.cpp).
+  detail::PollSet* pollset_table() const noexcept;
+  /// Sender-side pollset wake: if `d` belongs to a pollset and wins the
+  /// ready_armed 1->0 exchange, push it onto the ready stack and unpark
+  /// the registered waiter.  Lock-free; callable from the CAS fast path.
+  void pollset_signal(detail::LnvcDesc& d);
+  /// Deliverability probe for pollset_wait: drains the injection stack and
+  /// reports whether `d` has an FCFS-deliverable message or pending pulse.
+  bool pollset_ready_locked(detail::LnvcDesc& d);
+  /// Destroy `ps` with its lock already held (shared by pollset_destroy
+  /// and the reap sweep); unlocks before returning.
+  void pollset_destroy_locked(ProcessId pid, detail::PollSet& ps);
   Status open_common(ProcessId pid, std::string_view name, std::uint32_t kind,
                      LnvcId* out);
   Status close_common(ProcessId pid, LnvcId id, bool sender);
@@ -487,6 +587,18 @@ class Facility {
   void quota_refund(ProcessId pid, detail::LnvcDesc& d);
   /// Wake the park FIFO if anyone is parked (call with no locks held).
   void park_ripple(detail::LnvcDesc& d);
+  /// Suspicion-prober election (descriptor lock held): claim the circuit's
+  /// probe token if it is free, held by us, or held by a dead process.
+  /// Returns true when this process should probe at the tight suspicion
+  /// period; false = another live prober exists, sleep lazily instead.
+  bool probe_claim(detail::LnvcDesc& d, ProcessId pid);
+  /// Sleep bound for a suspicion-governed wait: suspicion_ns for the
+  /// prober, a pid-jittered 16-32x stretch for everyone else.
+  static std::uint64_t probe_wait_ns(ProcessId pid, std::uint64_t suspicion,
+                                     bool prober);
+  /// Drop the probe token if this process holds it (descriptor lock held);
+  /// call on every wake so a departing waiter never strands the token.
+  void probe_release(detail::LnvcDesc& d, ProcessId pid);
   // Lock-free FCFS fast path (lnvc.cpp; DESIGN.md §12).
   /// Splice the injection stack into the FIFO in push order (descriptor
   /// lock held): exchange(null), pointer-reverse, link at msg_tail,

@@ -41,6 +41,8 @@ enum class Invariant : std::uint32_t {
   parking,       ///< park/rpark waiter counters vs. slot membership
   views,         ///< view-table / pin / broadcast-claim accounting
   quiescence,    ///< armed journals or parked/waiting state at rest
+  directory,     ///< name-directory chains, descriptor freelist
+                 ///  conservation, pollset membership
 };
 
 [[nodiscard]] const char* invariant_name(Invariant c) noexcept;

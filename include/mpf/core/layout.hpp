@@ -29,6 +29,57 @@ namespace mpf::detail {
 inline constexpr std::uint32_t kNameMax = 31;
 inline constexpr std::uint32_t kFacilityMagic = 0x4d504602;  // "MPF\x02"
 
+/// Pulse-coalescing slots per circuit (send_pulse): distinct pending codes
+/// one LNVC can hold; a repeat of a pending code coalesces into its count.
+inline constexpr std::uint32_t kPulseSlots = 4;
+
+/// One pending pulse: a code and how many times it was sent since last
+/// drained.  count == 0 marks the slot empty.  Under the LnvcDesc lock.
+struct PulseSlot {
+  std::uint32_t code;
+  std::uint32_t count;
+};
+
+/// One bucket of the sharded LNVC name directory: a robust lock and the
+/// head of an intrusive descriptor chain (LnvcDesc::dir_next, slot index +
+/// 1, 0 = end).  Chain edits are single-word stores ordered so the chain
+/// is consistent at every instruction boundary — a holder dying mid-insert
+/// or mid-unlink leaves nothing to repair beyond the seizure itself.
+/// Cache-line aligned so bucket locks do not false-share.
+struct alignas(64) DirBucket {
+  sync::SpinLock lock;
+  std::uint32_t head;  ///< LnvcDesc slot index + 1; 0 = empty
+  std::atomic<std::uint64_t> seizures;  ///< times this lock was taken from
+                                        ///< a dead holder (mpf_inspect)
+};
+
+/// An epoll-like multi-circuit wait object (Facility::pollset_*).  The
+/// member table and the ready-stack link/queued arrays live in per-pollset
+/// arena carves (members / ready_next / queued below) so a recycled LNVC
+/// slot can never corrupt another pollset's chain: ready entries are
+/// *member indices* into storage this pollset owns.
+///
+/// Wake protocol: a sender that made a message or pulse deliverable loads
+/// the circuit's pollset_id, wins the ready_armed 1->0 exchange (exactly
+/// one push per arming), sets queued[m] 1 (skip if already queued), links
+/// ready_next[m] and CAS-pushes member m onto ready_head, then unparks the
+/// registered waiter's WaitNode.  pollset_wait pops the whole stack under
+/// `lock` (single consumer), so push CAS vs pop exchange is the only
+/// lock-free pairing.
+struct alignas(64) PollSet {
+  sync::SpinLock lock;       ///< guards members/n_members/in_use/owner
+  std::uint32_t in_use;
+  std::uint32_t generation;  ///< bumped on every destroy (stale-ref guard)
+  std::uint32_t owner_pid;   ///< creator; destroyed when the owner is reaped
+  std::uint32_t n_members;   ///< live prefix of the member table
+  std::atomic<std::uint32_t> ready_head;  ///< member index + 1; 0 = empty
+  std::atomic<std::uint32_t> waiter_pid;  ///< pid + 1 parked in wait; 0 none
+  std::atomic<std::uint64_t> wakes;       ///< ready pushes that unparked
+  shm::Offset members;     ///< u32[capacity]: LNVC slot index + 1 (0 = hole)
+  shm::Offset ready_next;  ///< u32[capacity]: ready-stack links (member+1)
+  shm::Offset queued;      ///< atomic u32[capacity]: member is on the stack
+};
+
 /// One message-payload block: a link word followed by `block_payload`
 /// bytes of data.  Node size in the free list is sizeof(Block) + payload.
 struct Block {
@@ -108,10 +159,52 @@ struct LnvcDesc {
   std::uint32_t generation;  ///< bumped on every reuse of the slot
   char name[kNameMax + 1];
 
+  // Sharded name directory (DESIGN.md §14).  name_hash/name_len are set
+  // under the owning bucket's lock before in_use commits; name_hash is
+  // atomic because close paths read it with no lock held to *find* the
+  // owning bucket (then lock and re-verify — slot recycling can change it).
+  std::atomic<std::uint64_t> name_hash;  ///< FNV-1a of name
+  std::uint32_t name_len;                ///< cached strlen(name)
+  std::uint32_t dir_next;                ///< bucket chain: slot index + 1
+
+  // Descriptor free-slot list (O(1) allocation; header lnvc_free_*).
+  // free_state tracks the slot through its lifecycle so a process dying
+  // between popping a slot and committing it (or between retiring it and
+  // pushing it back) leaks nothing: reap and the exhaustion rebuild
+  // reclaim state-kClaimed slots whose claimant is dead.
+  static constexpr std::uint32_t kFreeListed = 0;  ///< on the freelist
+  static constexpr std::uint32_t kClaimed = 1;     ///< popped or retiring
+  static constexpr std::uint32_t kSlotLive = 2;    ///< in_use, in a bucket
+  std::atomic<std::uint32_t> free_state;
+  std::uint32_t free_claimant;  ///< pid owning a kClaimed transition
+  std::uint32_t free_next;      ///< freelist link: slot index + 1
+
+  // Poll-set membership (at most one pollset per circuit).  pollset_id is
+  // the commit point (seq_cst, written last) because fast-path senders
+  // read these with no lock held; pollset_mslot/pollset_gen are written
+  // before it under the descriptor lock.
+  std::atomic<std::uint32_t> pollset_id;     ///< PollSet index + 1; 0 none
+  std::atomic<std::uint32_t> pollset_mslot;  ///< member index in the pollset
+  std::atomic<std::uint32_t> pollset_gen;    ///< PollSet::generation at add
+  /// 1 = the next deliverable event pushes this circuit onto the pollset
+  /// ready stack (exchange 1->0 elects exactly one pusher); re-armed by
+  /// pollset_wait after it finds the circuit idle.
+  std::atomic<std::uint32_t> ready_armed;
+
+  /// Pending pulses (send_pulse), coalesced by code.  Under `lock`.
+  PulseSlot pulses[kPulseSlots];
+
   std::uint32_t n_senders;
   std::uint32_t n_fcfs;
   std::uint32_t n_bcast;
   std::uint32_t n_queued;  ///< messages not yet FCFS-consumed
+  /// Suspicion-prober token (pid + 1; 0 = none), under `lock`.  Exactly one
+  /// blocked process per circuit keeps the tight suspicion_ns probe period;
+  /// the others stretch their timed sleeps ~16-32x (pid-jittered) so a herd
+  /// of blocked peers cannot convoy on `lock` at the probe rate.  The token
+  /// is released on every wake and re-claimed before each sleep, so a dead
+  /// or departed prober is replaced by the next waiter to reach its timeout.
+  std::uint32_t prober;
   /// Set by reap() when the circuit's last sender died (as opposed to
   /// closing); cleared by the next open_send.  A receiver blocked with
   /// nothing deliverable and no senders then gets Status::lnvc_orphaned
@@ -451,7 +544,26 @@ struct FacilityHeader {
   /// receiver's node, 0 = node-blind sender-local.
   std::uint32_t numa_prefer_receiver;
 
-  sync::SpinLock registry_lock;  ///< guards name lookup + slot (de)alloc
+  /// Serializes whole-table maintenance (audits, counts).  The name
+  /// lookup + slot (de)alloc hot paths it used to guard moved to the
+  /// per-bucket directory locks and the descriptor freelist below.
+  sync::SpinLock registry_lock;
+  /// Sharded name directory: DirBucket[dir_n_buckets], bucket =
+  /// fnv1a(name) & dir_mask (dir_n_buckets is a power of two).
+  shm::Offset dir;
+  std::uint32_t dir_n_buckets;
+  std::uint32_t dir_mask;
+  /// Descriptor freelist (LnvcDesc::free_next chain).  lnvc_free_lock is a
+  /// leaf lock: it is only ever taken last, never holds while acquiring
+  /// another.
+  sync::SpinLock lnvc_free_lock;
+  std::uint32_t lnvc_free_head;  ///< slot index + 1; 0 = exhausted
+  std::uint32_t pad_dir_;
+  /// Poll sets: PollSet[max_pollsets], each owning pollset_capacity member
+  /// slots of carve (see PollSet::members).
+  shm::Offset pollsets;
+  std::uint32_t max_pollsets;
+  std::uint32_t pollset_capacity;
   /// Monitor mutex for true pool exhaustion: a sender that found every
   /// shard and every magazine dry registers under this lock and sleeps on
   /// blocks_cond; frees ripple it only while exhaustion_waiters > 0.
@@ -537,6 +649,14 @@ struct FacilityHeader {
   /// receive_any connection-snapshot refreshes (satellite: the wait loop
   /// must not re-walk connection lists on spurious wakeups).
   std::atomic<std::uint64_t> any_rescans;
+
+  // Directory / pollset / pulse observability (FacilityStats /
+  // mpf_inspect --names).
+  std::atomic<std::uint64_t> dir_lookups;     ///< directory name probes
+  std::atomic<std::uint64_t> dir_collisions;  ///< extra chain nodes walked
+  std::atomic<std::uint64_t> pollset_wakes;   ///< ready pushes delivered
+  std::atomic<std::uint64_t> pulses_sent;     ///< send_pulse successes
+  std::atomic<std::uint64_t> pulses_coalesced;  ///< merged into pending code
 };
 
 }  // namespace mpf::detail

@@ -40,6 +40,8 @@ class Participant {
   [[nodiscard]] class SendPort open_send(std::string_view name);
   [[nodiscard]] class ReceivePort open_receive(std::string_view name,
                                                Protocol protocol);
+  /// Create a scoped poll set (epoll-like multi-circuit wait object).
+  [[nodiscard]] class PollSet create_pollset();
 
  private:
   Facility facility_;
@@ -79,6 +81,13 @@ class SendPort {
   void send_value(const T& value) {
     throw_if_error(facility_.send(pid_, id_, &value, sizeof(T)),
                    "SendPort::send_value");
+  }
+  /// Send a pulse: a tiny no-reply notification carrying just `code`
+  /// (paper-adjacent; see DESIGN.md §14).  Repeats of a pending code
+  /// coalesce on the receiver side instead of queueing.
+  void send_pulse(std::uint32_t code) {
+    throw_if_error(facility_.send_pulse(pid_, id_, code),
+                   "SendPort::send_pulse");
   }
   /// Send with a deadline: false if the circuit's admission quota or the
   /// buffer pool kept the message out for `timeout_ns` (virtual time
@@ -286,6 +295,20 @@ class ReceivePort {
     return MessageView(facility_, pid_, std::move(view));
   }
 
+  /// Drain one pending pulse: false if none are pending.  `*out_code`
+  /// receives the pulse code and `*out_count` how many sends coalesced
+  /// into it (>= 1).  Non-blocking; combine with a PollSet to sleep.
+  bool receive_pulse(std::uint32_t* out_code, std::uint32_t* out_count) {
+    std::uint32_t code = 0;
+    std::uint32_t count = 0;
+    throw_if_error(facility_.receive_pulse(pid_, id_, &code, &count),
+                   "ReceivePort::receive_pulse");
+    if (count == 0) return false;
+    if (out_code != nullptr) *out_code = code;
+    if (out_count != nullptr) *out_count = count;
+    return true;
+  }
+
   /// Paper's check_receive (advisory for FCFS).
   [[nodiscard]] bool check() {
     bool has = false;
@@ -314,6 +337,81 @@ class ReceivePort {
   ProcessId pid_ = 0;
   LnvcId id_ = kInvalidLnvc;
   Protocol protocol_ = Protocol::fcfs;
+};
+
+/// Scoped poll set: an epoll-like wait object over many receive circuits.
+/// Senders on member circuits wake it exactly once per arming through a
+/// lock-free ready push, so one server can wait on thousands of circuits
+/// without receive_any's rotation scan.  Destroys the underlying set on
+/// destruction (detaching members and waking any waiter).
+class PollSet {
+ public:
+  PollSet() = default;
+  PollSet(Facility facility, ProcessId pid, PollSetId id)
+      : facility_(std::move(facility)), pid_(pid), id_(id) {}
+  PollSet(PollSet&& other) noexcept { swap(other); }
+  PollSet& operator=(PollSet&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      swap(other);
+    }
+    return *this;
+  }
+  PollSet(const PollSet&) = delete;
+  PollSet& operator=(const PollSet&) = delete;
+  ~PollSet() { destroy(); }
+
+  /// Add a receive port's circuit to the set.  A circuit belongs to at
+  /// most one poll set; the port stays usable for ordinary receives.
+  void add(const ReceivePort& port) {
+    throw_if_error(facility_.pollset_add(pid_, id_, port.id()),
+                   "PollSet::add");
+  }
+  void remove(const ReceivePort& port) {
+    throw_if_error(facility_.pollset_remove(pid_, id_, port.id()),
+                   "PollSet::remove");
+  }
+
+  /// Block until a member circuit is ready (deliverable message or
+  /// pending pulse) and return its LnvcId.  Level-triggered: a circuit
+  /// left undrained is returned again by the next wait.
+  [[nodiscard]] LnvcId wait() {
+    LnvcId id = kInvalidLnvc;
+    throw_if_error(
+        facility_.pollset_wait(pid_, id_, &id, Facility::kNoTimeout),
+        "PollSet::wait");
+    return id;
+  }
+  /// Timed wait: false if nothing became ready within `timeout_ns`
+  /// (0 = poll without sleeping).
+  bool wait_for(std::uint64_t timeout_ns, LnvcId* out) {
+    LnvcId id = kInvalidLnvc;
+    const Status s = facility_.pollset_wait(pid_, id_, &id, timeout_ns);
+    if (s == Status::timed_out) return false;
+    throw_if_error(s, "PollSet::wait_for");
+    if (out != nullptr) *out = id;
+    return true;
+  }
+
+  /// Destroy now (idempotent; also run by the destructor).
+  void destroy() {
+    if (id_ != kInvalidPollSet) {
+      facility_.pollset_destroy(pid_, id_);
+      id_ = kInvalidPollSet;
+    }
+  }
+  [[nodiscard]] PollSetId id() const noexcept { return id_; }
+  [[nodiscard]] bool valid() const noexcept { return id_ != kInvalidPollSet; }
+
+ private:
+  void swap(PollSet& o) noexcept {
+    std::swap(facility_, o.facility_);
+    std::swap(pid_, o.pid_);
+    std::swap(id_, o.id_);
+  }
+  Facility facility_;
+  ProcessId pid_ = 0;
+  PollSetId id_ = kInvalidPollSet;
 };
 
 /// Result of a multi-circuit receive: which port won, plus the usual
@@ -379,6 +477,13 @@ inline ReceivePort Participant::open_receive(std::string_view name,
   throw_if_error(facility_.open_receive(pid_, name, protocol, &id),
                  "Participant::open_receive");
   return ReceivePort(facility_, pid_, id, protocol);
+}
+
+inline PollSet Participant::create_pollset() {
+  PollSetId id = kInvalidPollSet;
+  throw_if_error(facility_.pollset_create(pid_, &id),
+                 "Participant::create_pollset");
+  return PollSet(facility_, pid_, id);
 }
 
 }  // namespace mpf

@@ -48,4 +48,9 @@ inline constexpr LnvcId kInvalidLnvc = -1;
 /// process_id to every primitive).
 using ProcessId = std::uint32_t;
 
+/// Poll-set identifier returned by Facility::pollset_create (an epoll-like
+/// multi-circuit wait object; see DESIGN.md §14).
+using PollSetId = std::int32_t;
+inline constexpr PollSetId kInvalidPollSet = -1;
+
 }  // namespace mpf

@@ -118,6 +118,14 @@ CaseShape resolve(const FuzzParams& in) {
   c.reclaim_broadcast_only = rng.chance(80);
   c.suspicion_ns = 1'000'000;  // 1 ms virtual: probes fire within a round
   c.lockfree_fcfs = s.p.lockfree != 0;
+  // Half the seeds squeeze the name directory to 1-4 buckets: with 2-5
+  // names in play every open/lookup collides, so chain insert/unlink and
+  // the bucket-shape oracle run constantly (1 bucket = the linear-scan
+  // degenerate case).
+  c.dir_buckets = rng.chance(50) ? (1u << rng.below(3)) : 0;
+  // Every rank can own a poll set, so kFuzzPollSet never starves on the
+  // derived min(procs, 8) table.
+  c.max_pollsets = static_cast<std::uint32_t>(s.p.procs);
   s.config = c;
   // A plain send() may block forever on pool exhaustion (policy wait) or
   // a quota park; only draw it when neither can happen for this case.
@@ -137,6 +145,7 @@ struct CaseState {
     std::array<LnvcId, kMaxNames> recv_id;
     std::array<Protocol, kMaxNames> recv_proto;
     std::vector<MsgView> views;
+    PollSetId pollset = kInvalidPollSet;
     RankState() {
       send_id.fill(kInvalidLnvc);
       recv_id.fill(kInvalidLnvc);
@@ -249,7 +258,7 @@ class Script {
                        static_cast<std::uint64_t>(rank))) {
     // Weighted category table over the enabled ops.
     static constexpr std::uint32_t kWeights[kFuzzOpCount] = {
-        4, 3, 2, 1, 1, 6, 3, 6, 4, 6, 4, 2, 3, 1, 1, 1};
+        4, 3, 2, 1, 1, 6, 3, 6, 4, 6, 4, 2, 3, 1, 1, 1, 3, 3, 3};
     for (std::uint32_t op = 0; op < kFuzzOpCount; ++op) {
       if ((shape.p.opmask & (1u << op)) == 0) continue;
       for (std::uint32_t w = 0; w < kWeights[op]; ++w) {
@@ -493,6 +502,111 @@ class Script {
     }
   }
 
+  void do_send_pulse(int n) {
+    if (!ensure_send(n)) return;
+    const LnvcId id = me().send_id[static_cast<std::size_t>(n)];
+    // 6 codes over kPulseSlots slots: the overflow (table_full) and
+    // coalescing paths both fire regularly.
+    const Status st =
+        f_.send_pulse(pid_, id, static_cast<std::uint32_t>(rng_.below(6)));
+    if (!transfer_ok(st) && st != Status::table_full) {
+      unexpected("send_pulse", n, st);
+    }
+    maybe_drop(n, st, /*sender=*/true);
+  }
+
+  void do_receive_pulse(int n) {
+    if (!ensure_recv(n, rng_.chance(75) ? Protocol::fcfs
+                                        : Protocol::broadcast)) {
+      return;
+    }
+    const LnvcId id = me().recv_id[static_cast<std::size_t>(n)];
+    std::uint32_t code = ~0u;
+    std::uint32_t count = 0;
+    const Status st = f_.receive_pulse(pid_, id, &code, &count);
+    if (!transfer_ok(st)) {
+      unexpected("receive_pulse", n, st);
+      return;
+    }
+    maybe_drop(n, st, /*sender=*/false);
+    if (st == Status::ok && count != 0 && code >= 6) {
+      char msg[128];
+      std::snprintf(msg, sizeof msg,
+                    "rank %d name %d: pulse code %u never sent", rank_, n,
+                    code);
+      cs_.fail(msg);
+    }
+  }
+
+  void do_pollset(int n) {
+    PollSetId& ps = me().pollset;
+    if (ps == kInvalidPollSet) {
+      const Status st = f_.pollset_create(pid_, &ps);
+      if (!status_in(st, {Status::ok, Status::table_full})) {
+        unexpected("pollset_create", n, st);
+      }
+      if (st != Status::ok) {
+        ps = kInvalidPollSet;
+        return;
+      }
+    }
+    const std::uint64_t r = rng_.below(100);
+    if (r < 35) {
+      const LnvcId id = me().recv_id[static_cast<std::size_t>(n)];
+      if (id == kInvalidLnvc) return;
+      // rejected = the circuit already belongs to a poll set (possibly a
+      // peer's); no_such_lnvc covers both a recycled circuit slot and a
+      // poll set torn down by a reap of this rank in an earlier round.
+      const Status st = f_.pollset_add(pid_, ps, id);
+      if (!status_in(st, {Status::ok, Status::rejected, Status::table_full,
+                          Status::no_such_lnvc, Status::not_connected})) {
+        unexpected("pollset_add", n, st);
+      }
+    } else if (r < 45) {
+      const LnvcId id = me().recv_id[static_cast<std::size_t>(n)];
+      if (id == kInvalidLnvc) return;
+      const Status st = f_.pollset_remove(pid_, ps, id);
+      if (!status_in(st,
+                     {Status::ok, Status::not_connected,
+                      Status::no_such_lnvc})) {
+        unexpected("pollset_remove", n, st);
+      }
+    } else if (r < 90) {
+      LnvcId ready = kInvalidLnvc;
+      const Status st = f_.pollset_wait(pid_, ps, &ready, deadline());
+      if (!status_in(st, {Status::ok, Status::timed_out, Status::closed,
+                          Status::busy, Status::no_such_lnvc})) {
+        unexpected("pollset_wait", n, st);
+        return;
+      }
+      if (st == Status::closed || st == Status::no_such_lnvc) {
+        ps = kInvalidPollSet;
+        return;
+      }
+      if (st == Status::ok) {
+        if (ready == kInvalidLnvc) {
+          cs_.fail("pollset_wait returned ok with no ready circuit");
+          return;
+        }
+        // Drain the winner so level-triggering converges: a copy-out
+        // receive plus a pulse drain, validated like any delivery.
+        for (int m = 0; m < shape_.n_names; ++m) {
+          if (me().recv_id[static_cast<std::size_t>(m)] == ready) {
+            do_receive(m, /*blocking=*/false);
+            do_receive_pulse(m);
+            break;
+          }
+        }
+      }
+    } else {
+      const Status st = f_.pollset_destroy(pid_, ps);
+      if (!status_in(st, {Status::ok, Status::no_such_lnvc})) {
+        unexpected("pollset_destroy", n, st);
+      }
+      ps = kInvalidPollSet;
+    }
+  }
+
   void step(std::uint32_t op) {
     const int n = static_cast<int>(rng_.below(
         static_cast<std::uint64_t>(shape_.n_names)));
@@ -584,6 +698,15 @@ class Script {
         maybe_drop(n, st, /*sender=*/true);
         break;
       }
+      case kFuzzSendPulse:
+        do_send_pulse(n);
+        break;
+      case kFuzzRecvPulse:
+        do_receive_pulse(n);
+        break;
+      case kFuzzPollSet:
+        do_pollset(n);
+        break;
       case kFuzzReap: {
         const ProcessId q = static_cast<ProcessId>(
             rng_.below(static_cast<std::uint64_t>(shape_.p.procs)));
@@ -684,7 +807,8 @@ const char* fuzz_op_name(std::uint32_t op) noexcept {
       "open_send",    "open_recv_fcfs", "open_recv_bcast", "close_send",
       "close_recv",   "send",           "sendv",           "send_timed",
       "try_receive",  "receive_for",    "receive_view",    "receive_any",
-      "release_view", "check",          "set_admission",   "reap"};
+      "release_view", "check",          "set_admission",   "reap",
+      "send_pulse",   "receive_pulse",  "pollset"};
   return op < kFuzzOpCount ? kNames[op] : "?";
 }
 
@@ -750,6 +874,8 @@ FuzzResult run_fuzz_case(const FuzzParams& params) {
       if (!simulator.process_alive(p)) {
         dead[static_cast<std::size_t>(p)] = 1;
         cs.ranks[static_cast<std::size_t>(p)].views.clear();
+        // The reap below destroys the corpse's poll set with it.
+        cs.ranks[static_cast<std::size_t>(p)].pollset = kInvalidPollSet;
       }
     }
     ProcessId survivor = 0;
@@ -778,6 +904,34 @@ FuzzResult run_fuzz_case(const FuzzParams& params) {
       res.ok = false;
       res.failure = std::string("round ") + std::to_string(round) +
                     ": invariant violation(s):\n" + report.summary();
+      return res;
+    }
+    // Bucket-chain shape: at quiescence every descriptor is chained or
+    // freelisted, no chain exceeds the live-name count, and the occupancy
+    // histogram accounts for every bucket exactly once.
+    const DirectoryInfo dir = facility.directory_info();
+    std::uint64_t hist_buckets = 0;
+    for (const std::uint32_t c : dir.chain_histogram) hist_buckets += c;
+    char shape_msg[160];
+    shape_msg[0] = '\0';
+    if (dir.live_names + dir.free_slots != shape.config.max_lnvcs) {
+      std::snprintf(shape_msg, sizeof shape_msg,
+                    "directory shape: %u chained + %u free != %u slots",
+                    dir.live_names, dir.free_slots, shape.config.max_lnvcs);
+    } else if (dir.max_chain > dir.live_names) {
+      std::snprintf(shape_msg, sizeof shape_msg,
+                    "directory shape: max chain %u > %u live names",
+                    dir.max_chain, dir.live_names);
+    } else if (hist_buckets != dir.buckets) {
+      std::snprintf(shape_msg, sizeof shape_msg,
+                    "directory shape: histogram covers %llu of %u buckets",
+                    static_cast<unsigned long long>(hist_buckets),
+                    dir.buckets);
+    }
+    if (shape_msg[0] != '\0') {
+      res.ok = false;
+      res.failure = std::string("round ") + std::to_string(round) + ": " +
+                    shape_msg;
       return res;
     }
   }

@@ -208,6 +208,77 @@ int mpf_view_release(int process_id, mpf_view* view) {
   return status_code(s);
 }
 
+int mpf_pollset_create(int process_id) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0) return MPF_EINVAL;
+  mpf::PollSetId id = mpf::kInvalidPollSet;
+  const mpf::Status s =
+      f->pollset_create(static_cast<mpf::ProcessId>(process_id), &id);
+  return s == mpf::Status::ok ? static_cast<int>(id) : status_code(s);
+}
+
+int mpf_pollset_destroy(int process_id, int pollset_id) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0) return MPF_EINVAL;
+  return status_code(f->pollset_destroy(
+      static_cast<mpf::ProcessId>(process_id), pollset_id));
+}
+
+int mpf_pollset_add(int process_id, int pollset_id, int lnvc_id) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0) return MPF_EINVAL;
+  return status_code(f->pollset_add(static_cast<mpf::ProcessId>(process_id),
+                                    pollset_id, lnvc_id));
+}
+
+int mpf_pollset_remove(int process_id, int pollset_id, int lnvc_id) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0) return MPF_EINVAL;
+  return status_code(f->pollset_remove(
+      static_cast<mpf::ProcessId>(process_id), pollset_id, lnvc_id));
+}
+
+int mpf_pollset_wait(int process_id, int pollset_id,
+                     unsigned long long timeout_ns) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0) return MPF_EINVAL;
+  mpf::LnvcId ready = mpf::kInvalidLnvc;
+  const mpf::Status s =
+      f->pollset_wait(static_cast<mpf::ProcessId>(process_id), pollset_id,
+                      &ready, static_cast<std::uint64_t>(timeout_ns));
+  return s == mpf::Status::ok ? static_cast<int>(ready) : status_code(s);
+}
+
+int mpf_send_pulse(int process_id, int lnvc_id, unsigned int code) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0) return MPF_EINVAL;
+  return status_code(f->send_pulse(static_cast<mpf::ProcessId>(process_id),
+                                   lnvc_id,
+                                   static_cast<std::uint32_t>(code)));
+}
+
+int mpf_receive_pulse(int process_id, int lnvc_id, unsigned int* out_code,
+                      unsigned int* out_count) {
+  mpf::Facility* f = facility();
+  if (f == nullptr) return MPF_ENOTINIT;
+  if (process_id < 0) return MPF_EINVAL;
+  std::uint32_t code = 0;
+  std::uint32_t count = 0;
+  const mpf::Status s = f->receive_pulse(
+      static_cast<mpf::ProcessId>(process_id), lnvc_id, &code, &count);
+  if (s != mpf::Status::ok) return status_code(s);
+  if (count == 0) return 0;
+  if (out_code != nullptr) *out_code = code;
+  if (out_count != nullptr) *out_count = count;
+  return 1;
+}
+
 int mpf_reap(int reaper_id, int dead_id) {
   mpf::Facility* f = facility();
   if (f == nullptr) return MPF_ENOTINIT;

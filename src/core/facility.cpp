@@ -66,6 +66,7 @@ const char* to_string(Status s) noexcept {
     case Status::peer_failed: return "peer process failed";
     case Status::lnvc_orphaned: return "LNVC orphaned (last sender died)";
     case Status::rejected: return "rejected by admission control";
+    case Status::busy: return "resource busy";
   }
   return "unknown status";
 }
@@ -111,6 +112,22 @@ Config Config::resolved() const noexcept {
     if (cap < 8) cap = 0;
     c.cache_blocks = std::min<std::size_t>(cap, 128);
   }
+  // Sharded name directory: default one bucket per four descriptor slots
+  // (load factor <= 4 even at a full table), power of two for mask
+  // indexing.  dir_buckets = 1 is the linear-scan baseline: every name
+  // hashes to the one chain.
+  if (c.dir_buckets == 0) {
+    c.dir_buckets = next_pow2(std::max<std::uint32_t>(1, c.max_lnvcs / 4));
+  } else {
+    c.dir_buckets = next_pow2(c.dir_buckets);
+  }
+  c.dir_buckets = std::min<std::uint32_t>(c.dir_buckets, 1u << 20);
+  if (c.max_pollsets == 0) {
+    c.max_pollsets = std::min<std::uint32_t>(c.max_processes, 8);
+  }
+  if (c.pollset_capacity == 0) {
+    c.pollset_capacity = std::min<std::uint32_t>(c.max_lnvcs, 65536);
+  }
   if (c.slab_threshold > 0) {
     if (c.slab_bytes == 0) {
       c.slab_bytes = std::max<std::size_t>(16384, align8(c.slab_threshold));
@@ -139,6 +156,11 @@ Config Config::resolved() const noexcept {
              sizeof(detail::ProcSlot);
     bytes += static_cast<std::size_t>(c.numa_nodes) *
              (sizeof(detail::SlabPool) + sizeof(detail::NodeStats));
+    bytes += static_cast<std::size_t>(c.dir_buckets) *
+             sizeof(detail::DirBucket);
+    bytes += static_cast<std::size_t>(c.max_pollsets) *
+             (sizeof(detail::PollSet) +
+              3 * static_cast<std::size_t>(c.pollset_capacity) * 4 + 192);
     // One 64-byte alignment gap per carve (two free lists per shard, one
     // slab sub-pool per node).
     bytes += (2 * static_cast<std::size_t>(c.pool_shards) +
@@ -252,6 +274,32 @@ Facility Facility::create(const Config& config, shm::Region& region,
   hdr->lockfree_fcfs = c.lockfree_fcfs ? 1 : 0;
   hdr->park_spin_ns = c.park_spin_ns;
 
+  // Sharded name directory + descriptor freelist: every slot starts on
+  // the freelist (free_state zero-init == kFreeListed), chained in index
+  // order so the first opens take the low slots like the old scan did.
+  hdr->dir = arena.make_array<detail::DirBucket>(c.dir_buckets);
+  hdr->dir_n_buckets = c.dir_buckets;
+  hdr->dir_mask = c.dir_buckets - 1;
+  auto* lt = static_cast<detail::LnvcDesc*>(arena.raw(hdr->lnvc_table));
+  for (std::uint32_t i = 0; i < c.max_lnvcs; ++i) {
+    lt[i].free_next = i + 1 < c.max_lnvcs ? i + 2 : 0;
+  }
+  hdr->lnvc_free_head = c.max_lnvcs > 0 ? 1 : 0;
+
+  // Poll sets: the member/ready/queued arrays are per-pollset carves so
+  // ready-stack links are storage the pollset owns (never clobbered by
+  // LNVC slot recycling).
+  hdr->pollsets = arena.make_array<detail::PollSet>(c.max_pollsets);
+  hdr->max_pollsets = c.max_pollsets;
+  hdr->pollset_capacity = c.pollset_capacity;
+  auto* pss = static_cast<detail::PollSet*>(arena.raw(hdr->pollsets));
+  for (std::uint32_t i = 0; i < c.max_pollsets; ++i) {
+    pss[i].members = arena.make_array<std::uint32_t>(c.pollset_capacity);
+    pss[i].ready_next = arena.make_array<std::uint32_t>(c.pollset_capacity);
+    pss[i].queued =
+        arena.make_array<std::atomic<std::uint32_t>>(c.pollset_capacity);
+  }
+
   hdr->magic = detail::kFacilityMagic;  // published last
   return Facility(arena, hdr, platform);
 }
@@ -278,16 +326,149 @@ detail::LnvcDesc* Facility::slot(LnvcId id) const noexcept {
   return table() + id;
 }
 
-detail::LnvcDesc* Facility::find_locked(std::string_view name) const noexcept {
+detail::DirBucket* Facility::dir() const noexcept {
+  return static_cast<detail::DirBucket*>(arena_.raw(header_->dir));
+}
+
+detail::PollSet* Facility::pollset_table() const noexcept {
+  return static_cast<detail::PollSet*>(arena_.raw(header_->pollsets));
+}
+
+std::uint64_t Facility::name_hash(std::string_view name) noexcept {
+  // FNV-1a 64.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char ch : name) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+detail::DirBucket& Facility::bucket_of(std::uint64_t hash) const noexcept {
+  return dir()[static_cast<std::uint32_t>(hash) & header_->dir_mask];
+}
+
+ProcessId Facility::lock_bucket(detail::DirBucket& b, ProcessId pid) {
+  const ProcessId dead = alock(b.lock, pid);
+  if (dead != kNoProcess) b.seizures.fetch_add(1, std::memory_order_relaxed);
+  return dead;
+}
+
+detail::LnvcDesc* Facility::dir_find(detail::DirBucket& b,
+                                     std::string_view name,
+                                     std::uint64_t hash) const noexcept {
+  header_->dir_lookups.fetch_add(1, std::memory_order_relaxed);
   detail::LnvcDesc* t = table();
-  for (std::uint32_t i = 0; i < header_->max_lnvcs; ++i) {
-    if (t[i].in_use != 0 &&
-        name == std::string_view(t[i].name, ::strnlen(t[i].name,
-                                                      detail::kNameMax))) {
-      return &t[i];
+  detail::LnvcDesc* found = nullptr;
+  std::uint32_t probes = 0;
+  for (std::uint32_t idx = b.head; idx != 0;) {
+    detail::LnvcDesc& d = t[idx - 1];
+    ++probes;
+    if (d.name_hash.load(std::memory_order_relaxed) == hash &&
+        d.name_len == name.size() &&
+        std::memcmp(d.name, name.data(), name.size()) == 0) {
+      found = &d;
+      break;
     }
+    idx = d.dir_next;
+  }
+  if (probes > 1) {
+    header_->dir_collisions.fetch_add(probes - 1, std::memory_order_relaxed);
+  }
+  platform_->charge_ops(probes == 0 ? 1.0 : static_cast<double>(probes));
+  return found;
+}
+
+void Facility::dir_insert(detail::DirBucket& b, detail::LnvcDesc& d) noexcept {
+  d.dir_next = b.head;  // node link first, head last: always consistent
+  b.head = static_cast<std::uint32_t>(&d - table()) + 1;
+}
+
+void Facility::dir_unlink(detail::DirBucket& b, detail::LnvcDesc& d) noexcept {
+  const std::uint32_t target = static_cast<std::uint32_t>(&d - table()) + 1;
+  std::uint32_t* link = &b.head;
+  detail::LnvcDesc* t = table();
+  while (*link != 0) {
+    if (*link == target) {
+      *link = d.dir_next;  // single-store cut
+      d.dir_next = 0;
+      return;
+    }
+    link = &t[*link - 1].dir_next;
+  }
+}
+
+detail::DirBucket& Facility::lock_bucket_of(detail::LnvcDesc& d, ProcessId pid,
+                                            ProcessId* dead) {
+  for (;;) {
+    const std::uint64_t hash = d.name_hash.load(std::memory_order_acquire);
+    detail::DirBucket& b = bucket_of(hash);
+    ProcessId dd = lock_bucket(b, pid);
+    if (*dead == kNoProcess) *dead = dd;
+    dd = alock_lnvc(d, pid);
+    if (*dead == kNoProcess) *dead = dd;
+    // A dead slot belongs to no bucket (any locked bucket serves); a live
+    // one must still hash into the bucket we locked — recycling between
+    // the racy read and the lock moves it, so verify and retry.
+    if (d.in_use == 0 ||
+        d.name_hash.load(std::memory_order_relaxed) == hash) {
+      return b;
+    }
+    platform_->unlock(d.lock);
+    platform_->unlock(b.lock);
+  }
+}
+
+detail::LnvcDesc* Facility::free_pop(ProcessId pid, ProcessId* dead) {
+  detail::LnvcDesc* t = table();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const ProcessId dd = alock(header_->lnvc_free_lock, pid);
+    if (*dead == kNoProcess) *dead = dd;
+    const std::uint32_t idx = header_->lnvc_free_head;
+    if (idx != 0) {
+      detail::LnvcDesc& d = t[idx - 1];
+      header_->lnvc_free_head = d.free_next;
+      d.free_next = 0;
+      d.free_claimant = pid;
+      d.free_state.store(detail::LnvcDesc::kClaimed,
+                         std::memory_order_release);
+      platform_->unlock(header_->lnvc_free_lock);
+      return &d;
+    }
+    // Exhausted: rebuild from leaks.  A slot stuck in kClaimed whose
+    // claimant is dead was abandoned between pop and commit (or between
+    // retire and push) — in either case it is unlinked from every bucket
+    // and owns nothing, so relisting it is safe.
+    bool reclaimed = false;
+    for (std::uint32_t i = 0; i < header_->max_lnvcs; ++i) {
+      detail::LnvcDesc& s = t[i];
+      if (s.free_state.load(std::memory_order_acquire) ==
+              detail::LnvcDesc::kClaimed &&
+          !process_alive(s.free_claimant)) {
+        s.free_next = header_->lnvc_free_head;
+        s.free_state.store(detail::LnvcDesc::kFreeListed,
+                           std::memory_order_relaxed);
+        header_->lnvc_free_head = i + 1;
+        reclaimed = true;
+      }
+    }
+    platform_->unlock(header_->lnvc_free_lock);
+    if (!reclaimed) return nullptr;
   }
   return nullptr;
+}
+
+void Facility::free_push(ProcessId pid, detail::LnvcDesc& d) {
+  // Robust but repair-free: freelist critical sections are pure stores
+  // ordered so the list is consistent at every boundary, so a seized lock
+  // needs no structural repair (the leaked slot itself is reclaimed by
+  // the exhaustion rebuild / reap sweep).
+  (void)alock(header_->lnvc_free_lock, pid);
+  d.free_next = header_->lnvc_free_head;
+  d.free_state.store(detail::LnvcDesc::kFreeListed,
+                     std::memory_order_relaxed);
+  header_->lnvc_free_head = static_cast<std::uint32_t>(&d - table()) + 1;
+  platform_->unlock(header_->lnvc_free_lock);
 }
 
 detail::Connection* Facility::find_conn(detail::LnvcDesc& d, ProcessId pid,
@@ -311,20 +492,17 @@ Status Facility::open_common(ProcessId pid, std::string_view name,
   }
   platform_->charge_open_close();
   register_process(pid);
-  ProcessId dead = alock(header_->registry_lock, pid);
-  detail::LnvcDesc* d = find_locked(name);
+  const std::uint64_t hash = name_hash(name);
+  detail::DirBucket& b = bucket_of(hash);
+  ProcessId dead = lock_bucket(b, pid);
+  detail::LnvcDesc* d = dir_find(b, name, hash);
   if (d == nullptr) {
     // Create the LNVC in a free slot (paper: "If lnvc_name did not
-    // previously exist, it is created").
-    detail::LnvcDesc* t = table();
-    for (std::uint32_t i = 0; i < header_->max_lnvcs; ++i) {
-      if (t[i].in_use == 0) {
-        d = &t[i];
-        break;
-      }
-    }
+    // previously exist, it is created").  O(1) off the freelist; the
+    // bucket lock serializes create-vs-create for this name.
+    d = free_pop(pid, &dead);
     if (d == nullptr) {
-      platform_->unlock(header_->registry_lock);
+      platform_->unlock(b.lock);
       reap_if_dead(pid, dead);
       return Status::table_full;
     }
@@ -333,6 +511,8 @@ Status Facility::open_common(ProcessId pid, std::string_view name,
     ++d->generation;
     std::memset(d->name, 0, sizeof(d->name));
     std::memcpy(d->name, name.data(), name.size());
+    d->name_hash.store(hash, std::memory_order_relaxed);
+    d->name_len = static_cast<std::uint32_t>(name.size());
     d->n_senders = d->n_fcfs = d->n_bcast = d->n_queued = 0;
     d->last_sender_died = 0;
     d->msg_head = d->msg_tail = d->fcfs_head = shm::Ref<detail::MsgHeader>{};
@@ -349,7 +529,18 @@ Status Facility::open_common(ProcessId pid, std::string_view name,
     d->hw_blocks = d->hw_slabs = 0;
     d->park_next_ticket = 0;
     d->park_waiters.store(0, std::memory_order_relaxed);
-    d->in_use = 1;  // commit point: a death above leaves the slot free
+    d->prober = 0;
+    // No pollset membership, no pending pulses on a fresh circuit.
+    d->pollset_id.store(0, std::memory_order_relaxed);
+    d->ready_armed.store(0, std::memory_order_relaxed);
+    for (auto& p : d->pulses) p = detail::PulseSlot{};
+    // Commit span (no platform calls): link into the bucket, mark the
+    // slot live, publish.  A death before this span leaves a kClaimed
+    // slot for the exhaustion rebuild; after it, a normal live circuit.
+    dir_insert(b, *d);
+    d->free_state.store(detail::LnvcDesc::kSlotLive,
+                        std::memory_order_release);
+    d->in_use = 1;  // commit point
   } else {
     const ProcessId dead2 = alock_lnvc(*d, pid);
     if (dead == kNoProcess) dead = dead2;
@@ -400,7 +591,7 @@ Status Facility::open_common(ProcessId pid, std::string_view name,
   // pushes before it can miss a fan-out).
   update_fast_state(*d);
   platform_->unlock(d->lock);
-  platform_->unlock(header_->registry_lock);
+  platform_->unlock(b.lock);
   reap_if_dead(pid, dead);
   return status;
 }
@@ -423,14 +614,13 @@ Status Facility::close_common(ProcessId pid, LnvcId id, bool sender) {
   if (pid >= header_->max_processes) return Status::invalid_argument;
   platform_->charge_open_close();
   register_process(pid);
-  ProcessId dead = alock(header_->registry_lock, pid);
-  {
-    const ProcessId dead2 = alock_lnvc(*d, pid);
-    if (dead == kNoProcess) dead = dead2;
-  }
+  ProcessId dead = kNoProcess;
+  // The bucket lock is held across the close so a destroy (last
+  // connection) can unlink the name from its chain.
+  detail::DirBucket& b = lock_bucket_of(*d, pid, &dead);
   if (d->in_use == 0) {
     platform_->unlock(d->lock);
-    platform_->unlock(header_->registry_lock);
+    platform_->unlock(b.lock);
     reap_if_dead(pid, dead);
     return Status::no_such_lnvc;
   }
@@ -447,7 +637,7 @@ Status Facility::close_common(ProcessId pid, LnvcId id, bool sender) {
   }
   if (conn == nullptr) {
     platform_->unlock(d->lock);
-    platform_->unlock(header_->registry_lock);
+    platform_->unlock(b.lock);
     reap_if_dead(pid, dead);
     return Status::not_connected;
   }
@@ -487,7 +677,7 @@ Status Facility::close_common(ProcessId pid, LnvcId id, bool sender) {
     platform_->notify_all(d->cond);
   }
   platform_->unlock(d->lock);
-  platform_->unlock(header_->registry_lock);
+  platform_->unlock(b.lock);
   // Multi-waiters (receive_any) must reconsider after a close/destroy;
   // rippled outside the LNVC/registry locks to keep lock order acyclic.
   if (header_->activity_waiters.load(std::memory_order_acquire) > 0) {
@@ -531,8 +721,21 @@ void Facility::destroy_lnvc(ProcessId pid, detail::LnvcDesc& d) {
   if (m_off != shm::kNullOffset) journal_release_chains(pid, d, m_off);
   d.msg_head = d.msg_tail = d.fcfs_head = shm::Ref<detail::MsgHeader>{};
   d.n_queued = 0;
+  // Same no-platform-call span: unlink the name from its bucket chain
+  // (the caller holds the bucket lock) and claim the slot for freelist
+  // retirement, then commit the death.  free_state goes kClaimed *before*
+  // in_use drops so a death anywhere past this span leaves a slot the
+  // exhaustion rebuild / reap sweep can reclaim — unlinked, message walk
+  // journaled, owned by a dead claimant.
+  dir_unlink(bucket_of(d.name_hash.load(std::memory_order_relaxed)), d);
+  d.free_claimant = pid;
+  d.free_state.store(detail::LnvcDesc::kClaimed, std::memory_order_release);
+  d.pollset_id.store(0, std::memory_order_seq_cst);
+  d.ready_armed.store(0, std::memory_order_relaxed);
+  for (auto& p : d.pulses) p = detail::PulseSlot{};
   d.in_use = 0;
   std::memset(d.name, 0, sizeof(d.name));
+  d.name_len = 0;
   ++d.generation;
   // The circuit's quota dies with it: reset the ledger and the park queue.
   // Parked senders observe the generation bump, clear their own membership
@@ -540,6 +743,7 @@ void Facility::destroy_lnvc(ProcessId pid, detail::LnvcDesc& d) {
   d.used_blocks = d.used_slabs = 0;
   d.park_next_ticket = 0;
   d.park_waiters.store(0, std::memory_order_release);
+  d.prober = 0;
   while (m_off != shm::kNullOffset) {
     auto* m = static_cast<detail::MsgHeader*>(arena_.raw(m_off));
     const shm::Offset next = m->next_msg;
@@ -565,6 +769,9 @@ void Facility::destroy_lnvc(ProcessId pid, detail::LnvcDesc& d) {
   // Anyone blocked with a stale handle must wake and observe the death.
   platform_->notify_all(d.cond);
   platform_->notify_all(d.park_cond);
+  // Retire the slot.  The popper will wait on d.lock (still held by this
+  // caller) before touching anything, so publishing early is safe.
+  free_push(pid, d);
 }
 
 Status Facility::set_admission(ProcessId pid, LnvcId id,
@@ -619,10 +826,13 @@ std::size_t Facility::queued(LnvcId id) const {
 }
 
 bool Facility::lnvc_exists(std::string_view name) const {
+  if (name.empty() || name.size() > detail::kNameMax) return false;
   auto* self = const_cast<Facility*>(this);
-  self->platform_->lock(header_->registry_lock);
-  const bool found = find_locked(name) != nullptr;
-  self->platform_->unlock(header_->registry_lock);
+  const std::uint64_t hash = name_hash(name);
+  detail::DirBucket& b = self->bucket_of(hash);
+  self->platform_->lock(b.lock);
+  const bool found = self->dir_find(b, name, hash) != nullptr;
+  self->platform_->unlock(b.lock);
   return found;
 }
 
@@ -784,6 +994,12 @@ FacilityStats Facility::stats() const {
   s.lockfree_fast_sends =
       header_->lockfree_fast_sends.load(std::memory_order_relaxed);
   s.any_rescans = header_->any_rescans.load(std::memory_order_relaxed);
+  s.dir_lookups = header_->dir_lookups.load(std::memory_order_relaxed);
+  s.dir_collisions = header_->dir_collisions.load(std::memory_order_relaxed);
+  s.pollset_wakes = header_->pollset_wakes.load(std::memory_order_relaxed);
+  s.pulses_sent = header_->pulses_sent.load(std::memory_order_relaxed);
+  s.pulses_coalesced =
+      header_->pulses_coalesced.load(std::memory_order_relaxed);
   s.slabs_total = header_->slabs_total;
   const detail::SlabPool* sp = slab_pools();
   const detail::NodeStats* ns = node_stats();
@@ -796,6 +1012,44 @@ FacilityStats Facility::stats() const {
   }
   s.arena_used = arena_.used();
   return s;
+}
+
+DirectoryInfo Facility::directory_info() const {
+  // Advisory snapshot: chains are walked under each bucket's lock, the
+  // freelist under its own, so the totals are per-structure consistent.
+  auto* self = const_cast<Facility*>(this);
+  DirectoryInfo info;
+  info.buckets = header_->dir_n_buckets;
+  info.chain_histogram.assign(9, 0);
+  detail::DirBucket* buckets = dir();
+  detail::LnvcDesc* t = table();
+  for (std::uint32_t i = 0; i < header_->dir_n_buckets; ++i) {
+    detail::DirBucket& b = buckets[i];
+    self->platform_->lock(b.lock);
+    std::uint32_t chain = 0;
+    for (std::uint32_t idx = b.head; idx != 0; idx = t[idx - 1].dir_next) {
+      ++chain;
+    }
+    self->platform_->unlock(b.lock);
+    info.live_names += chain;
+    info.max_chain = std::max(info.max_chain, chain);
+    const std::size_t bin =
+        std::min<std::size_t>(chain, info.chain_histogram.size() - 1);
+    ++info.chain_histogram[bin];
+    const std::uint64_t seized =
+        b.seizures.load(std::memory_order_relaxed);
+    if (seized != 0) {
+      info.lock_seizures += seized;
+      info.seized_buckets.emplace_back(i, seized);
+    }
+  }
+  self->platform_->lock(header_->lnvc_free_lock);
+  for (std::uint32_t idx = header_->lnvc_free_head; idx != 0;
+       idx = t[idx - 1].free_next) {
+    ++info.free_slots;
+  }
+  self->platform_->unlock(header_->lnvc_free_lock);
+  return info;
 }
 
 std::uint32_t Facility::numa_nodes() const noexcept {

@@ -51,6 +51,8 @@ const char* invariant_name(Invariant c) noexcept {
       return "views";
     case Invariant::quiescence:
       return "quiescence";
+    case Invariant::directory:
+      return "directory";
   }
   return "unknown";
 }
@@ -608,6 +610,236 @@ InvariantReport InvariantOracle::check(const Facility& f, bool quiescent) {
     if (h.activity_waiters.load(std::memory_order_acquire) != 0) {
       c.fail_global(Invariant::quiescence,
                     "activity_waiters non-zero at rest");
+    }
+  }
+
+  // --- name directory / descriptor freelist / pollsets ------------------
+  // Structural facts hold on a live arena (each walk under its owning
+  // lock); the slot-conservation equality is only exact at rest, where no
+  // open/close can hold a slot in the transient kClaimed state.
+  {
+    const std::uint32_t slot_cap = h.max_lnvcs + 2;  // cycle guard
+    std::unordered_set<std::uint32_t> chained;
+    auto* buckets = static_cast<detail::DirBucket*>(f.arena_.raw(h.dir));
+    for (std::uint32_t b = 0; b < h.dir_n_buckets; ++b) {
+      detail::DirBucket& bk = buckets[b];
+      self->platform_->lock(bk.lock);
+      std::uint32_t walked = 0;
+      for (std::uint32_t cur = bk.head; cur != 0;) {
+        if (++walked > slot_cap) {
+          c.fail_global(Invariant::directory,
+                        "bucket " + format_u64(b) +
+                            " chain exceeds max_lnvcs (cycle)");
+          break;
+        }
+        const std::uint32_t slot = cur - 1;
+        if (slot >= h.max_lnvcs) {
+          c.fail_global(Invariant::directory,
+                        "bucket " + format_u64(b) +
+                            " chains out-of-range slot " + format_u64(slot));
+          break;
+        }
+        detail::LnvcDesc& d = table[slot];
+        if (!chained.insert(slot).second) {
+          c.fail(Invariant::directory, static_cast<LnvcId>(slot),
+                 "descriptor chained twice in the directory");
+        }
+        if (d.free_state.load(std::memory_order_acquire) !=
+            detail::LnvcDesc::kSlotLive) {
+          c.fail(Invariant::directory, static_cast<LnvcId>(slot),
+                 "chained descriptor not kSlotLive");
+        }
+        if (d.in_use == 0) {
+          c.fail(Invariant::directory, static_cast<LnvcId>(slot),
+                 "chained descriptor not in_use");
+        }
+        const std::uint64_t hash =
+            d.name_hash.load(std::memory_order_relaxed);
+        if ((static_cast<std::uint32_t>(hash) & h.dir_mask) != b) {
+          c.fail(Invariant::directory, static_cast<LnvcId>(slot),
+                 "descriptor chained in bucket " + format_u64(b) +
+                     " but hashes to bucket " +
+                     format_u64(static_cast<std::uint32_t>(hash) &
+                                h.dir_mask));
+        }
+        cur = d.dir_next;
+      }
+      self->platform_->unlock(bk.lock);
+    }
+
+    // Freelist: states and shape always; conservation only at rest.
+    self->platform_->lock(h.lnvc_free_lock);
+    std::uint32_t freelisted = 0, walked = 0;
+    bool free_ok = true;
+    for (std::uint32_t cur = h.lnvc_free_head; cur != 0;) {
+      if (++walked > slot_cap) {
+        c.fail_global(Invariant::directory,
+                      "freelist exceeds max_lnvcs (cycle)");
+        free_ok = false;
+        break;
+      }
+      const std::uint32_t slot = cur - 1;
+      if (slot >= h.max_lnvcs) {
+        c.fail_global(Invariant::directory,
+                      "freelist links out-of-range slot " + format_u64(slot));
+        free_ok = false;
+        break;
+      }
+      detail::LnvcDesc& d = table[slot];
+      if (d.free_state.load(std::memory_order_acquire) !=
+          detail::LnvcDesc::kFreeListed) {
+        c.fail(Invariant::directory, static_cast<LnvcId>(slot),
+               "freelisted descriptor not kFreeListed");
+      }
+      if (d.in_use != 0) {
+        c.fail(Invariant::directory, static_cast<LnvcId>(slot),
+               "freelisted descriptor still in_use");
+      }
+      if (chained.count(slot) != 0) {
+        c.fail(Invariant::directory, static_cast<LnvcId>(slot),
+               "descriptor on the freelist and in a directory chain");
+      }
+      ++freelisted;
+      cur = d.free_next;
+    }
+    self->platform_->unlock(h.lnvc_free_lock);
+
+    std::uint32_t live = 0, claimed = 0;
+    for (std::uint32_t uid = 0; uid < h.max_lnvcs; ++uid) {
+      switch (table[uid].free_state.load(std::memory_order_acquire)) {
+        case detail::LnvcDesc::kSlotLive:
+          ++live;
+          if (chained.count(uid) == 0) {
+            c.fail(Invariant::directory, static_cast<LnvcId>(uid),
+                   "live descriptor missing from every directory chain");
+          }
+          break;
+        case detail::LnvcDesc::kClaimed:
+          ++claimed;
+          break;
+        default:
+          break;
+      }
+    }
+    if (quiescent && free_ok) {
+      if (claimed != 0) {
+        c.fail_global(Invariant::directory,
+                      format_u64(claimed) +
+                          " descriptor slots kClaimed at rest");
+      }
+      if (freelisted + live + claimed != h.max_lnvcs) {
+        c.fail_global(Invariant::directory,
+                      "slot conservation: " + format_u64(freelisted) +
+                          " freelisted + " + format_u64(live) + " live + " +
+                          format_u64(claimed) + " claimed != " +
+                          format_u64(h.max_lnvcs));
+      }
+    }
+
+    // Pollsets: membership is bidirectional where the descriptor side
+    // claims it; ready-stack entries are queued member indices.  (A
+    // members[] entry whose descriptor no longer points back is legal —
+    // destroy_lnvc clears only the descriptor side and pollset_wait
+    // reclaims the member slot lazily.)
+    auto* psets = static_cast<detail::PollSet*>(f.arena_.raw(h.pollsets));
+    for (std::uint32_t p = 0; p < h.max_pollsets; ++p) {
+      detail::PollSet& ps = psets[p];
+      self->platform_->lock(ps.lock);
+      if (ps.in_use == 0) {
+        if (ps.waiter_pid.load(std::memory_order_acquire) != 0) {
+          c.fail_global(Invariant::directory,
+                        "pollset " + format_u64(p) +
+                            " not in_use but has a registered waiter");
+        }
+        self->platform_->unlock(ps.lock);
+        continue;
+      }
+      auto* members = static_cast<std::uint32_t*>(f.arena_.raw(ps.members));
+      auto* queued = static_cast<std::atomic<std::uint32_t>*>(
+          f.arena_.raw(ps.queued));
+      // n_members is a prefix high-water mark: holes inside the prefix are
+      // legal (remove / lazy reclamation), entries beyond it are not.
+      if (ps.n_members > h.pollset_capacity) {
+        c.fail_global(Invariant::directory,
+                      "pollset " + format_u64(p) + " n_members " +
+                          format_u64(ps.n_members) + " exceeds capacity");
+      }
+      for (std::uint32_t m = 0; m < h.pollset_capacity; ++m) {
+        const std::uint32_t ref = members[m];
+        if (ref == 0) continue;
+        if (m >= ps.n_members) {
+          c.fail_global(Invariant::directory,
+                        "pollset " + format_u64(p) + " member slot " +
+                            format_u64(m) + " filled beyond n_members " +
+                            format_u64(ps.n_members));
+        }
+        if (ref - 1 >= h.max_lnvcs) {
+          c.fail_global(Invariant::directory,
+                        "pollset " + format_u64(p) +
+                            " member references out-of-range slot " +
+                            format_u64(ref - 1));
+        }
+      }
+      std::uint32_t rwalked = 0;
+      auto* rnext =
+          static_cast<std::uint32_t*>(f.arena_.raw(ps.ready_next));
+      for (std::uint32_t cur =
+               ps.ready_head.load(std::memory_order_acquire);
+           cur != 0;) {
+        if (++rwalked > h.pollset_capacity) {
+          c.fail_global(Invariant::directory,
+                        "pollset " + format_u64(p) +
+                            " ready stack exceeds capacity (cycle)");
+          break;
+        }
+        const std::uint32_t m = cur - 1;
+        if (m >= h.pollset_capacity) {
+          c.fail_global(Invariant::directory,
+                        "pollset " + format_u64(p) +
+                            " ready stack links member " + format_u64(m) +
+                            " out of range");
+          break;
+        }
+        if (queued[m].load(std::memory_order_acquire) == 0) {
+          c.fail_global(Invariant::directory,
+                        "pollset " + format_u64(p) + " ready member " +
+                            format_u64(m) + " not flagged queued");
+        }
+        cur = rnext[m];
+      }
+      self->platform_->unlock(ps.lock);
+    }
+
+    // Descriptor -> pollset direction (strong: the descriptor side is the
+    // membership commit point).  Never holds the descriptor lock while
+    // taking ps.lock — pollset code orders ps.lock before descriptor locks;
+    // instead snapshot the claim, then re-verify it under ps.lock alone
+    // (the membership words are atomics written under both locks).
+    for (std::uint32_t uid = 0; uid < h.max_lnvcs; ++uid) {
+      detail::LnvcDesc& d = table[uid];
+      const std::uint32_t psid = d.pollset_id.load(std::memory_order_acquire);
+      if (psid == 0) continue;
+      if (psid - 1 >= h.max_pollsets) {
+        c.fail(Invariant::directory, static_cast<LnvcId>(uid),
+               "pollset_id out of range");
+        continue;
+      }
+      detail::PollSet& ps = psets[psid - 1];
+      self->platform_->lock(ps.lock);
+      const std::uint32_t m = d.pollset_mslot.load(std::memory_order_relaxed);
+      if (d.pollset_id.load(std::memory_order_acquire) == psid &&
+          ps.in_use != 0 &&
+          d.pollset_gen.load(std::memory_order_relaxed) == ps.generation) {
+        if (m >= h.pollset_capacity ||
+            static_cast<std::uint32_t*>(f.arena_.raw(ps.members))[m] !=
+                uid + 1) {
+          c.fail(Invariant::directory, static_cast<LnvcId>(uid),
+                 "descriptor claims pollset " + format_u64(psid - 1) +
+                     " member " + format_u64(m) +
+                     " but the pollset does not point back");
+        }
+      }
+      self->platform_->unlock(ps.lock);
     }
   }
 

@@ -70,6 +70,36 @@ void Facility::park_ripple(detail::LnvcDesc& d) {
   }
 }
 
+bool Facility::probe_claim(detail::LnvcDesc& d, ProcessId pid) {
+  // Descriptor lock held.  One prober per circuit: without the token, every
+  // blocked peer wakes at suspicion_ns, re-acquires `lock`, and sweeps the
+  // connection list — with hundreds of simultaneous waiters (a barrier, an
+  // overloaded funnel) the probe convoy alone saturates the lock.  The
+  // token holder probes at the tight period; everyone else stretches out
+  // (probe_wait_ns) and relies on the prober's reap + notify.
+  const std::uint32_t me = static_cast<std::uint32_t>(pid) + 1;
+  const std::uint32_t cur = d.prober;
+  if (cur == me) return true;
+  if (cur != 0 && process_alive(static_cast<ProcessId>(cur - 1))) {
+    return false;
+  }
+  d.prober = me;
+  return true;
+}
+
+std::uint64_t Facility::probe_wait_ns(ProcessId pid, std::uint64_t suspicion,
+                                      bool prober) {
+  if (prober) return suspicion;
+  // Lazy waiters still sweep on their (rare) un-notified timeouts, which
+  // re-elects a prober whose holder died.  The pid jitter keeps the lazy
+  // wakes from re-converging into the convoy the token exists to break.
+  return suspicion * (16 + (static_cast<std::uint64_t>(pid) & 15));
+}
+
+void Facility::probe_release(detail::LnvcDesc& d, ProcessId pid) {
+  if (d.prober == static_cast<std::uint32_t>(pid) + 1) d.prober = 0;
+}
+
 void Facility::update_fast_state(detail::LnvcDesc& d) {
   // Descriptor lock held.  Every structural change a cached fast-path
   // validation depends on funnels through here: the epoch bump invalidates
@@ -372,6 +402,7 @@ bool Facility::fast_send(ProcessId pid, detail::LnvcDesc& d, LnvcId id,
       header_->lockfree_fast_sends.fetch_add(1, std::memory_order_relaxed);
       platform_->notify_all(d.cond);
       rpark_wake(d, ps.fast_gen, /*all=*/false);
+      pollset_signal(d);
       park_ripple(d);
       if (header_->activity_waiters.load(std::memory_order_acquire) > 0) {
         alock(header_->activity_lock, pid);
@@ -407,6 +438,7 @@ bool Facility::fast_send(ProcessId pid, detail::LnvcDesc& d, LnvcId id,
   // register-then-recheck (Dekker): either we see its registration or it
   // sees our push.
   rpark_wake(d, ps.fast_gen, /*all=*/false);
+  pollset_signal(d);
   if (header_->activity_waiters.load(std::memory_order_acquire) > 0) {
     alock(header_->activity_lock, pid);
     platform_->unlock(header_->activity_lock);
@@ -492,16 +524,21 @@ Status Facility::quota_admit(ProcessId pid, detail::LnvcDesc& d, LnvcId id,
     }
     // Sleep bounded by the deadline and the suspicion threshold, so a dead
     // head (or a dead receiver that will never drain the quota) cannot
-    // wedge the queue: an un-notified expiry probes and reaps.
+    // wedge the queue: an un-notified expiry probes and reaps.  Only the
+    // elected prober keeps the tight period (see probe_claim) — a deeply
+    // parked FIFO probing in unison would convoy on the descriptor lock.
     const std::uint64_t suspicion = header_->suspicion_ns;
-    std::uint64_t wait_ns =
-        suspicion != 0 ? suspicion : std::uint64_t{1} << 62;
+    const bool prober = suspicion != 0 && probe_claim(d, pid);
+    std::uint64_t wait_ns = suspicion != 0
+                                ? probe_wait_ns(pid, suspicion, prober)
+                                : std::uint64_t{1} << 62;
     if (deadline_ns != kNoDeadline && deadline_ns - now < wait_ns) {
       wait_ns = deadline_ns - now;
     }
     bool notified = false;
     const ProcessId dead =
         await_for(d.lock, d.park_cond, pid, wait_ns, &notified);
+    probe_release(d, pid);
     if (dead != kNoProcess) repair_lnvc(d);
     if (d.in_use == 0 || d.generation != generation) {
       // The circuit died while we were parked; destroy already reset the
@@ -939,6 +976,7 @@ Status Facility::send_impl(ProcessId pid, LnvcId id,
   header_->bytes_sent.fetch_add(len, std::memory_order_relaxed);
   if (slab) header_->slab_sends.fetch_add(1, std::memory_order_relaxed);
   platform_->notify_all(d->cond);
+  pollset_signal(*d);
   // Receivers parked on the lock-free claim path listen on their wait
   // nodes, not on d->cond; a locked send must promote one of them too.
   if (header_->lockfree_fcfs != 0) rpark_wake(*d, generation, /*all=*/false);
@@ -1320,10 +1358,14 @@ Status Facility::claim_message(ProcessId pid, LnvcId id, bool blocking,
         // Bound the sleep by the suspicion threshold so a receiver blocked
         // on a dead sender self-heals: an un-notified timeout probes the
         // sender connections and reaps the first dead peer itself rather
-        // than waiting for an external reaper to notice.
+        // than waiting for an external reaper to notice.  Only the elected
+        // prober keeps the tight period (see probe_claim).
+        const bool prober = probe_claim(*d, pid);
         bool notified = false;
-        const ProcessId dead =
-            await_for(d->lock, d->cond, pid, suspicion, &notified);
+        const ProcessId dead = await_for(
+            d->lock, d->cond, pid, probe_wait_ns(pid, suspicion, prober),
+            &notified);
+        probe_release(*d, pid);
         if (dead != kNoProcess) repair_lnvc(*d);
         if (!notified) {
           ProcessId suspect = kNoProcess;

@@ -600,10 +600,12 @@ Status Facility::reap(ProcessId reaper, ProcessId pid) {
   }
 
   // 2. Close every connection the dead process held, with the paper's
-  //    last-connection-destroys semantics.
+  //    last-connection-destroys semantics.  Opens serialize per name
+  //    bucket now, not on the registry lock, so this loop takes only the
+  //    per-descriptor locks — and re-enters through the owning bucket when
+  //    a removal leaves the circuit empty (destroy_lnvc unlinks the name
+  //    chain, and bucket -> descriptor is the lock order).
   std::uint64_t closed = 0;
-  ProcessId dd = alock(header_->registry_lock, reaper);
-  (void)dd;
   detail::LnvcDesc* t = table();
   for (std::uint32_t i = 0; i < header_->max_lnvcs; ++i) {
     detail::LnvcDesc& d = t[i];
@@ -643,25 +645,74 @@ Status Facility::reap(ProcessId reaper, ProcessId pid) {
     }
     if (removed) {
       if (d.n_senders + d.n_fcfs + d.n_bcast == 0) {
-        destroy_lnvc(reaper, d);
-      } else {
-        reclaim(reaper, d);
-        // The reaped connection invalidates cached fast-path validations
-        // (a departed BROADCAST receiver may even restore eligibility).
-        update_fast_state(d);
-        // Blocked receivers must reconsider: their sender may be gone
-        // (lnvc_orphaned) or a released claim may have freed a message.
-        platform_->notify_all(d.cond);
-        if (header_->lockfree_fcfs != 0) {
-          rpark_wake(d, d.generation, /*all=*/true);
+        // Last connection gone: destroy, which requires the owning bucket
+        // locked first.  Drop the descriptor lock, re-enter in bucket ->
+        // descriptor order, and re-check — a racing open may have attached
+        // a new connection in the window (then the circuit lives on).
+        platform_->unlock(d.lock);
+        ProcessId bdead = kNoProcess;
+        detail::DirBucket& b = lock_bucket_of(d, reaper, &bdead);
+        if (d.in_use != 0 && d.n_senders + d.n_fcfs + d.n_bcast == 0) {
+          destroy_lnvc(reaper, d);
         }
+        platform_->unlock(d.lock);
+        platform_->unlock(b.lock);
+        continue;
+      }
+      reclaim(reaper, d);
+      // The reaped connection invalidates cached fast-path validations
+      // (a departed BROADCAST receiver may even restore eligibility).
+      update_fast_state(d);
+      // Blocked receivers must reconsider: their sender may be gone
+      // (lnvc_orphaned) or a released claim may have freed a message.
+      platform_->notify_all(d.cond);
+      if (header_->lockfree_fcfs != 0) {
+        rpark_wake(d, d.generation, /*all=*/true);
       }
     }
     platform_->unlock(d.lock);
   }
-  platform_->unlock(header_->registry_lock);
   if (closed > 0) {
     header_->reaped_connections.fetch_add(closed, std::memory_order_relaxed);
+  }
+
+  // 2b. Descriptor slots the dead process claimed but never committed
+  //     (free_pop -> crash before in_use = 1, or destroy -> crash before
+  //     free_push): relist them.  Under lnvc_free_lock so the sweep is
+  //     atomic with free_pop's exhaustion rebuild — the slot is relisted
+  //     exactly once.
+  {
+    (void)alock(header_->lnvc_free_lock, reaper);
+    for (std::uint32_t i = 0; i < header_->max_lnvcs; ++i) {
+      detail::LnvcDesc& d = t[i];
+      if (d.free_state.load(std::memory_order_acquire) ==
+              detail::LnvcDesc::kClaimed &&
+          d.free_claimant == pid) {
+        d.free_next = header_->lnvc_free_head;
+        d.free_state.store(detail::LnvcDesc::kFreeListed,
+                           std::memory_order_relaxed);
+        header_->lnvc_free_head = i + 1;
+      }
+    }
+    platform_->unlock(header_->lnvc_free_lock);
+  }
+
+  // 2c. Poll sets: destroy the ones the dead process owned (detaching
+  //     members and waking any waiter), and clear its waiter registration
+  //     anywhere else so senders stop unparking a corpse.
+  {
+    detail::PollSet* ptab = pollset_table();
+    for (std::uint32_t i = 0; i < header_->max_pollsets; ++i) {
+      detail::PollSet& p = ptab[i];
+      alock(p.lock, reaper);
+      if (p.in_use != 0 && p.owner_pid == pid) {
+        pollset_destroy_locked(reaper, p);  // unlocks
+        continue;
+      }
+      std::uint32_t w = pid + 1;
+      p.waiter_pid.compare_exchange_strong(w, 0, std::memory_order_seq_cst);
+      platform_->unlock(p.lock);
+    }
   }
 
   // 3. Return the dead process's magazine to its home shard.

@@ -241,6 +241,44 @@ void dump_parked(const mpf::Facility& facility) {
   }
 }
 
+void dump_names(const mpf::Facility& facility) {
+  const mpf::FacilityStats stats = facility.stats();
+  const mpf::DirectoryInfo dir = facility.directory_info();
+  std::printf(
+      "directory: %u buckets, %u live names, %u free slots, max chain %u\n",
+      dir.buckets, dir.live_names, dir.free_slots, dir.max_chain);
+  std::printf(
+      "lookups: %llu probes, %llu collision hops, %llu bucket-lock "
+      "seizures\n",
+      static_cast<unsigned long long>(stats.dir_lookups),
+      static_cast<unsigned long long>(stats.dir_collisions),
+      static_cast<unsigned long long>(dir.lock_seizures));
+  std::printf(
+      "pollsets/pulses: %llu pollset wakes, %llu pulses sent, "
+      "%llu coalesced\n",
+      static_cast<unsigned long long>(stats.pollset_wakes),
+      static_cast<unsigned long long>(stats.pulses_sent),
+      static_cast<unsigned long long>(stats.pulses_coalesced));
+  std::printf("%9s %8s\n", "chain_len", "buckets");
+  for (std::size_t n = 0; n < dir.chain_histogram.size(); ++n) {
+    if (dir.chain_histogram[n] == 0) continue;
+    char label[16];
+    if (n + 1 == dir.chain_histogram.size()) {
+      std::snprintf(label, sizeof label, ">=%zu", n);
+    } else {
+      std::snprintf(label, sizeof label, "%zu", n);
+    }
+    std::printf("%9s %8u\n", label, dir.chain_histogram[n]);
+  }
+  if (!dir.seized_buckets.empty()) {
+    std::printf("%7s %9s\n", "bucket", "seizures");
+    for (const auto& [bucket, count] : dir.seized_buckets) {
+      std::printf("%7u %9llu\n", bucket,
+                  static_cast<unsigned long long>(count));
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -258,6 +296,8 @@ int main(int argc, char** argv) {
                  "occupancy and parked senders\n"
                  "  --parked     report parked processes (quota senders + "
                  "lock-free FCFS receivers) and wait-node state\n"
+                 "  --names      report name-directory bucket occupancy, "
+                 "chain histogram and pollset/pulse counters\n"
                  "  --reap pid   run the recovery sweep for a dead "
                  "participant\n"
                  "  --check      run the invariant oracle (live-arena "
@@ -270,6 +310,7 @@ int main(int argc, char** argv) {
   bool nodes = false;
   bool quotas = false;
   bool parked = false;
+  bool names = false;
   bool check = false;
   int reap_pid = -1;
   for (int i = 2; i < argc; ++i) {
@@ -283,6 +324,8 @@ int main(int argc, char** argv) {
       quotas = true;
     } else if (std::strcmp(argv[i], "--parked") == 0) {
       parked = true;
+    } else if (std::strcmp(argv[i], "--names") == 0) {
+      names = true;
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else if (std::strcmp(argv[i], "--reap") == 0 && i + 1 < argc) {
@@ -331,6 +374,8 @@ int main(int argc, char** argv) {
         dump_quotas(facility);
       } else if (parked) {
         dump_parked(facility);
+      } else if (names) {
+        dump_names(facility);
       } else {
         dump(facility);
       }
